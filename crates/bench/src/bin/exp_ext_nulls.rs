@@ -1,0 +1,57 @@
+//! **Extension: null-model calibration.**
+//!
+//! Runs the metric battery on two growth models with *known* answers:
+//! Erdős–Rényi growth (no structure — every metric must hover at accuracy
+//! ratio ≈ 1) and Barabási–Albert growth (degree-proportional — PA must
+//! lead). A pipeline bug that inflated accuracy would show up here as
+//! "beating random on ER", which is impossible for a correct
+//! implementation; this is the end-to-end validity check behind every
+//! other experiment's numbers.
+
+use linklens_bench::{results_path, ExperimentContext};
+use linklens_core::framework::SequenceEvaluator;
+use linklens_core::report::{fnum, write_json, Table};
+use osn_graph::sequence::SnapshotSequence;
+use osn_trace::baselines::{barabasi_albert_with_internal, erdos_renyi_growth};
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let scale = if ctx.quick { 1 } else { 4 };
+    let er = erdos_renyi_growth(400 * scale, 4 * scale, 120 * scale, 60, ctx.seed);
+    let ba = barabasi_albert_with_internal(20, 12 * scale, 3, 30 * scale, 80, ctx.seed);
+
+    let mut payload = Vec::new();
+    for (name, trace, expectation) in [
+        ("erdos-renyi", &er, "all ratios ≈ 1"),
+        ("barabasi-albert", &ba, "PA on top"),
+    ] {
+        let seq = SnapshotSequence::with_count(trace, 8);
+        let eval = SequenceEvaluator::new(&seq);
+        let metrics = osn_metrics::figure5_metrics();
+        let refs: Vec<&dyn osn_metrics::traits::Metric> =
+            metrics.iter().map(|m| m.as_ref()).collect();
+        let mut table = Table::new(
+            format!("Null model '{name}' ({} nodes, {} edges) — expected: {expectation}",
+                trace.node_count(), trace.edge_count()),
+            &["metric", "mean accuracy ratio"],
+        );
+        let all = eval.evaluate_all(&refs, None);
+        let mut rows: Vec<(String, f64)> = all
+            .iter()
+            .enumerate()
+            .map(|(i, series)| {
+                let mean = series.iter().map(|o| o.accuracy_ratio).sum::<f64>()
+                    / series.len() as f64;
+                (refs[i].name().to_string(), mean)
+            })
+            .collect();
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+        for (metric, mean) in &rows {
+            table.push_row(vec![metric.clone(), fnum(*mean)]);
+        }
+        println!("{}", table.render());
+        payload.push(serde_json::json!({ "model": name, "mean_ratios": rows }));
+    }
+    write_json(results_path("ext_nulls.json"), &payload).expect("write results");
+    println!("(rows written to results/ext_nulls.json)");
+}

@@ -1,0 +1,42 @@
+//! **Figure 1** — daily new nodes and edges for each network.
+//!
+//! Paper shape to reproduce: all three curves grow roughly exponentially
+//! over the trace; the renren-like network grows fastest (it is the
+//! non-sampled one).
+
+use linklens_bench::{results_path, ExperimentContext};
+use linklens_core::report::{write_json, Table};
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let mut payload = Vec::new();
+    for (cfg, trace) in ctx.traces() {
+        let daily = trace.daily_growth();
+        let mut table = Table::new(
+            format!("Figure 1 ({}): daily growth (every 7th day shown)", cfg.name),
+            &["day", "new nodes", "new edges"],
+        );
+        for d in daily.iter().step_by(7) {
+            table.push_row(vec![
+                d.day.to_string(),
+                d.new_nodes.to_string(),
+                d.new_edges.to_string(),
+            ]);
+        }
+        print!("{}", table.render());
+        // Growth factor across halves — the "exponential trajectory" check.
+        let half = daily.len() / 2;
+        let first: usize = daily[..half].iter().map(|d| d.new_edges).sum();
+        let second: usize = daily[half..].iter().map(|d| d.new_edges).sum();
+        println!(
+            "edge growth factor (2nd half / 1st half): {:.2}\n",
+            second as f64 / first.max(1) as f64
+        );
+        payload.push(serde_json::json!({
+            "network": cfg.name,
+            "daily": daily.iter().map(|d| (d.day, d.new_nodes, d.new_edges)).collect::<Vec<_>>(),
+        }));
+    }
+    write_json(results_path("fig1.json"), &payload).expect("write results");
+    println!("(series written to results/fig1.json)");
+}

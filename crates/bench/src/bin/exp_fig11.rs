@@ -1,0 +1,62 @@
+//! **Figure 11** — metric-based algorithms versus the SVM classifier on
+//! identical snowball-sampled data, per network.
+//!
+//! Paper shape to reproduce: with a well-chosen θ, SVM matches or beats
+//! the best metric on every network; RA/BRA are consistently near the top
+//! among metrics; the best metric differs per network.
+
+use linklens_bench::{classification_config, results_path, ExperimentContext};
+use linklens_core::classify::{ClassificationPipeline, ClassifierKind};
+use linklens_core::report::{fnum, write_json, Table};
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let theta = if ctx.quick { 20.0 } else { 100.0 };
+    let mut payload = Vec::new();
+
+    for (cfg, trace) in ctx.traces() {
+        let seq = ctx.sequence(&trace);
+        let t = ctx.mid_transition().min(seq.len() - 1);
+        let pipe = ClassificationPipeline::new(&seq, classification_config(&seq, t, &ctx));
+        eprintln!("[fig11] {} transition {t}, p={:.3}", cfg.name, pipe.config.sampling_p);
+
+        let mut rows: Vec<(String, f64)> = Vec::new();
+        for metric in osn_metrics::figure5_metrics() {
+            let out = pipe.evaluate_metric_on_sample(metric.as_ref(), t, None);
+            rows.push((out.metric.clone(), out.accuracy_ratio));
+        }
+        rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let svm = pipe.evaluate(ClassifierKind::Svm, theta, t, None);
+
+        let mut table = Table::new(
+            format!(
+                "Figure 11 ({}, transition {t}): sampled-data accuracy ratio, ascending; SVM θ=1:{theta}",
+                cfg.name
+            ),
+            &["predictor", "accuracy ratio"],
+        );
+        for (name, ratio) in &rows {
+            table.push_row(vec![name.clone(), fnum(*ratio)]);
+        }
+        table.push_row(vec![
+            format!("SVM (±{})", fnum(svm.std_accuracy_ratio)),
+            fnum(svm.mean_accuracy_ratio),
+        ]);
+        println!("{}", table.render());
+
+        let best_metric = rows.last().cloned().unwrap_or_default();
+        println!(
+            "best metric: {} ({}); SVM/best-metric ratio: {}\n",
+            best_metric.0,
+            fnum(best_metric.1),
+            fnum(svm.mean_accuracy_ratio / best_metric.1.max(1e-9))
+        );
+        payload.push(serde_json::json!({
+            "network": cfg.name,
+            "metric_ratios": rows,
+            "svm": svm,
+        }));
+    }
+    write_json(results_path("fig11.json"), &payload).expect("write results");
+    println!("(rows written to results/fig11.json)");
+}

@@ -1,0 +1,97 @@
+//! **Figures 13–15** — the §6.1 temporal separations between positive
+//! pairs (that connect in the next snapshot) and negative pairs (that do
+//! not): active-node idle time (Fig. 13), active-node new edges in the
+//! past 7 days (Fig. 14), and the common-neighbor time gap (Fig. 15).
+//!
+//! Paper shape to reproduce (Renren): positives are dramatically more
+//! recent on all three measures — e.g. >90% of positives have < 3 days
+//! active-node idle time versus ~40% of negatives, >60% of positives have
+//! ≥ 3 recent edges versus ~20% of negatives, and >60% of positives gained
+//! a common neighbor within 10 days versus ~20% of negatives.
+
+use linklens_bench::{results_path, ExperimentContext};
+use linklens_core::report::{fnum, write_json, Table};
+use linklens_core::temporal::{fraction_below, pair_features, positive_negative_pairs};
+use osn_graph::DAY;
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let mut payload = Vec::new();
+
+    for (cfg, trace) in ctx.traces() {
+        let seq = ctx.sequence(&trace);
+        let t = ctx.mid_transition().min(seq.len() - 1);
+        let snap = seq.snapshot(t - 1);
+        let (pos, neg) = positive_negative_pairs(&seq, t, 4000, ctx.seed);
+
+        let collect = |pairs: &[(u32, u32)]| {
+            let mut act = Vec::new();
+            let mut recent = Vec::new();
+            let mut gap = Vec::new();
+            for &(u, v) in pairs {
+                let f = pair_features(&snap, u, v, 7 * DAY);
+                act.push(f.active_idle_days);
+                recent.push(f.recent_edges_active as f64);
+                if let Some(g) = f.cn_gap_days {
+                    gap.push(g);
+                }
+            }
+            (act, recent, gap)
+        };
+        let (pa, pr, pg) = collect(&pos);
+        let (na, nr, ng) = collect(&neg);
+
+        let mut table = Table::new(
+            format!("Figures 13-15 ({}, transition {t}): positive vs negative pairs", cfg.name),
+            &["measure", "positive pairs", "negative pairs"],
+        );
+        table.push_row(vec![
+            "frac(active idle < 3d)".into(),
+            fnum(fraction_below(&pa, 3.0)),
+            fnum(fraction_below(&na, 3.0)),
+        ]);
+        table.push_row(vec![
+            "frac(≥3 edges in 7d)".into(),
+            fnum(1.0 - fraction_below(&pr, 3.0)),
+            fnum(1.0 - fraction_below(&nr, 3.0)),
+        ]);
+        table.push_row(vec![
+            "frac(CN gap < 10d | has CN)".into(),
+            fnum(fraction_below(&pg, 10.0)),
+            fnum(fraction_below(&ng, 10.0)),
+        ]);
+        table.push_row(vec![
+            "pairs with a CN".into(),
+            format!("{}/{}", pg.len(), pos.len()),
+            format!("{}/{}", ng.len(), neg.len()),
+        ]);
+        println!("{}", table.render());
+        // Figure 13 as a chart: CDF of active-node idle time, positives vs
+        // negatives (x = sorted sample index, y = idle days; the separation
+        // is the vertical gap).
+        let cdf_curve = |vals: &[f64]| -> Vec<f64> {
+            let mut v: Vec<f64> =
+                vals.iter().copied().filter(|x| x.is_finite()).collect();
+            v.sort_by(f64::total_cmp);
+            // Down-sample to ~40 points for the chart.
+            let step = (v.len() / 40).max(1);
+            v.into_iter().step_by(step).collect()
+        };
+        let chart = linklens_core::chart::Chart::new(
+            format!("Figure 13 ({}): active-node idle days, sorted (lower curve = fresher)", cfg.name),
+            64,
+            12,
+        )
+        .series("positive", &cdf_curve(&pa))
+        .series("negative", &cdf_curve(&na));
+        println!("{}", chart.render());
+
+        payload.push(serde_json::json!({
+            "network": cfg.name,
+            "positive": { "active_idle": pa, "recent_edges": pr, "cn_gap": pg },
+            "negative": { "active_idle": na, "recent_edges": nr, "cn_gap": ng },
+        }));
+    }
+    write_json(results_path("fig13_15.json"), &payload).expect("write results");
+    println!("(raw samples written to results/fig13_15.json)");
+}

@@ -1,0 +1,62 @@
+//! **Figures 2–4** — average node degree, average path length, and average
+//! clustering coefficient over each network's snapshot sequence.
+//!
+//! Paper shape to reproduce: average degree grows for all three networks
+//! (densification); renren-like and facebook-like are denser than
+//! youtube-like; average path length shrinks as networks densify; the
+//! youtube-like network has the largest path length (it is the sparsest).
+
+use linklens_bench::{results_path, ExperimentContext};
+use linklens_core::report::{fnum, write_json, Table};
+use osn_graph::stats;
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let mut payload = Vec::new();
+    let mut final_rows = Vec::new();
+    for (cfg, trace) in ctx.traces() {
+        let seq = ctx.sequence(&trace);
+        let mut table = Table::new(
+            format!("Figures 2-4 ({}): properties per snapshot", cfg.name),
+            &["snapshot", "edges", "avg degree", "avg path len", "clustering"],
+        );
+        let mut series = Vec::new();
+        for i in 0..seq.len() {
+            let snap = seq.snapshot(i);
+            let p = stats::snapshot_properties(&snap, 40);
+            table.push_row(vec![
+                i.to_string(),
+                p.edges.to_string(),
+                fnum(p.degree.mean),
+                fnum(p.avg_path_length),
+                fnum(p.clustering),
+            ]);
+            series.push(p);
+        }
+        println!("{}", table.render());
+        let chart = linklens_core::chart::Chart::new(
+            format!("Figures 2-4 ({}) as a chart", cfg.name),
+            64,
+            12,
+        )
+        .series("avg degree", &series.iter().map(|p| p.degree.mean).collect::<Vec<_>>())
+        .series("path length", &series.iter().map(|p| p.avg_path_length).collect::<Vec<_>>())
+        .series("clustering x10", &series.iter().map(|p| p.clustering * 10.0).collect::<Vec<_>>());
+        println!("{}", chart.render());
+        let first = &series[0];
+        let last = series.last().expect("non-empty");
+        final_rows.push((cfg.name.clone(), first.degree.mean, last.degree.mean,
+                         first.avg_path_length, last.avg_path_length));
+        payload.push(serde_json::json!({ "network": cfg.name, "series": series }));
+    }
+    let mut summary = Table::new(
+        "Shape check: densification and shrinking diameters",
+        &["network", "deg (first)", "deg (last)", "APL (first)", "APL (last)"],
+    );
+    for (name, d0, d1, a0, a1) in final_rows {
+        summary.push_row(vec![name, fnum(d0), fnum(d1), fnum(a0), fnum(a1)]);
+    }
+    print!("{}", summary.render());
+    write_json(results_path("fig2_4.json"), &payload).expect("write results");
+    println!("\n(series written to results/fig2_4.json)");
+}

@@ -1,0 +1,70 @@
+//! **Figure 6 + §4.3 rules** — decision trees that choose the best
+//! metric-based algorithm from network properties.
+//!
+//! Every (snapshot, network) pair becomes a data point: the observed
+//! snapshot's properties labeled with the metric that won the following
+//! transition. The paper gets 69 points from its three traces; the count
+//! here depends on `--snapshots`.
+//!
+//! Paper shape to reproduce: degree heterogeneity (std-dev) is the top
+//! split; high heterogeneity → Rescal; low median degree → Katz; high
+//! median degree → BRA/RA-family. The per-algorithm binary rules should
+//! mention the same features.
+
+use linklens_bench::{results_path, run_or_load_metric_sweep, ExperimentContext};
+use linklens_core::report::write_json;
+use linklens_core::selection::{analyze, NetworkFeatures, SelectionSample};
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let sweeps = run_or_load_metric_sweep(&ctx);
+
+    let mut samples = Vec::new();
+    for sweep in &sweeps {
+        let transitions = sweep.outcomes[0].len();
+        for t in 0..transitions {
+            let ratios: Vec<(String, f64)> = sweep
+                .metric_names
+                .iter()
+                .cloned()
+                .zip(sweep.outcomes.iter().map(|s| s[t].accuracy_ratio))
+                .collect();
+            samples.push(SelectionSample {
+                features: NetworkFeatures::from_properties(&sweep.properties[t]),
+                ratios,
+            });
+        }
+    }
+    println!("training on {} snapshot data points across 3 networks\n", samples.len());
+
+    // Winner distribution (context for the tree).
+    let mut wins = std::collections::BTreeMap::new();
+    for s in &samples {
+        *wins.entry(s.ratios[s.winner()].0.clone()).or_insert(0usize) += 1;
+    }
+    println!("winner counts: {wins:?}\n");
+
+    let analysis = analyze(&samples, 0.9);
+    println!("## Figure 6: multi-class decision tree (as rules)");
+    for rule in analysis.winner_rules() {
+        println!("  {rule}");
+    }
+    println!("\n## Per-algorithm 'good' rules (within 90% of the best)");
+    for (metric, rules) in &analysis.per_metric_rules {
+        for rule in rules {
+            println!("  {metric}: {rule}");
+        }
+    }
+
+    write_json(
+        results_path("fig6.json"),
+        &serde_json::json!({
+            "samples": samples.len(),
+            "winner_counts": wins,
+            "winner_rules": analysis.winner_rules(),
+            "per_metric_rules": analysis.per_metric_rules,
+        }),
+    )
+    .expect("write results");
+    println!("\n(rules written to results/fig6.json)");
+}

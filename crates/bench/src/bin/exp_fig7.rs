@@ -1,0 +1,69 @@
+//! **Figure 7** — degree distribution of nodes in predicted edges versus
+//! ground truth (the §4.4 structural-bias analysis), on one mid-trace
+//! renren-like snapshot (the paper uses Renren at 55M edges).
+//!
+//! Paper shape to reproduce: JC and PPR skew toward low-degree nodes;
+//! BCN/BAA/LP/Katz/Rescal skew toward high-degree nodes; ground truth sits
+//! in between.
+
+use linklens_bench::{results_path, ExperimentContext};
+use linklens_core::framework::SequenceEvaluator;
+use linklens_core::report::{fnum, write_json, Table};
+use osn_graph::NodeId;
+
+fn degree_deciles(snap: &osn_graph::snapshot::Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+    let mut degs: Vec<f64> = pairs
+        .iter()
+        .flat_map(|&(u, v)| [snap.degree(u) as f64, snap.degree(v) as f64])
+        .collect();
+    degs.sort_by(f64::total_cmp);
+    if degs.is_empty() {
+        return vec![0.0; 5];
+    }
+    [0.1, 0.25, 0.5, 0.75, 0.9]
+        .iter()
+        .map(|&q| {
+            let rank = ((q * degs.len() as f64).ceil() as usize).clamp(1, degs.len());
+            degs[rank - 1]
+        })
+        .collect()
+}
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let (cfg, trace) = ctx.traces().remove(1); // renren-like
+    let seq = ctx.sequence(&trace);
+    let eval = SequenceEvaluator::new(&seq);
+    let t = ctx.mid_transition().min(seq.len() - 1);
+    let snap = seq.snapshot(t - 1);
+
+    let mut table = Table::new(
+        format!("Figure 7 ({}, transition {t}): degree percentiles of nodes in predicted edges", cfg.name),
+        &["predictor", "p10", "p25", "median", "p75", "p90"],
+    );
+    let mut payload = Vec::new();
+
+    // Ground truth row first.
+    let truth: Vec<(NodeId, NodeId)> = seq.new_edges(t);
+    let truth_deciles = degree_deciles(&snap, &truth);
+    table.push_row(
+        std::iter::once("ground truth".to_string())
+            .chain(truth_deciles.iter().map(|&x| fnum(x)))
+            .collect(),
+    );
+    payload.push(serde_json::json!({ "predictor": "ground truth", "deciles": truth_deciles }));
+
+    for metric in osn_metrics::figure5_metrics() {
+        let (predicted, _) = eval.predictions(metric.as_ref(), t, None);
+        let deciles = degree_deciles(&snap, &predicted);
+        table.push_row(
+            std::iter::once(metric.name().to_string())
+                .chain(deciles.iter().map(|&x| fnum(x)))
+                .collect(),
+        );
+        payload.push(serde_json::json!({ "predictor": metric.name(), "deciles": deciles }));
+    }
+    print!("{}", table.render());
+    write_json(results_path("fig7.json"), &payload).expect("write results");
+    println!("\n(rows written to results/fig7.json)");
+}

@@ -1,0 +1,64 @@
+//! **Figure 8** — CDF of node idle time in predicted edges versus ground
+//! truth (the §4.4 temporal-bias analysis), renren-like mid-trace.
+//!
+//! Paper shape to reproduce: every metric's predicted nodes are *more*
+//! dormant than ground truth — the predicted idle-time CDF sits to the
+//! right of (below) the ground-truth CDF.
+
+use linklens_bench::{results_path, ExperimentContext};
+use linklens_core::framework::SequenceEvaluator;
+use linklens_core::report::{fnum, write_json, Table};
+use osn_graph::{NodeId, DAY};
+
+fn idle_days(snap: &osn_graph::snapshot::Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+    let t = snap.time();
+    pairs
+        .iter()
+        .flat_map(|&(u, v)| [u, v])
+        .filter_map(|x| snap.last_activity(x).map(|l| (t - l) as f64 / DAY as f64))
+        .collect()
+}
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let (cfg, trace) = ctx.traces().remove(1); // renren-like
+    let seq = ctx.sequence(&trace);
+    let eval = SequenceEvaluator::new(&seq);
+    let t = ctx.mid_transition().min(seq.len() - 1);
+    let snap = seq.snapshot(t - 1);
+
+    let mut table = Table::new(
+        format!("Figure 8 ({}, transition {t}): idle time (days) of nodes in predicted edges", cfg.name),
+        &["predictor", "median", "p75", "p90", "frac < 3d"],
+    );
+    let mut payload = Vec::new();
+    let emit = |name: &str, mut days: Vec<f64>, payload: &mut Vec<serde_json::Value>, table: &mut Table| {
+        if days.is_empty() {
+            return;
+        }
+        days.sort_by(f64::total_cmp);
+        let q = |p: f64| days[((p * days.len() as f64).ceil() as usize).clamp(1, days.len()) - 1];
+        let frac3 = linklens_core::temporal::fraction_below(&days, 3.0);
+        table.push_row(vec![
+            name.to_string(),
+            fnum(q(0.5)),
+            fnum(q(0.75)),
+            fnum(q(0.9)),
+            fnum(frac3),
+        ]);
+        payload.push(serde_json::json!({
+            "predictor": name, "median": q(0.5), "p75": q(0.75), "p90": q(0.9),
+            "frac_below_3d": frac3,
+        }));
+    };
+
+    let truth: Vec<(NodeId, NodeId)> = seq.new_edges(t);
+    emit("ground truth", idle_days(&snap, &truth), &mut payload, &mut table);
+    for metric in osn_metrics::figure5_metrics() {
+        let (predicted, _) = eval.predictions(metric.as_ref(), t, None);
+        emit(metric.name(), idle_days(&snap, &predicted), &mut payload, &mut table);
+    }
+    print!("{}", table.render());
+    write_json(results_path("fig8.json"), &payload).expect("write results");
+    println!("\n(rows written to results/fig8.json)");
+}

@@ -1,0 +1,36 @@
+//! **Figure 9** — accuracy ratio of the four classifiers (RF, NB, LR, SVM)
+//! at undersampling ratios θ = 1:1 and 1:50, on the facebook-like network.
+//!
+//! Paper shape to reproduce: RF and NB poor; LR roughly on par with SVM;
+//! SVM best, and 1:50 beats 1:1 for the margin-based models.
+
+use linklens_bench::{classification_config, results_path, ExperimentContext};
+use linklens_core::classify::{ClassificationPipeline, ClassifierKind};
+use linklens_core::report::{fnum, write_json, Table};
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let (cfg, trace) = ctx.traces().remove(0); // facebook-like
+    let seq = ctx.sequence(&trace);
+    let t = ctx.mid_transition().min(seq.len() - 1);
+    let pipe = ClassificationPipeline::new(&seq, classification_config(&seq, t, &ctx));
+
+    eprintln!("[fig9] {} transition {t}, p={:.3}", cfg.name, pipe.config.sampling_p);
+    let outcomes = pipe.sweep(&ClassifierKind::all(), &[1.0, 50.0], t, None);
+
+    let mut table = Table::new(
+        format!("Figure 9 ({}, transition {t}): classifier accuracy ratio by θ", cfg.name),
+        &["classifier", "θ=1:1", "θ=1:50", "±std (1:50)"],
+    );
+    for chunk in outcomes.chunks(2) {
+        table.push_row(vec![
+            chunk[0].classifier.clone(),
+            fnum(chunk[0].mean_accuracy_ratio),
+            fnum(chunk[1].mean_accuracy_ratio),
+            fnum(chunk[1].std_accuracy_ratio),
+        ]);
+    }
+    print!("{}", table.render());
+    write_json(results_path("fig9.json"), &outcomes).expect("write results");
+    println!("\n(cells written to results/fig9.json)");
+}

@@ -1,0 +1,63 @@
+//! **Table 2** — statistics of the three traces: start/end node and edge
+//! counts, snapshot delta, and resulting snapshot count.
+//!
+//! Paper shape to reproduce: three networks of increasing size
+//! (facebook < youtube < renren in edges), all with > 15 snapshots and a
+//! constant per-snapshot edge delta.
+
+use linklens_bench::{results_path, ExperimentContext};
+use linklens_core::report::{write_json, Table};
+use osn_graph::snapshot::Snapshot;
+use osn_graph::DAY;
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let mut table = Table::new(
+        "Table 2: trace statistics (synthetic stand-ins, see DESIGN.md)",
+        &[
+            "Graph",
+            "Start nodes",
+            "Start edges",
+            "End nodes",
+            "End edges",
+            "Span (days)",
+            "Snapshot delta",
+            "Snapshots",
+            "Max gap (days)",
+        ],
+    );
+    let mut payload = Vec::new();
+    for (cfg, trace) in ctx.traces() {
+        let seq = ctx.sequence(&trace);
+        let first = seq.snapshot(0);
+        let last = Snapshot::up_to(&trace, trace.edge_count());
+        let span_days = (trace.end_time().unwrap_or(0) - trace.start_time().unwrap_or(0)) / DAY;
+        let delta = seq.boundary(1) - seq.boundary(0);
+        let max_gap = seq.spacings().iter().copied().max().unwrap_or(0) / DAY;
+        payload.push(serde_json::json!({
+            "network": cfg.name,
+            "start_nodes": first.node_count(),
+            "start_edges": first.edge_count(),
+            "end_nodes": last.node_count(),
+            "end_edges": last.edge_count(),
+            "span_days": span_days,
+            "delta": delta,
+            "snapshots": seq.len(),
+            "max_gap_days": max_gap,
+        }));
+        table.push_row(vec![
+            cfg.name.clone(),
+            first.node_count().to_string(),
+            first.edge_count().to_string(),
+            last.node_count().to_string(),
+            last.edge_count().to_string(),
+            span_days.to_string(),
+            delta.to_string(),
+            seq.len().to_string(),
+            max_gap.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    write_json(results_path("table2.json"), &payload).expect("write results");
+    println!("\n(raw rows written to results/table2.json)");
+}

@@ -1,0 +1,41 @@
+//! **Table 4** — best possible absolute accuracy (%) of every prediction
+//! method on each network: the max over snapshot transitions of
+//! `correct / k`.
+//!
+//! Paper shape to reproduce: single-digit percentages at best; the
+//! facebook-like network (smallest) gets the highest numbers; SP and PA
+//! lowest on friendship networks.
+
+use linklens_bench::{results_path, run_or_load_metric_sweep, ExperimentContext};
+use linklens_core::framework::best_absolute_accuracy;
+use linklens_core::report::{write_json, Table};
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let sweeps = run_or_load_metric_sweep(&ctx);
+
+    let metric_names = sweeps[0].metric_names.clone();
+    let mut headers: Vec<&str> = vec!["Network"];
+    headers.extend(metric_names.iter().map(String::as_str));
+    let mut table =
+        Table::new("Table 4: best absolute accuracy (%) per method", &headers);
+    let mut payload = Vec::new();
+    for sweep in &sweeps {
+        let mut row = vec![sweep.network.clone()];
+        let mut cells = Vec::new();
+        for series in &sweep.outcomes {
+            let best = best_absolute_accuracy(series) * 100.0;
+            cells.push(best);
+            row.push(format!("{best:.2}"));
+        }
+        table.push_row(row);
+        payload.push(serde_json::json!({
+            "network": sweep.network,
+            "metrics": metric_names,
+            "best_absolute_pct": cells,
+        }));
+    }
+    print!("{}", table.render());
+    write_json(results_path("table4.json"), &payload).expect("write results");
+    println!("\n(raw rows written to results/table4.json)");
+}

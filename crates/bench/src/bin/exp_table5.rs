@@ -1,0 +1,73 @@
+//! **Table 5** — concentration of predictions: the share of predicted and
+//! of real edges that involve the 0.1% most-frequently-predicted nodes
+//! (renren-like, mid-trace transition).
+//!
+//! Paper shape to reproduce: every metric (Rescal worst, then LRW/Katz/LP)
+//! heavily over-predicts a small group of nodes — predicted share far above
+//! the real share — except BRA, which is nearly unbiased.
+
+use linklens_bench::{results_path, ExperimentContext};
+use linklens_core::framework::SequenceEvaluator;
+use linklens_core::report::{write_json, Table};
+use osn_graph::NodeId;
+use std::collections::HashMap;
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let (cfg, trace) = ctx.traces().remove(1); // renren-like
+    let seq = ctx.sequence(&trace);
+    let eval = SequenceEvaluator::new(&seq);
+    let t = ctx.mid_transition().min(seq.len() - 1);
+    let n = seq.snapshot(t - 1).node_count();
+    // 0.1% of nodes, at least 3 so tiny scales stay meaningful.
+    let top_count = ((n as f64) * 0.001).ceil().max(3.0) as usize;
+
+    let mut table = Table::new(
+        format!(
+            "Table 5 ({}, transition {t}): share of edges touching the {top_count} most-predicted nodes",
+            cfg.name
+        ),
+        &["metric", "predicted edges (%)", "real edges (%)"],
+    );
+    let mut payload = Vec::new();
+    for metric in osn_metrics::figure5_metrics() {
+        let (predicted, truth) = eval.predictions(metric.as_ref(), t, None);
+        if predicted.is_empty() {
+            continue;
+        }
+        // Most frequently predicted nodes for THIS metric.
+        let mut freq: HashMap<NodeId, usize> = HashMap::new();
+        for &(u, v) in &predicted {
+            *freq.entry(u).or_default() += 1;
+            *freq.entry(v).or_default() += 1;
+        }
+        let mut by_freq: Vec<NodeId> = freq.keys().copied().collect();
+        by_freq.sort_unstable_by_key(|u| std::cmp::Reverse(freq[u]));
+        let top: std::collections::HashSet<NodeId> =
+            by_freq.into_iter().take(top_count).collect();
+
+        let share = |edges: &[(NodeId, NodeId)]| {
+            if edges.is_empty() {
+                return 0.0;
+            }
+            edges.iter().filter(|&&(u, v)| top.contains(&u) || top.contains(&v)).count() as f64
+                / edges.len() as f64
+        };
+        let truth_vec: Vec<(NodeId, NodeId)> = truth.iter().copied().collect();
+        let pred_share = share(&predicted) * 100.0;
+        let real_share = share(&truth_vec) * 100.0;
+        table.push_row(vec![
+            metric.name().to_string(),
+            format!("{pred_share:.1}"),
+            format!("{real_share:.1}"),
+        ]);
+        payload.push(serde_json::json!({
+            "metric": metric.name(),
+            "predicted_pct": pred_share,
+            "real_pct": real_share,
+        }));
+    }
+    print!("{}", table.render());
+    write_json(results_path("table5.json"), &payload).expect("write results");
+    println!("\n(rows written to results/table5.json)");
+}

@@ -1,0 +1,171 @@
+//! **Tables 7 & 8** — temporal filtering: the per-network thresholds and
+//! the improvement factor (accuracy ratio with filter / without) for every
+//! metric-based method and for the SVM classifier across θ values.
+//!
+//! Paper shape to reproduce: filtering never ruins a predictor and helps
+//! most — up to ~15× for the weakest metrics (SP, JC on facebook) and
+//! 10–120% for the classifiers; the "best" metric can change after
+//! filtering.
+//!
+//! Pass `--sweep` (after the common flags) to also print a sensitivity
+//! sweep over scaled threshold variants — the DESIGN.md ablation.
+
+use linklens_bench::{classification_config, results_path, ExperimentContext};
+use linklens_core::classify::{ClassificationPipeline, ClassifierKind};
+use linklens_core::filters::{FilterThresholds, TemporalFilter};
+use linklens_core::report::{fnum, write_json, Table};
+
+fn main() {
+    // Strip our private flag before the common parser runs.
+    let sweep_mode = std::env::args().any(|a| a == "--sweep");
+    let args: Vec<String> = std::env::args().filter(|a| a != "--sweep").collect();
+    // ExperimentContext::from_args reads std::env::args directly; emulate
+    // by temporarily re-invoking with the filtered list.
+    let ctx = parse_ctx(&args);
+
+    // Table 7 first.
+    let mut t7 = Table::new(
+        "Table 7: temporal filter thresholds",
+        &["network", "d_act", "d_inact", "window d", "E_new", "d_CN"],
+    );
+    for cfg in ctx.configs() {
+        let th = FilterThresholds::for_preset(&cfg.name).expect("preset thresholds");
+        t7.push_row(vec![
+            cfg.name.clone(),
+            fnum(th.active_idle_days),
+            fnum(th.inactive_idle_days),
+            fnum(th.window_days),
+            th.min_recent_edges.to_string(),
+            fnum(th.cn_gap_days),
+        ]);
+    }
+    println!("{}", t7.render());
+
+    let thetas: Vec<f64> = if ctx.quick { vec![1.0, 50.0] } else { vec![1.0, 10.0, 100.0] };
+    let mut payload = Vec::new();
+
+    for (cfg, trace) in ctx.traces() {
+        let seq = ctx.sequence(&trace);
+        let t = ctx.mid_transition().min(seq.len() - 1);
+        let filter =
+            TemporalFilter::new(FilterThresholds::for_preset(&cfg.name).expect("preset"));
+        let pipe = ClassificationPipeline::new(&seq, classification_config(&seq, t, &ctx));
+        eprintln!("[table8] {} transition {t}", cfg.name);
+
+        let mut table = Table::new(
+            format!("Table 8 ({}, transition {t}): accuracy ratio after/before filtering", cfg.name),
+            &["predictor", "before", "after", "improvement"],
+        );
+        let mut rows = Vec::new();
+        for metric in osn_metrics::figure5_metrics() {
+            let before = pipe.evaluate_metric_on_sample(metric.as_ref(), t, None);
+            let after = pipe.evaluate_metric_on_sample(metric.as_ref(), t, Some(&filter));
+            let imp = if before.accuracy_ratio > 0.0 {
+                format!("{:.1}x", after.accuracy_ratio / before.accuracy_ratio)
+            } else if after.accuracy_ratio > 0.0 {
+                "-".into() // the paper's "before was 0" marker
+            } else {
+                "0/0".into()
+            };
+            table.push_row(vec![
+                metric.name().to_string(),
+                fnum(before.accuracy_ratio),
+                fnum(after.accuracy_ratio),
+                imp,
+            ]);
+            rows.push(serde_json::json!({
+                "predictor": metric.name(),
+                "before": before.accuracy_ratio,
+                "after": after.accuracy_ratio,
+            }));
+        }
+        for &theta in &thetas {
+            let before = pipe.evaluate(ClassifierKind::Svm, theta, t, None);
+            let after = pipe.evaluate(ClassifierKind::Svm, theta, t, Some(&filter));
+            let imp = if before.mean_accuracy_ratio > 0.0 {
+                format!("{:.1}x", after.mean_accuracy_ratio / before.mean_accuracy_ratio)
+            } else {
+                "-".into()
+            };
+            table.push_row(vec![
+                format!("SVM 1:{theta}"),
+                fnum(before.mean_accuracy_ratio),
+                fnum(after.mean_accuracy_ratio),
+                imp,
+            ]);
+            rows.push(serde_json::json!({
+                "predictor": format!("SVM 1:{theta}"),
+                "before": before.mean_accuracy_ratio,
+                "after": after.mean_accuracy_ratio,
+            }));
+        }
+        println!("{}", table.render());
+
+        if sweep_mode {
+            // Ablation: scale all day-thresholds by 0.5× / 2× and report
+            // BRA's improvement sensitivity.
+            let base = FilterThresholds::for_preset(&cfg.name).expect("preset");
+            let mut ab = Table::new(
+                format!("Ablation ({}): BRA improvement vs threshold scaling", cfg.name),
+                &["scaling", "after-ratio"],
+            );
+            let bra = osn_metrics::metric_by_name("BRA").expect("BRA exists");
+            for scale in [0.5, 1.0, 2.0] {
+                let th = FilterThresholds {
+                    active_idle_days: base.active_idle_days * scale,
+                    inactive_idle_days: base.inactive_idle_days * scale,
+                    window_days: base.window_days,
+                    min_recent_edges: base.min_recent_edges,
+                    cn_gap_days: base.cn_gap_days * scale,
+                };
+                let out = pipe.evaluate_metric_on_sample(
+                    bra.as_ref(),
+                    t,
+                    Some(&TemporalFilter::new(th)),
+                );
+                ab.push_row(vec![format!("{scale}x"), fnum(out.accuracy_ratio)]);
+            }
+            println!("{}", ab.render());
+        }
+
+        payload.push(serde_json::json!({ "network": cfg.name, "rows": rows }));
+    }
+    write_json(results_path("table8.json"), &payload).expect("write results");
+    println!("(rows written to results/table8.json)");
+}
+
+/// Parses the common flags from an explicit argument list (the `--sweep`
+/// flag has already been stripped).
+fn parse_ctx(args: &[String]) -> ExperimentContext {
+    let mut ctx = ExperimentContext::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                ctx.scale = args[i].parse().expect("bad --scale");
+            }
+            "--days" => {
+                i += 1;
+                ctx.days = args[i].parse().expect("bad --days");
+            }
+            "--seed" => {
+                i += 1;
+                ctx.seed = args[i].parse().expect("bad --seed");
+            }
+            "--snapshots" => {
+                i += 1;
+                ctx.snapshots = args[i].parse().expect("bad --snapshots");
+            }
+            "--quick" => ctx.quick = true,
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    if ctx.quick {
+        ctx.scale = ctx.scale.min(0.12);
+        ctx.days = ctx.days.min(45);
+        ctx.snapshots = ctx.snapshots.min(8);
+    }
+    ctx
+}

@@ -1,0 +1,21 @@
+//! Internal calibration probe (not a paper experiment): times one full
+//! metric evaluation per network at the given scale.
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.35);
+    let days: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(90);
+    for cfg in osn_trace::presets::TraceConfig::all() {
+        let cfg = cfg.scaled(scale).with_days(days);
+        let trace = cfg.generate(42);
+        let seq = osn_graph::sequence::SnapshotSequence::with_count(&trace, 12);
+        let eval = linklens_core::framework::SequenceEvaluator::new(&seq);
+        let metrics = osn_metrics::all_metrics();
+        let refs: Vec<&dyn osn_metrics::traits::Metric> = metrics.iter().map(|m| m.as_ref()).collect();
+        let t0 = std::time::Instant::now();
+        let outs = eval.evaluate_metrics_at(&refs, 9, None);
+        println!("{}: nodes={} edges={} one-transition(15 metrics)={:?}", cfg.name,
+            trace.node_count(), trace.edge_count(), t0.elapsed());
+        for o in outs.iter().take(3) {
+            println!("  {} ratio={:.1} abs={:.4} k={}", o.metric, o.accuracy_ratio, o.absolute_accuracy, o.k);
+        }
+    }
+}

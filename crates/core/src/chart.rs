@@ -1,0 +1,240 @@
+//! Terminal line charts — the "figure" half of the table/figure harness.
+//!
+//! Renders multi-series line charts as Unicode text, with optional log-10
+//! y-axis (the paper's Figure 5 and 10 are log-scale). The rendering is
+//! deliberately simple: a fixed-size cell grid, one braille-free symbol per
+//! series, nearest-cell plotting, and a labeled y-axis.
+
+use std::fmt::Write as _;
+
+/// A terminal chart under construction.
+///
+/// ```
+/// use linklens_core::chart::Chart;
+/// let text = Chart::new("growth", 40, 8)
+///     .series("edges", &[10.0, 30.0, 80.0, 200.0])
+///     .log_y()
+///     .render();
+/// assert!(text.contains("## growth"));
+/// assert!(text.contains("o edges"));
+/// ```
+pub struct Chart {
+    title: String,
+    width: usize,
+    height: usize,
+    log_y: bool,
+    series: Vec<(String, Vec<f64>)>,
+}
+
+/// Symbols assigned to series, in order.
+const GLYPHS: &[char] = &['o', '+', 'x', '*', '#', '@', '%', '&', '$', '~', '^', '='];
+
+impl Chart {
+    /// Creates a chart with the given plot-area size (excluding axes).
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        Chart {
+            title: title.into(),
+            width: width.clamp(16, 240),
+            height: height.clamp(4, 60),
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Switches the y-axis to log-10 (non-positive samples clamp to the
+    /// axis floor).
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds one named series; x is the sample index.
+    pub fn series(mut self, name: impl Into<String>, values: &[f64]) -> Self {
+        self.series.push((name.into(), values.to_vec()));
+        self
+    }
+
+    /// Renders the chart. Empty charts render a placeholder note.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "## {}", self.title);
+        }
+        let max_len = self.series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+        if self.series.is_empty() || max_len == 0 {
+            let _ = writeln!(out, "(no data)");
+            return out;
+        }
+
+        // Value transform and range.
+        let tx = |v: f64| -> Option<f64> {
+            if !v.is_finite() {
+                return None;
+            }
+            if self.log_y {
+                if v <= 0.0 {
+                    None
+                } else {
+                    Some(v.log10())
+                }
+            } else {
+                Some(v)
+            }
+        };
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (_, vs) in &self.series {
+            for &v in vs {
+                if let Some(t) = tx(v) {
+                    lo = lo.min(t);
+                    hi = hi.max(t);
+                }
+            }
+        }
+        if !lo.is_finite() {
+            let _ = writeln!(out, "(no plottable data)");
+            return out;
+        }
+        if (hi - lo).abs() < 1e-12 {
+            hi = lo + 1.0;
+        }
+
+        // Grid.
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, (_, vs)) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for (i, &v) in vs.iter().enumerate() {
+                let Some(t) = tx(v) else { continue };
+                let x = if max_len == 1 {
+                    0
+                } else {
+                    i * (self.width - 1) / (max_len - 1)
+                };
+                let yf = (t - lo) / (hi - lo);
+                let y = ((1.0 - yf) * (self.height - 1) as f64).round() as usize;
+                let cell = &mut grid[y.min(self.height - 1)][x.min(self.width - 1)];
+                // First writer wins; collisions become '·' ties unless same.
+                *cell = match *cell {
+                    ' ' => glyph,
+                    c if c == glyph => glyph,
+                    _ => '·',
+                };
+            }
+        }
+
+        // Axis labels: top, middle, bottom values.
+        let label = |t: f64| -> String {
+            let v = if self.log_y { 10f64.powf(t) } else { t };
+            if v.abs() >= 1000.0 {
+                format!("{v:.0}")
+            } else if v.abs() >= 1.0 {
+                format!("{v:.1}")
+            } else {
+                format!("{v:.3}")
+            }
+        };
+        let l_top = label(hi);
+        let l_mid = label((hi + lo) / 2.0);
+        let l_bot = label(lo);
+        let lab_w = l_top.len().max(l_mid.len()).max(l_bot.len());
+
+        for (row, cells) in grid.iter().enumerate() {
+            let lab: &str = if row == 0 {
+                &l_top
+            } else if row == self.height - 1 {
+                &l_bot
+            } else if row == self.height / 2 {
+                &l_mid
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "{:>lab_w$} |{}",
+                lab,
+                cells.iter().collect::<String>(),
+                lab_w = lab_w
+            );
+        }
+        let _ = writeln!(out, "{:>lab_w$} +{}", "", "-".repeat(self.width), lab_w = lab_w);
+        // Legend.
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| format!("{} {}", GLYPHS[i % GLYPHS.len()], name))
+            .collect();
+        let _ = writeln!(out, "{:>lab_w$}  {}", "", legend.join("   "), lab_w = lab_w);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_axis_and_legend() {
+        let s = Chart::new("demo", 30, 8)
+            .series("up", &[1.0, 2.0, 3.0, 4.0])
+            .series("down", &[4.0, 3.0, 2.0, 1.0])
+            .render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("o up"));
+        assert!(s.contains("+ down"));
+        assert!(s.contains('|'));
+        assert!(s.contains('+'));
+    }
+
+    #[test]
+    fn increasing_series_slopes_up() {
+        let s = Chart::new("", 20, 6).series("a", &[0.0, 10.0]).render();
+        let rows: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
+        // First value (0.0) in the bottom row, last (10.0) in the top row.
+        let top = rows.first().expect("rows");
+        let bottom = rows.last().expect("rows");
+        assert!(top.trim_end().ends_with('o'), "max lands top-right: {top:?}");
+        let bottom_plot = bottom.split('|').nth(1).expect("plot area");
+        assert_eq!(bottom_plot.chars().next(), Some('o'), "min lands bottom-left");
+    }
+
+    #[test]
+    fn log_scale_compresses_magnitudes() {
+        let s = Chart::new("", 20, 9)
+            .log_y()
+            .series("a", &[1.0, 10.0, 100.0, 1000.0])
+            .render();
+        // Log labels should show the decade ends.
+        assert!(s.contains("1000"));
+        assert!(s.contains("1.0"));
+    }
+
+    #[test]
+    fn log_scale_drops_nonpositive_points() {
+        let s = Chart::new("", 20, 6).log_y().series("a", &[0.0, -5.0, 10.0]).render();
+        // Only one plottable point; chart still renders.
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        assert!(Chart::new("x", 20, 6).render().contains("(no data)"));
+        let s = Chart::new("x", 20, 6).series("a", &[f64::NAN]).render();
+        assert!(s.contains("(no plottable data)"));
+    }
+
+    #[test]
+    fn constant_series_renders() {
+        let s = Chart::new("", 20, 6).series("c", &[5.0, 5.0, 5.0]).render();
+        assert!(s.matches('o').count() >= 1);
+    }
+
+    #[test]
+    fn collisions_marked() {
+        let s = Chart::new("", 10, 4)
+            .series("a", &[1.0, 2.0])
+            .series("b", &[1.0, 3.0])
+            .render();
+        assert!(s.contains('·'), "overlapping first points should collide:\n{s}");
+    }
+}

@@ -1,0 +1,407 @@
+//! Sequence-based evaluation of metric predictors (§3.2, §4.1).
+
+use osn_graph::sequence::SnapshotSequence;
+use osn_graph::snapshot::Snapshot;
+use osn_graph::NodeId;
+use osn_metrics::candidates::CandidateSet;
+use osn_metrics::traits::{CandidatePolicy, Metric};
+use serde::Serialize;
+use std::collections::HashSet;
+
+use crate::filters::TemporalFilter;
+
+/// A batch of predicted pairs plus the ground-truth set they are judged
+/// against.
+pub type PredictionsAndTruth = (Vec<(NodeId, NodeId)>, HashSet<(NodeId, NodeId)>);
+
+/// The result of one metric predicting one snapshot transition.
+#[derive(Clone, Debug, Serialize, serde::Deserialize)]
+pub struct PredictionOutcome {
+    /// Metric display name.
+    pub metric: String,
+    /// Index `t` of the predicted snapshot (predicted from `t − 1`).
+    pub snapshot_index: usize,
+    /// Edge count of the *observed* snapshot `G_{t-1}`.
+    pub observed_edges: usize,
+    /// Ground-truth new-edge count (= number of predictions made).
+    pub k: usize,
+    /// Correctly predicted edges `|E^M|`.
+    pub correct: usize,
+    /// Absolute accuracy `|E^M| / k`.
+    pub absolute_accuracy: f64,
+    /// Expected hits of uniform-random prediction, `k² / U`.
+    pub random_expected: f64,
+    /// The paper's headline measure: `|E^M| / E|E^R|`.
+    pub accuracy_ratio: f64,
+}
+
+impl PredictionOutcome {
+    fn from_hits(
+        metric: &str,
+        snapshot_index: usize,
+        observed_edges: usize,
+        k: usize,
+        correct: usize,
+        unconnected_pairs: f64,
+    ) -> Self {
+        let random_expected = if unconnected_pairs > 0.0 {
+            (k as f64) * (k as f64) / unconnected_pairs
+        } else {
+            f64::NAN
+        };
+        PredictionOutcome {
+            metric: metric.to_string(),
+            snapshot_index,
+            observed_edges,
+            k,
+            correct,
+            absolute_accuracy: if k == 0 { 0.0 } else { correct as f64 / k as f64 },
+            random_expected,
+            accuracy_ratio: if random_expected > 0.0 {
+                correct as f64 / random_expected
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Number of unconnected node pairs among the observed snapshot's nodes —
+/// the random predictor's universe `U = C(n,2) − |E|`.
+pub fn unconnected_pair_count(snap: &Snapshot) -> f64 {
+    let n = snap.node_count() as f64;
+    n * (n - 1.0) / 2.0 - snap.edge_count() as f64
+}
+
+/// Evaluates metric predictors over a snapshot sequence.
+pub struct SequenceEvaluator<'a> {
+    seq: &'a SnapshotSequence<'a>,
+    /// How many top-degree nodes get their full pair fan-out added to the
+    /// candidate set under the `Global` policy (PA / Rescal).
+    pub top_degree_candidates: usize,
+    /// Hard cap on candidate pairs per policy group (0 = unlimited); see
+    /// [`CandidateSet::build_capped`].
+    pub max_candidate_pairs: usize,
+    /// Tie-break seed for top-k selection.
+    pub seed: u64,
+}
+
+impl<'a> SequenceEvaluator<'a> {
+    /// Creates an evaluator with default candidate settings.
+    pub fn new(seq: &'a SnapshotSequence<'a>) -> Self {
+        SequenceEvaluator {
+            seq,
+            top_degree_candidates: 25,
+            max_candidate_pairs: 6_000_000,
+            seed: 0x11A5,
+        }
+    }
+
+    /// The underlying sequence.
+    pub fn sequence(&self) -> &SnapshotSequence<'a> {
+        self.seq
+    }
+
+    /// Builds the shared candidate set on `snap` for a group of metrics
+    /// (loosest policy wins), optionally pruned by a temporal filter.
+    pub fn candidates_for(
+        &self,
+        snap: &Snapshot,
+        metrics: &[&dyn Metric],
+        filter: Option<&TemporalFilter>,
+    ) -> CandidateSet {
+        let policy = metrics
+            .iter()
+            .map(|m| m.candidate_policy())
+            .max()
+            .unwrap_or(CandidatePolicy::TwoHop);
+        let cands = CandidateSet::build_capped(
+            snap,
+            policy,
+            self.top_degree_candidates,
+            self.max_candidate_pairs,
+        );
+        match filter {
+            None => cands,
+            Some(f) => {
+                let kept = f.filter_pairs(snap, cands.pairs());
+                CandidateSet::from_pairs(kept, policy)
+            }
+        }
+    }
+
+    /// Ground truth for transition `t`: the new edges of `G_t` among nodes
+    /// existing in `G_{t-1}`, as a hash set of canonical pairs.
+    pub fn ground_truth(&self, t: usize) -> HashSet<(NodeId, NodeId)> {
+        self.seq.new_edges(t).into_iter().collect()
+    }
+
+    /// Evaluates one metric on one transition.
+    pub fn evaluate_metric(&self, metric: &dyn Metric, t: usize) -> PredictionOutcome {
+        self.evaluate_metrics_at(&[metric], t, None).pop().expect("one metric in, one out")
+    }
+
+    /// Evaluates several metrics on transition `t` sharing one candidate
+    /// enumeration (and one optional filter pass).
+    pub fn evaluate_metrics_at(
+        &self,
+        metrics: &[&dyn Metric],
+        t: usize,
+        filter: Option<&TemporalFilter>,
+    ) -> Vec<PredictionOutcome> {
+        assert!(t >= 1 && t < self.seq.len(), "transition index out of range");
+        let prev = self.seq.snapshot(t - 1);
+        let truth = self.ground_truth(t);
+        let k = truth.len();
+        let u = unconnected_pair_count(&prev);
+
+        // Metrics are grouped by candidate policy so the cheap 2-hop
+        // metrics never pay for (or get scored against) the much larger
+        // 3-hop / global candidate sets.
+        let mut outcomes: Vec<Option<PredictionOutcome>> = vec![None; metrics.len()];
+        for policy in
+            [CandidatePolicy::TwoHop, CandidatePolicy::ThreeHop, CandidatePolicy::Global]
+        {
+            let group: Vec<(usize, &&dyn Metric)> = metrics
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.candidate_policy() == policy)
+                .collect();
+            if group.is_empty() {
+                continue;
+            }
+            let group_metrics: Vec<&dyn Metric> = group.iter().map(|(_, m)| **m).collect();
+            let cands = self.candidates_for(&prev, &group_metrics, filter);
+            // Metrics within a group are scored in parallel: they are
+            // read-only over the shared snapshot and candidate set.
+            let results: Vec<(usize, PredictionOutcome)> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = group
+                    .iter()
+                    .map(|&(idx, m)| {
+                        let prev = &prev;
+                        let cands = &cands;
+                        let truth = &truth;
+                        scope.spawn(move |_| {
+                            let predicted = m.predict_top_k(prev, cands, k, self.seed);
+                            let correct =
+                                predicted.iter().filter(|p| truth.contains(p)).count();
+                            (
+                                idx,
+                                PredictionOutcome::from_hits(
+                                    m.name(),
+                                    t,
+                                    prev.edge_count(),
+                                    k,
+                                    correct,
+                                    u,
+                                ),
+                            )
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("metric thread")).collect()
+            })
+            .expect("crossbeam scope");
+            for (idx, outcome) in results {
+                outcomes[idx] = Some(outcome);
+            }
+        }
+        outcomes.into_iter().map(|o| o.expect("every metric evaluated")).collect()
+    }
+
+    /// Evaluates metrics over every transition `1..len()`, returning
+    /// `outcomes[metric][transition]`.
+    pub fn evaluate_all(
+        &self,
+        metrics: &[&dyn Metric],
+        filter: Option<&TemporalFilter>,
+    ) -> Vec<Vec<PredictionOutcome>> {
+        let mut per_metric: Vec<Vec<PredictionOutcome>> =
+            (0..metrics.len()).map(|_| Vec::new()).collect();
+        for t in 1..self.seq.len() {
+            for (mi, outcome) in self.evaluate_metrics_at(metrics, t, filter).into_iter().enumerate()
+            {
+                per_metric[mi].push(outcome);
+            }
+        }
+        per_metric
+    }
+
+    /// The *accuracy ceiling* of a candidate policy on transition `t`: the
+    /// fraction of ground-truth edges that appear in the policy's
+    /// candidate set at all. No predictor restricted to that policy can
+    /// exceed this absolute accuracy — it quantifies the paper's point
+    /// that "a significant number of new links connect distant nodes" (§8)
+    /// and that predictions are dominated by 2-hop pairs (§4.2).
+    pub fn truth_coverage(&self, policy: CandidatePolicy, t: usize) -> f64 {
+        assert!(t >= 1 && t < self.seq.len());
+        let prev = self.seq.snapshot(t - 1);
+        let truth = self.ground_truth(t);
+        if truth.is_empty() {
+            return 0.0;
+        }
+        let cands = CandidateSet::build_capped(
+            &prev,
+            policy,
+            self.top_degree_candidates,
+            0, // uncapped: the ceiling must be exact
+        );
+        let set: HashSet<(NodeId, NodeId)> = cands.pairs().iter().copied().collect();
+        truth.iter().filter(|p| set.contains(p)).count() as f64 / truth.len() as f64
+    }
+
+    /// Raw top-k predictions for transition `t` — the input to the §4.4
+    /// bias analyses (Fig. 7/8, Table 5).
+    pub fn predictions(
+        &self,
+        metric: &dyn Metric,
+        t: usize,
+        filter: Option<&TemporalFilter>,
+    ) -> PredictionsAndTruth {
+        assert!(t >= 1 && t < self.seq.len());
+        let prev = self.seq.snapshot(t - 1);
+        let truth = self.ground_truth(t);
+        let cands = self.candidates_for(&prev, &[metric], filter);
+        let predicted = metric.predict_top_k(&prev, &cands, truth.len(), self.seed);
+        (predicted, truth)
+    }
+}
+
+/// Best absolute accuracy over all transitions — one Table 4 cell.
+pub fn best_absolute_accuracy(outcomes: &[PredictionOutcome]) -> f64 {
+    outcomes.iter().map(|o| o.absolute_accuracy).fold(0.0, f64::max)
+}
+
+/// Pearson correlation between two equal-length series (the paper
+/// correlates metric accuracy ratios with λ₂ in §4.2).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = a.iter().map(|x| (x - ma).powi(2)).sum();
+    let vb: f64 = b.iter().map(|y| (y - mb).powi(2)).sum();
+    if va <= 0.0 || vb <= 0.0 {
+        0.0
+    } else {
+        cov / (va * vb).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::temporal::TemporalGraph;
+    use osn_metrics::local::CommonNeighbors;
+
+    /// A trace engineered so CN prediction is perfect: square closes both
+    /// diagonals in the second half.
+    fn closing_square() -> TemporalGraph {
+        let mut g = TemporalGraph::new();
+        for _ in 0..6 {
+            g.add_node(0);
+        }
+        g.add_edge(0, 1, 10);
+        g.add_edge(1, 2, 20);
+        g.add_edge(2, 3, 30);
+        g.add_edge(3, 0, 40);
+        // Second snapshot: the two diagonals + filler edges to node 4/5.
+        g.add_edge(0, 2, 50);
+        g.add_edge(1, 3, 60);
+        g.add_edge(0, 4, 70);
+        g.add_edge(4, 5, 80);
+        g
+    }
+
+    #[test]
+    fn perfect_metric_gets_full_absolute_accuracy() {
+        let trace = closing_square();
+        let seq = SnapshotSequence::by_edge_delta(&trace, 4);
+        let eval = SequenceEvaluator::new(&seq);
+        let out = eval.evaluate_metric(&CommonNeighbors, 1);
+        // Ground truth: (0,2), (1,3), (0,4). (4,5) excluded? Node 4 and 5
+        // arrived at t=0 → all exist. So k = 4. CN can predict the two
+        // diagonals but (0,4) and (4,5) share no neighbors.
+        assert_eq!(out.k, 4);
+        assert_eq!(out.correct, 2);
+        assert_eq!(out.absolute_accuracy, 0.5);
+        assert!(out.accuracy_ratio > 1.0, "must beat random");
+    }
+
+    #[test]
+    fn random_expected_uses_unconnected_universe() {
+        let trace = closing_square();
+        let seq = SnapshotSequence::by_edge_delta(&trace, 4);
+        let eval = SequenceEvaluator::new(&seq);
+        let out = eval.evaluate_metric(&CommonNeighbors, 1);
+        // G_0: 6 nodes, 4 edges → U = 15 - 4 = 11; k = 4 → E|R| = 16/11.
+        assert!((out.random_expected - 16.0 / 11.0).abs() < 1e-12);
+        assert!((out.accuracy_ratio - 2.0 / (16.0 / 11.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_all_covers_every_transition() {
+        let trace = closing_square();
+        let seq = SnapshotSequence::by_edge_delta(&trace, 2);
+        let eval = SequenceEvaluator::new(&seq);
+        let metrics: Vec<&dyn Metric> = vec![&CommonNeighbors];
+        let all = eval.evaluate_all(&metrics, None);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].len(), seq.len() - 1);
+    }
+
+    #[test]
+    fn predictions_expose_raw_pairs() {
+        let trace = closing_square();
+        let seq = SnapshotSequence::by_edge_delta(&trace, 4);
+        let eval = SequenceEvaluator::new(&seq);
+        let (pred, truth) = eval.predictions(&CommonNeighbors, 1, None);
+        assert_eq!(truth.len(), 4);
+        assert!(pred.len() <= 4);
+        assert!(pred.contains(&(0, 2)) || pred.contains(&(1, 3)));
+    }
+
+    #[test]
+    fn unconnected_pair_count_matches_formula() {
+        let s = Snapshot::from_edges(5, &[(0, 1), (1, 2)]);
+        assert_eq!(unconnected_pair_count(&s), 10.0 - 2.0);
+    }
+
+    #[test]
+    fn truth_coverage_bounds_absolute_accuracy() {
+        let trace = closing_square();
+        let seq = SnapshotSequence::by_edge_delta(&trace, 4);
+        let eval = SequenceEvaluator::new(&seq);
+        // Truth: diagonals (2-hop) + (0,4) and (4,5) (no shared neighbor).
+        let two = eval.truth_coverage(osn_metrics::traits::CandidatePolicy::TwoHop, 1);
+        assert_eq!(two, 0.5, "only the 2 diagonals of 4 truth edges are 2-hop");
+        let three = eval.truth_coverage(osn_metrics::traits::CandidatePolicy::ThreeHop, 1);
+        assert!(three >= two);
+        // And no metric can beat the ceiling.
+        let out = eval.evaluate_metric(&CommonNeighbors, 1);
+        assert!(out.absolute_accuracy <= two + 1e-12);
+    }
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn best_absolute_picks_max() {
+        let trace = closing_square();
+        let seq = SnapshotSequence::by_edge_delta(&trace, 2);
+        let eval = SequenceEvaluator::new(&seq);
+        let metrics: Vec<&dyn Metric> = vec![&CommonNeighbors];
+        let all = eval.evaluate_all(&metrics, None);
+        let best = best_absolute_accuracy(&all[0]);
+        assert!(best >= all[0][0].absolute_accuracy);
+        assert!(best >= all[0].last().unwrap().absolute_accuracy);
+    }
+}

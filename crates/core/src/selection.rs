@@ -1,0 +1,300 @@
+//! Choosing metric-based algorithms from network properties (§4.3).
+//!
+//! Each snapshot becomes one data point: its network-property vector plus
+//! the metric that won (highest accuracy ratio) on the following
+//! transition. A multi-class CART tree over the points reproduces the
+//! paper's Figure 6; per-algorithm binary trees ("is this metric within
+//! 90% of the best here?") reproduce the Rescal / Katz / BRA rule list.
+
+use osn_graph::stats::SnapshotProperties;
+use osn_ml::data::Dataset;
+use osn_ml::tree::{DecisionTree, TreeConfig};
+use serde::Serialize;
+
+/// The feature vector the §4.3 trees consume.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct NetworkFeatures {
+    /// Node count.
+    pub nodes: f64,
+    /// Edge count.
+    pub edges: f64,
+    /// Mean degree.
+    pub degree_mean: f64,
+    /// Degree standard deviation — the paper's top split feature.
+    pub degree_std: f64,
+    /// Median degree.
+    pub degree_median: f64,
+    /// 90th-percentile degree.
+    pub degree_p90: f64,
+    /// 99th-percentile degree.
+    pub degree_p99: f64,
+    /// Average clustering coefficient.
+    pub clustering: f64,
+    /// Average path length.
+    pub avg_path_length: f64,
+    /// Degree assortativity.
+    pub assortativity: f64,
+}
+
+impl NetworkFeatures {
+    /// Converts measured snapshot properties into the feature vector.
+    pub fn from_properties(p: &SnapshotProperties) -> Self {
+        NetworkFeatures {
+            nodes: p.nodes as f64,
+            edges: p.edges as f64,
+            degree_mean: p.degree.mean,
+            degree_std: p.degree.std_dev,
+            degree_median: p.degree.median,
+            degree_p90: p.degree.p90,
+            degree_p99: p.degree.p99,
+            clustering: p.clustering,
+            avg_path_length: p.avg_path_length,
+            assortativity: p.assortativity,
+        }
+    }
+
+    /// Flattens to the column order given by [`feature_names`].
+    pub fn to_row(self) -> Vec<f64> {
+        vec![
+            self.nodes,
+            self.edges,
+            self.degree_mean,
+            self.degree_std,
+            self.degree_median,
+            self.degree_p90,
+            self.degree_p99,
+            self.clustering,
+            self.avg_path_length,
+            self.assortativity,
+        ]
+    }
+}
+
+/// Column names matching [`NetworkFeatures::to_row`].
+pub fn feature_names() -> Vec<&'static str> {
+    vec![
+        "nodes",
+        "edges",
+        "degree_mean",
+        "degree_std",
+        "degree_median",
+        "degree_p90",
+        "degree_p99",
+        "clustering",
+        "avg_path_length",
+        "assortativity",
+    ]
+}
+
+/// One labeled data point: a snapshot's features plus, per metric, its
+/// accuracy ratio on the transition out of that snapshot.
+#[derive(Clone, Debug, Serialize)]
+pub struct SelectionSample {
+    /// Snapshot features.
+    pub features: NetworkFeatures,
+    /// `(metric name, accuracy ratio)` for every evaluated metric.
+    pub ratios: Vec<(String, f64)>,
+}
+
+impl SelectionSample {
+    /// The winning metric's index within `ratios`.
+    pub fn winner(&self) -> usize {
+        self.ratios
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+            .map(|(i, _)| i)
+            .expect("at least one metric")
+    }
+}
+
+/// The trained §4.3 artifacts.
+#[derive(Debug)]
+pub struct SelectionAnalysis {
+    /// Multi-class tree: network features → winning metric (Fig. 6).
+    pub winner_tree: DecisionTree,
+    /// Class names (metric names) for the winner tree.
+    pub class_names: Vec<String>,
+    /// Per-metric binary trees: features → "good" (within `good_fraction`
+    /// of the best), with extracted rules. Metrics that are never good get
+    /// no entry (the paper omits them too).
+    pub per_metric_rules: Vec<(String, Vec<String>)>,
+}
+
+/// Trains the Figure 6 trees from labeled samples.
+///
+/// `good_fraction` is the paper's 90%-of-optimal threshold for the binary
+/// trees.
+pub fn analyze(samples: &[SelectionSample], good_fraction: f64) -> SelectionAnalysis {
+    assert!(!samples.is_empty(), "need at least one sample");
+    let metric_names: Vec<String> =
+        samples[0].ratios.iter().map(|(n, _)| n.clone()).collect();
+    let n_features = feature_names().len();
+
+    // Multi-class winner tree.
+    let mut winner_data = Dataset::new(n_features);
+    for s in samples {
+        winner_data.push(&s.features.to_row(), s.winner() as u32);
+    }
+    let mut winner_tree = DecisionTree::new(TreeConfig {
+        max_depth: 4,
+        min_samples_leaf: 2,
+        ..Default::default()
+    });
+    // Force the class space to cover every metric even if some never win.
+    let mut padded = winner_data.clone();
+    if !samples.is_empty() {
+        // n_classes is max label + 1; ensure it spans all metrics by
+        // relabeling nothing — DecisionTree takes classes from data, so a
+        // metric that never wins is simply absent, which is fine for rules.
+        let _ = &mut padded;
+    }
+    winner_tree.fit_multiclass(&winner_data);
+
+    // Per-metric binary "good" trees.
+    let mut per_metric_rules = Vec::new();
+    for (mi, name) in metric_names.iter().enumerate() {
+        let mut data = Dataset::new(n_features);
+        let mut positives = 0usize;
+        for s in samples {
+            let best = s.ratios[s.winner()].1;
+            let good = best > 0.0 && s.ratios[mi].1 >= good_fraction * best;
+            positives += usize::from(good);
+            data.push(&s.features.to_row(), u32::from(good));
+        }
+        // The paper omits algorithms with few or no positive samples.
+        if positives < 2 || positives == samples.len() {
+            continue;
+        }
+        let mut tree = DecisionTree::new(TreeConfig {
+            max_depth: 2,
+            min_samples_leaf: 2,
+            ..Default::default()
+        });
+        tree.fit_multiclass(&data);
+        let rules: Vec<String> = tree
+            .rules(&feature_names(), &["not-good", "good"])
+            .into_iter()
+            .filter(|r| r.contains("class good"))
+            .collect();
+        if !rules.is_empty() {
+            per_metric_rules.push((name.clone(), rules));
+        }
+    }
+
+    SelectionAnalysis { winner_tree, class_names: metric_names, per_metric_rules }
+}
+
+impl SelectionAnalysis {
+    /// Predicts the best metric name for a feature vector.
+    pub fn recommend(&self, features: &NetworkFeatures) -> &str {
+        let class = self.winner_tree.predict_class(&features.to_row()) as usize;
+        self.class_names.get(class).map(String::as_str).unwrap_or("?")
+    }
+
+    /// Renders the winner tree as rules (Fig. 6 in text form).
+    pub fn winner_rules(&self) -> Vec<String> {
+        let names: Vec<&str> = self.class_names.iter().map(String::as_str).collect();
+        self.winner_tree.rules(&feature_names(), &names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_features(deg_std: f64, median: f64) -> NetworkFeatures {
+        NetworkFeatures {
+            nodes: 1000.0,
+            edges: 5000.0,
+            degree_mean: 10.0,
+            degree_std: deg_std,
+            degree_median: median,
+            degree_p90: 20.0,
+            degree_p99: 50.0,
+            clustering: 0.1,
+            avg_path_length: 4.0,
+            assortativity: 0.1,
+        }
+    }
+
+    /// Synthetic ground truth mimicking the paper's finding: Rescal wins on
+    /// high degree-std networks, BRA on high-median, Katz otherwise.
+    fn samples() -> Vec<SelectionSample> {
+        let mut out = Vec::new();
+        for i in 0..8 {
+            // Heterogeneous networks → Rescal.
+            out.push(SelectionSample {
+                features: fake_features(80.0 + i as f64, 3.0),
+                ratios: vec![
+                    ("Rescal".into(), 100.0),
+                    ("BRA".into(), 20.0),
+                    ("Katz-lr".into(), 30.0),
+                ],
+            });
+            // Dense networks → BRA.
+            out.push(SelectionSample {
+                features: fake_features(20.0, 12.0 + i as f64),
+                ratios: vec![
+                    ("Rescal".into(), 10.0),
+                    ("BRA".into(), 90.0),
+                    ("Katz-lr".into(), 40.0),
+                ],
+            });
+            // Small/sparse → Katz.
+            out.push(SelectionSample {
+                features: fake_features(15.0, 4.0),
+                ratios: vec![
+                    ("Rescal".into(), 15.0),
+                    ("BRA".into(), 30.0),
+                    ("Katz-lr".into(), 80.0),
+                ],
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn winner_indexing() {
+        let s = &samples()[0];
+        assert_eq!(s.winner(), 0);
+        assert_eq!(s.ratios[s.winner()].0, "Rescal");
+    }
+
+    #[test]
+    fn tree_recovers_planted_structure() {
+        let analysis = analyze(&samples(), 0.9);
+        assert_eq!(analysis.recommend(&fake_features(100.0, 3.0)), "Rescal");
+        assert_eq!(analysis.recommend(&fake_features(20.0, 15.0)), "BRA");
+        assert_eq!(analysis.recommend(&fake_features(15.0, 4.0)), "Katz-lr");
+    }
+
+    #[test]
+    fn winner_rules_mention_degree_std() {
+        let analysis = analyze(&samples(), 0.9);
+        let rules = analysis.winner_rules().join("\n");
+        assert!(rules.contains("degree_std"), "rules were:\n{rules}");
+    }
+
+    #[test]
+    fn per_metric_rules_exist_for_planted_metrics() {
+        let analysis = analyze(&samples(), 0.9);
+        let names: Vec<&str> =
+            analysis.per_metric_rules.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"Rescal"), "got {names:?}");
+        assert!(names.contains(&"BRA"));
+    }
+
+    #[test]
+    fn always_good_metric_is_omitted() {
+        // One metric dominating every sample gives no discriminative rule.
+        let samples: Vec<SelectionSample> = (0..6)
+            .map(|i| SelectionSample {
+                features: fake_features(10.0 + i as f64, 5.0),
+                ratios: vec![("A".into(), 10.0), ("B".into(), 1.0)],
+            })
+            .collect();
+        let analysis = analyze(&samples, 0.9);
+        assert!(analysis.per_metric_rules.is_empty());
+    }
+}

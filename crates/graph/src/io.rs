@@ -1,0 +1,246 @@
+//! Trace serialization: a line-oriented text format for temporal graphs.
+//!
+//! The format mirrors how the paper's datasets ship (edge lists with
+//! timestamps), with an explicit node-arrival section so traces round-trip
+//! exactly:
+//!
+//! ```text
+//! # linklens-trace v1
+//! n <node_count>
+//! a <node_id> <arrival_ts>     (one per node, ascending id)
+//! e <u> <v> <ts>               (one per edge, chronological)
+//! ```
+//!
+//! Blank lines and `#` comments are ignored. Real-world edge lists without
+//! arrival records load via [`read_edge_list`], which infers arrivals as
+//! first appearance.
+
+use crate::temporal::TemporalGraph;
+use crate::{NodeId, Timestamp};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Errors from trace parsing.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file, with line number and message.
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "I/O error: {e}"),
+            TraceIoError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes a trace in the v1 format.
+pub fn write_trace<W: Write>(trace: &TemporalGraph, writer: W) -> Result<(), TraceIoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# linklens-trace v1")?;
+    writeln!(w, "n {}", trace.node_count())?;
+    for (id, &t) in trace.arrivals().iter().enumerate() {
+        writeln!(w, "a {id} {t}")?;
+    }
+    for e in trace.edges() {
+        writeln!(w, "e {} {} {}", e.u, e.v, e.t)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a trace in the v1 format.
+pub fn read_trace<R: Read>(reader: R) -> Result<TemporalGraph, TraceIoError> {
+    let r = BufReader::new(reader);
+    let mut declared_nodes: Option<usize> = None;
+    let mut arrivals: Vec<Timestamp> = Vec::new();
+    let mut edges: Vec<(NodeId, NodeId, Timestamp)> = Vec::new();
+
+    for (lineno, line) in r.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().expect("non-empty line has a first token");
+        let mut field = |name: &str| -> Result<u64, TraceIoError> {
+            parts
+                .next()
+                .ok_or_else(|| TraceIoError::Parse(lineno, format!("missing {name}")))?
+                .parse()
+                .map_err(|_| TraceIoError::Parse(lineno, format!("bad {name}")))
+        };
+        match tag {
+            "n" => declared_nodes = Some(field("node count")? as usize),
+            "a" => {
+                let id = field("node id")? as usize;
+                let t = field("arrival time")?;
+                if id != arrivals.len() {
+                    return Err(TraceIoError::Parse(
+                        lineno,
+                        format!("arrival ids must be dense and ascending (got {id}, expected {})", arrivals.len()),
+                    ));
+                }
+                arrivals.push(t);
+            }
+            "e" => {
+                let u = field("u")? as NodeId;
+                let v = field("v")? as NodeId;
+                let t = field("t")?;
+                edges.push((u, v, t));
+            }
+            other => {
+                return Err(TraceIoError::Parse(lineno, format!("unknown record '{other}'")))
+            }
+        }
+    }
+    if let Some(n) = declared_nodes {
+        if n != arrivals.len() {
+            return Err(TraceIoError::Parse(
+                0,
+                format!("declared {n} nodes but listed {}", arrivals.len()),
+            ));
+        }
+    }
+    Ok(TemporalGraph::from_events(arrivals, edges))
+}
+
+/// Reads a bare `u v ts` edge list (whitespace separated, `#` comments),
+/// remapping node labels to dense ids in order of first appearance and
+/// inferring arrivals as first appearance. This is the format most public
+/// OSN traces (including the paper's Facebook dataset) ship in.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<TemporalGraph, TraceIoError> {
+    let r = BufReader::new(reader);
+    let mut raw: Vec<(u64, u64, Timestamp)> = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let mut field = |name: &str| -> Result<u64, TraceIoError> {
+            parts
+                .next()
+                .ok_or_else(|| TraceIoError::Parse(lineno, format!("missing {name}")))?
+                .parse()
+                .map_err(|_| TraceIoError::Parse(lineno, format!("bad {name}")))
+        };
+        let u = field("u")?;
+        let v = field("v")?;
+        let t = field("timestamp")?;
+        raw.push((u, v, t));
+    }
+    raw.sort_by_key(|&(_, _, t)| t);
+    // Dense relabeling by first appearance (which, post-sort, is also
+    // arrival order — satisfying the TemporalGraph invariant).
+    let mut ids: std::collections::HashMap<u64, NodeId> = std::collections::HashMap::new();
+    let mut arrivals: Vec<Timestamp> = Vec::new();
+    let mut edges: Vec<(NodeId, NodeId, Timestamp)> = Vec::with_capacity(raw.len());
+    for (u, v, t) in raw {
+        let mut id_of = |label: u64, arrivals: &mut Vec<Timestamp>| {
+            *ids.entry(label).or_insert_with(|| {
+                arrivals.push(t);
+                (arrivals.len() - 1) as NodeId
+            })
+        };
+        let ui = id_of(u, &mut arrivals);
+        let vi = id_of(v, &mut arrivals);
+        if ui != vi {
+            edges.push((ui, vi, t));
+        }
+    }
+    Ok(TemporalGraph::from_events(arrivals, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TemporalGraph {
+        let mut g = TemporalGraph::new();
+        g.add_node(0);
+        g.add_node(5);
+        g.add_node(10);
+        g.add_edge(0, 1, 6);
+        g.add_edge(1, 2, 12);
+        g.add_edge(0, 2, 20);
+        g
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_trace(&g, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.arrivals(), g.arrivals());
+        assert_eq!(back.edges(), g.edges());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\nn 2\na 0 0\na 1 0\n# mid comment\ne 0 1 5\n";
+        let g = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn bad_record_reports_line() {
+        let text = "n 1\na 0 0\nx what\n";
+        match read_trace(text.as_bytes()) {
+            Err(TraceIoError::Parse(3, msg)) => assert!(msg.contains("unknown record")),
+            other => panic!("expected parse error at line 3, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_dense_arrivals_rejected() {
+        let text = "a 0 0\na 2 0\n";
+        assert!(matches!(read_trace(text.as_bytes()), Err(TraceIoError::Parse(2, _))));
+    }
+
+    #[test]
+    fn node_count_mismatch_rejected() {
+        let text = "n 3\na 0 0\n";
+        assert!(read_trace(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn edge_list_relabels_and_sorts() {
+        // Arbitrary labels, out of order timestamps, a self loop to drop.
+        let text = "# u v t\n900 17 50\n17 23 10\n23 23 20\n900 23 30\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3, "self loop dropped");
+        // First event (t=10) introduces labels 17 and 23 → ids 0 and 1.
+        assert_eq!(g.edges()[0].t, 10);
+        assert_eq!(g.arrivals()[0], 10);
+        assert_eq!(g.arrivals()[2], 30, "label 900 first appears at t=30");
+    }
+
+    #[test]
+    fn edge_list_duplicate_edges_collapse() {
+        let text = "1 2 10\n2 1 20\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edges()[0].t, 10, "earliest wins");
+    }
+}

@@ -1,0 +1,73 @@
+//! # osn-graph
+//!
+//! The temporal-graph substrate underlying LinkLens. It models exactly what
+//! the paper's methodology needs (§3 of Liu et al., IMC 2016):
+//!
+//! * [`temporal::TemporalGraph`] — an append-only log of timestamped
+//!   undirected edges plus node arrival times. This is the in-memory form
+//!   of the paper's Facebook / Renren / YouTube traces.
+//! * [`snapshot::Snapshot`] — an immutable CSR view of a temporal prefix,
+//!   with per-edge creation times retained so the temporal filters of §6
+//!   can be computed from any snapshot.
+//! * [`sequence::SnapshotSequence`] — the constant-edge-delta snapshotting
+//!   scheme of §3.2 ("snapshot delta"), including ground-truth extraction
+//!   of the new edges between consecutive snapshots.
+//! * [`stats`] — the network properties used throughout the paper: degree
+//!   distribution moments and percentiles, clustering coefficient, average
+//!   path length, degree assortativity, per-node triangle counts, and the
+//!   2-hop edge ratio λ₂ of §4.2.
+//! * [`traversal`] — BFS distances and the candidate-pair enumerators
+//!   (unconnected 2-hop pairs, distance-bounded pairs).
+//! * [`sample`] — snowball (BFS) sampling at a fixed percentage with a
+//!   fixed seed node, re-applied across consecutive snapshots (§5.1).
+//! * [`io`] — trace (de)serialization: the native v1 format plus bare
+//!   timestamped edge lists, the format public OSN traces ship in.
+//!
+//! Node identifiers are dense `u32` indices assigned in arrival order; a
+//! node "exists" in a snapshot iff its arrival time is at or before the
+//! snapshot time. Timestamps are `u64` seconds; [`DAY`] converts to the
+//! paper's day-granularity temporal features.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod sample;
+pub mod sequence;
+pub mod snapshot;
+pub mod stats;
+pub mod temporal;
+pub mod traversal;
+
+/// Dense node identifier, assigned in arrival order.
+pub type NodeId = u32;
+
+/// Timestamp in seconds since the trace epoch.
+pub type Timestamp = u64;
+
+/// One day, in trace seconds. The paper's temporal features (idle time,
+/// d-day edge counts, CN time gap) are all expressed in days.
+pub const DAY: Timestamp = 86_400;
+
+/// Normalizes an undirected pair so `u <= v`. All public APIs in this
+/// workspace store and compare undirected pairs in this canonical order.
+#[inline]
+pub fn canonical(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_orders_pairs() {
+        assert_eq!(canonical(3, 1), (1, 3));
+        assert_eq!(canonical(1, 3), (1, 3));
+        assert_eq!(canonical(2, 2), (2, 2));
+    }
+}

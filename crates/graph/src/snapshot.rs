@@ -1,0 +1,427 @@
+//! Immutable CSR snapshots of a temporal prefix.
+
+use crate::temporal::TemporalGraph;
+use crate::{canonical, NodeId, Timestamp};
+
+/// An immutable undirected graph at one point in a trace.
+///
+/// Built from the first `prefix_len` edges of a [`TemporalGraph`]. Stores
+/// sorted adjacency lists plus, for each adjacency entry, the creation time
+/// of that edge — so the §6 temporal features (idle time, d-day edge
+/// counts, common-neighbor arrival time) can be computed from a snapshot
+/// alone.
+///
+/// The node universe is `0..node_count()`: every node whose arrival time is
+/// at or before the snapshot time, whether or not it has edges yet.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    n: usize,
+    offsets: Vec<usize>,
+    neighbors: Vec<NodeId>,
+    edge_times: Vec<Timestamp>,
+    time: Timestamp,
+    edge_count: usize,
+    prefix_len: usize,
+}
+
+impl Snapshot {
+    /// Builds the snapshot containing the first `prefix_len` edges of
+    /// `trace` and every node that has arrived by the last included edge's
+    /// timestamp.
+    ///
+    /// # Panics
+    /// Panics if `prefix_len` exceeds the trace length or is zero.
+    pub fn up_to(trace: &TemporalGraph, prefix_len: usize) -> Self {
+        assert!(prefix_len > 0, "a snapshot needs at least one edge");
+        assert!(prefix_len <= trace.edge_count(), "prefix exceeds trace length");
+        let edges = &trace.edges()[..prefix_len];
+        let time = edges.last().expect("non-empty prefix").t;
+        let n = trace.nodes_at(time);
+
+        let mut degree = vec![0usize; n];
+        for e in edges {
+            degree[e.u as usize] += 1;
+            degree[e.v as usize] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut neighbors = vec![0 as NodeId; offsets[n]];
+        let mut edge_times = vec![0 as Timestamp; offsets[n]];
+        let mut cursor = offsets.clone();
+        for e in edges {
+            neighbors[cursor[e.u as usize]] = e.v;
+            edge_times[cursor[e.u as usize]] = e.t;
+            cursor[e.u as usize] += 1;
+            neighbors[cursor[e.v as usize]] = e.u;
+            edge_times[cursor[e.v as usize]] = e.t;
+            cursor[e.v as usize] += 1;
+        }
+        // Sort each adjacency slice by neighbor id, carrying times along.
+        for u in 0..n {
+            let span = offsets[u]..offsets[u + 1];
+            let mut zipped: Vec<(NodeId, Timestamp)> = neighbors[span.clone()]
+                .iter()
+                .copied()
+                .zip(edge_times[span.clone()].iter().copied())
+                .collect();
+            zipped.sort_unstable_by_key(|&(v, _)| v);
+            for (k, (v, t)) in zipped.into_iter().enumerate() {
+                neighbors[offsets[u] + k] = v;
+                edge_times[offsets[u] + k] = t;
+            }
+        }
+        Snapshot { n, offsets, neighbors, edge_times, time, edge_count: prefix_len, prefix_len }
+    }
+
+    /// Builds a snapshot restricted to a node subset (used by the snowball-
+    /// sampled classification pipeline, §5.1). Node ids are preserved —
+    /// the result still indexes `0..self.node_count()` — but only edges with
+    /// both endpoints in `keep` survive.
+    ///
+    /// `keep` must be sorted ascending.
+    pub fn induced(&self, keep: &[NodeId]) -> Snapshot {
+        debug_assert!(keep.windows(2).all(|w| w[0] < w[1]), "keep must be sorted unique");
+        let member = {
+            let mut m = vec![false; self.n];
+            for &u in keep {
+                m[u as usize] = true;
+            }
+            m
+        };
+        let mut degree = vec![0usize; self.n];
+        let mut kept_edges = 0usize;
+        for &u in keep {
+            for &v in self.neighbors(u) {
+                if member[v as usize] {
+                    degree[u as usize] += 1;
+                    if v > u {
+                        kept_edges += 1;
+                    }
+                }
+            }
+        }
+        let mut offsets = vec![0usize; self.n + 1];
+        for i in 0..self.n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut neighbors = vec![0 as NodeId; offsets[self.n]];
+        let mut edge_times = vec![0 as Timestamp; offsets[self.n]];
+        let mut cursor = offsets.clone();
+        for &u in keep {
+            let span = self.offsets[u as usize]..self.offsets[u as usize + 1];
+            for k in span {
+                let v = self.neighbors[k];
+                if member[v as usize] {
+                    neighbors[cursor[u as usize]] = v;
+                    edge_times[cursor[u as usize]] = self.edge_times[k];
+                    cursor[u as usize] += 1;
+                }
+            }
+        }
+        Snapshot {
+            n: self.n,
+            offsets,
+            neighbors,
+            edge_times,
+            time: self.time,
+            edge_count: kept_edges,
+            prefix_len: self.prefix_len,
+        }
+    }
+
+    /// Number of nodes existing in this snapshot.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The snapshot time (timestamp of the last included edge).
+    pub fn time(&self) -> Timestamp {
+        self.time
+    }
+
+    /// How many temporal-log edges this snapshot includes.
+    pub fn prefix_len(&self) -> usize {
+        self.prefix_len
+    }
+
+    /// Degree of node `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// Sorted neighbor list of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.neighbors[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Creation times parallel to [`neighbors`](Self::neighbors).
+    #[inline]
+    pub fn neighbor_times(&self, u: NodeId) -> &[Timestamp] {
+        &self.edge_times[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Whether the undirected edge `(u, v)` exists. O(log deg u).
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Creation time of edge `(u, v)` if present.
+    pub fn edge_time(&self, u: NodeId, v: NodeId) -> Option<Timestamp> {
+        let base = self.offsets[u as usize];
+        self.neighbors(u)
+            .binary_search(&v)
+            .ok()
+            .map(|pos| self.edge_times[base + pos])
+    }
+
+    /// Iterates the common neighbors of `u` and `v` (sorted merge;
+    /// O(deg u + deg v)).
+    pub fn common_neighbors<'a>(&'a self, u: NodeId, v: NodeId) -> CommonNeighbors<'a> {
+        CommonNeighbors { a: self.neighbors(u), b: self.neighbors(v) }
+    }
+
+    /// Number of common neighbors of `u` and `v`.
+    pub fn common_neighbor_count(&self, u: NodeId, v: NodeId) -> usize {
+        self.common_neighbors(u, v).count()
+    }
+
+    /// All undirected edges `(u, v)` with `u < v`, in node order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n as NodeId)
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+            .filter(|&(u, v)| u < v)
+    }
+
+    /// The most recent time `u` created an edge, or `None` for isolated
+    /// nodes. The paper's *idle time* of a node at snapshot time `T` is
+    /// `T − last_activity(u)` (§4.4).
+    pub fn last_activity(&self, u: NodeId) -> Option<Timestamp> {
+        self.neighbor_times(u).iter().copied().max()
+    }
+
+    /// Number of edges `u` created in the half-open window
+    /// `(time − window, time]` — the paper's "d-day new edges" feature.
+    pub fn recent_edge_count(&self, u: NodeId, window: Timestamp) -> usize {
+        let lo = self.time.saturating_sub(window);
+        self.neighbor_times(u).iter().filter(|&&t| t > lo).count()
+    }
+
+    /// The *CN time gap* of §6.1: `time − max over common neighbors w of
+    /// min(t(u,w), t(v,w))` — how recently the pair most recently gained a
+    /// common neighbor. `None` if the pair has no common neighbor.
+    ///
+    /// A common neighbor `w` "arrives" for the pair when the *second* of
+    /// the two edges (u,w), (v,w) is created, hence the outer max over the
+    /// later of the two times.
+    pub fn cn_time_gap(&self, u: NodeId, v: NodeId) -> Option<Timestamp> {
+        let (nu, tu) = (self.neighbors(u), self.neighbor_times(u));
+        let (nv, tv) = (self.neighbors(v), self.neighbor_times(v));
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut latest: Option<Timestamp> = None;
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let arrived = tu[i].max(tv[j]);
+                    latest = Some(latest.map_or(arrived, |l| l.max(arrived)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        latest.map(|l| self.time - l)
+    }
+
+    /// Convenience test constructor: an untimed static graph (all edges at
+    /// t = 0, nodes `0..n`).
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Snapshot {
+        let mut g = TemporalGraph::new();
+        for _ in 0..n {
+            g.add_node(0);
+        }
+        let mut added = 0;
+        for &(u, v) in edges {
+            let (u, v) = canonical(u, v);
+            if g.add_edge(u, v, 0) {
+                added += 1;
+            }
+        }
+        assert!(added > 0, "from_edges needs at least one edge");
+        let mut s = Snapshot::up_to(&g, added);
+        // `up_to` sizes the node set by arrival; with all arrivals at 0 it
+        // already equals n, but keep the contract explicit.
+        s.n = n;
+        if s.offsets.len() < n + 1 {
+            let last = *s.offsets.last().expect("non-empty offsets");
+            s.offsets.resize(n + 1, last);
+        }
+        s
+    }
+}
+
+/// Sorted-merge iterator over common neighbors. See
+/// [`Snapshot::common_neighbors`].
+pub struct CommonNeighbors<'a> {
+    a: &'a [NodeId],
+    b: &'a [NodeId],
+}
+
+impl<'a> Iterator for CommonNeighbors<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        while !self.a.is_empty() && !self.b.is_empty() {
+            match self.a[0].cmp(&self.b[0]) {
+                std::cmp::Ordering::Less => self.a = &self.a[1..],
+                std::cmp::Ordering::Greater => self.b = &self.b[1..],
+                std::cmp::Ordering::Equal => {
+                    let w = self.a[0];
+                    self.a = &self.a[1..];
+                    self.b = &self.b[1..];
+                    return Some(w);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 5-node fixture: triangle 0-1-2 plus path 2-3-4, with staggered
+    /// times.
+    fn fixture() -> TemporalGraph {
+        let mut g = TemporalGraph::new();
+        for _ in 0..5 {
+            g.add_node(0);
+        }
+        g.add_edge(0, 1, 10);
+        g.add_edge(1, 2, 20);
+        g.add_edge(0, 2, 30);
+        g.add_edge(2, 3, 40);
+        g.add_edge(3, 4, 50);
+        g
+    }
+
+    #[test]
+    fn snapshot_counts_and_degrees() {
+        let g = fixture();
+        let s = Snapshot::up_to(&g, 5);
+        assert_eq!(s.node_count(), 5);
+        assert_eq!(s.edge_count(), 5);
+        assert_eq!(s.degree(2), 3);
+        assert_eq!(s.degree(4), 1);
+        assert_eq!(s.time(), 50);
+    }
+
+    #[test]
+    fn prefix_snapshot_excludes_later_edges() {
+        let g = fixture();
+        let s = Snapshot::up_to(&g, 3);
+        assert_eq!(s.edge_count(), 3);
+        assert!(s.has_edge(0, 2));
+        assert!(!s.has_edge(2, 3));
+        assert_eq!(s.time(), 30);
+    }
+
+    #[test]
+    fn neighbors_sorted_with_times() {
+        let g = fixture();
+        let s = Snapshot::up_to(&g, 5);
+        assert_eq!(s.neighbors(2), &[0, 1, 3]);
+        assert_eq!(s.neighbor_times(2), &[30, 20, 40]);
+        assert_eq!(s.edge_time(2, 3), Some(40));
+        assert_eq!(s.edge_time(2, 4), None);
+    }
+
+    #[test]
+    fn has_edge_both_orders() {
+        let g = fixture();
+        let s = Snapshot::up_to(&g, 5);
+        assert!(s.has_edge(3, 2));
+        assert!(s.has_edge(2, 3));
+        assert!(!s.has_edge(0, 4));
+    }
+
+    #[test]
+    fn common_neighbors_merge() {
+        let g = fixture();
+        let s = Snapshot::up_to(&g, 5);
+        let cn: Vec<_> = s.common_neighbors(0, 2).collect();
+        assert_eq!(cn, vec![1]);
+        assert_eq!(s.common_neighbor_count(1, 3), 1); // via node 2
+        assert_eq!(s.common_neighbor_count(0, 4), 0);
+    }
+
+    #[test]
+    fn last_activity_and_recent_edges() {
+        let g = fixture();
+        let s = Snapshot::up_to(&g, 5);
+        assert_eq!(s.last_activity(0), Some(30));
+        assert_eq!(s.last_activity(3), Some(50));
+        // Window (50-15, 50] = (35, 50]: node 2's edges at 20,30,40 → one.
+        assert_eq!(s.recent_edge_count(2, 15), 1);
+        assert_eq!(s.recent_edge_count(4, 100), 1);
+        assert_eq!(s.recent_edge_count(0, 5), 0);
+    }
+
+    #[test]
+    fn cn_time_gap_uses_second_edge_time() {
+        let g = fixture();
+        let s = Snapshot::up_to(&g, 5);
+        // Pair (0,2): common neighbor 1 with edges (0,1)@10 and (1,2)@20 →
+        // arrived at 20 → gap = 50 - 20 = 30.
+        assert_eq!(s.cn_time_gap(0, 2), Some(30));
+        // Pair (1,3): CN 2 via edges @20 and @40 → gap = 10.
+        assert_eq!(s.cn_time_gap(1, 3), Some(10));
+        assert_eq!(s.cn_time_gap(0, 4), None);
+    }
+
+    #[test]
+    fn node_set_grows_with_arrivals() {
+        let mut g = TemporalGraph::new();
+        g.add_node(0);
+        g.add_node(0);
+        g.add_node(100); // arrives after the first edge
+        g.add_edge(0, 1, 10);
+        g.add_edge(0, 2, 200);
+        let early = Snapshot::up_to(&g, 1);
+        assert_eq!(early.node_count(), 2, "node 2 has not arrived yet");
+        let late = Snapshot::up_to(&g, 2);
+        assert_eq!(late.node_count(), 3);
+    }
+
+    #[test]
+    fn induced_subgraph_drops_outside_edges() {
+        let g = fixture();
+        let s = Snapshot::up_to(&g, 5);
+        let sub = s.induced(&[0, 1, 2, 3]);
+        assert_eq!(sub.edge_count(), 4, "edge 3-4 dropped");
+        assert!(sub.has_edge(2, 3));
+        assert!(!sub.has_edge(3, 4));
+        assert_eq!(sub.degree(4), 0);
+        assert_eq!(sub.neighbor_times(2), &[30, 20, 40]);
+    }
+
+    #[test]
+    fn from_edges_isolated_nodes_allowed() {
+        let s = Snapshot::from_edges(4, &[(0, 1)]);
+        assert_eq!(s.node_count(), 4);
+        assert_eq!(s.degree(3), 0);
+        assert!(s.neighbors(2).is_empty());
+    }
+}

@@ -1,0 +1,278 @@
+//! BFS distances and candidate-pair enumeration.
+//!
+//! The metric-based predictors never need scores for arbitrary pairs: every
+//! neighborhood metric is zero beyond 2 hops, the Local Path metric is zero
+//! beyond 3 hops, and the paper observes predictions are dominated by 2-hop
+//! pairs (§4.2). The enumerators here produce exactly those candidate sets,
+//! deduplicated and in canonical order.
+
+use crate::snapshot::Snapshot;
+use crate::NodeId;
+
+/// BFS distances from `src`, bounded by `max_depth`. Unreached nodes get
+/// `u32::MAX`. Complexity O(V + E) but typically far less with small depth.
+pub fn bfs_distances(snap: &Snapshot, src: NodeId, max_depth: u32) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; snap.node_count()];
+    dist[src as usize] = 0;
+    let mut frontier = vec![src];
+    let mut depth = 0;
+    while !frontier.is_empty() && depth < max_depth {
+        depth += 1;
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &v in snap.neighbors(u) {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = depth;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+/// Connected components: returns `(component_id_per_node, component_sizes)`
+/// with components numbered in discovery order (node 0's component is 0).
+pub fn connected_components(snap: &Snapshot) -> (Vec<u32>, Vec<usize>) {
+    let n = snap.node_count();
+    let mut comp = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    for start in 0..n as NodeId {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        let id = sizes.len() as u32;
+        let mut size = 0usize;
+        let mut stack = vec![start];
+        comp[start as usize] = id;
+        while let Some(u) = stack.pop() {
+            size += 1;
+            for &v in snap.neighbors(u) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = id;
+                    stack.push(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    (comp, sizes)
+}
+
+/// Size of the largest connected component (0 for an empty graph).
+pub fn largest_component_size(snap: &Snapshot) -> usize {
+    connected_components(snap).1.into_iter().max().unwrap_or(0)
+}
+
+/// Unbounded BFS distance between two nodes, or `None` if disconnected.
+pub fn distance(snap: &Snapshot, u: NodeId, v: NodeId) -> Option<u32> {
+    if u == v {
+        return Some(0);
+    }
+    let dist = bfs_distances(snap, u, u32::MAX);
+    match dist[v as usize] {
+        u32::MAX => None,
+        d => Some(d),
+    }
+}
+
+/// All *unconnected* pairs `(u, v)`, `u < v`, at distance exactly 2
+/// (sharing at least one neighbor). This is the candidate universe for the
+/// neighborhood metrics.
+///
+/// Complexity O(Σ_w deg(w)²) — the standard 2-path enumeration bound.
+pub fn two_hop_pairs(snap: &Snapshot) -> Vec<(NodeId, NodeId)> {
+    let n = snap.node_count();
+    let mut out = Vec::new();
+    let mut mark = vec![false; n];
+    let mut touched: Vec<NodeId> = Vec::new();
+    for u in 0..n as NodeId {
+        // Collect distinct 2-hop endpoints v > u not adjacent to u.
+        for &w in snap.neighbors(u) {
+            for &v in snap.neighbors(w) {
+                if v > u && !mark[v as usize] {
+                    mark[v as usize] = true;
+                    touched.push(v);
+                }
+            }
+        }
+        for &v in &touched {
+            mark[v as usize] = false;
+            if !snap.has_edge(u, v) {
+                out.push((u, v));
+            }
+        }
+        touched.clear();
+    }
+    out
+}
+
+/// Unconnected pairs `(u, v)`, `u < v`, with BFS distance in `2..=max_dist`.
+/// `max_dist = 2` matches [`two_hop_pairs`]; `3` adds the Local Path
+/// candidates.
+pub fn pairs_within(snap: &Snapshot, max_dist: u32) -> Vec<(NodeId, NodeId)> {
+    assert!(max_dist >= 2, "pairs at distance < 2 are already edges");
+    let n = snap.node_count();
+    let mut out = Vec::new();
+    for u in 0..n as NodeId {
+        let dist = bfs_distances(snap, u, max_dist);
+        for (v, &d) in dist.iter().enumerate() {
+            let v = v as NodeId;
+            if v > u && d >= 2 && d <= max_dist {
+                out.push((u, v));
+            }
+        }
+    }
+    out
+}
+
+/// Unconnected 2-hop pairs restricted to a sorted node subset: both
+/// endpoints must be members, but the shared neighbor may be anyone. Used
+/// by the sampled classification pipeline.
+pub fn two_hop_pairs_among(snap: &Snapshot, members: &[NodeId]) -> Vec<(NodeId, NodeId)> {
+    debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
+    let n = snap.node_count();
+    let mut is_member = vec![false; n];
+    for &m in members {
+        is_member[m as usize] = true;
+    }
+    let mut out = Vec::new();
+    let mut mark = vec![false; n];
+    let mut touched: Vec<NodeId> = Vec::new();
+    for &u in members {
+        for &w in snap.neighbors(u) {
+            for &v in snap.neighbors(w) {
+                if v > u && is_member[v as usize] && !mark[v as usize] {
+                    mark[v as usize] = true;
+                    touched.push(v);
+                }
+            }
+        }
+        for &v in &touched {
+            mark[v as usize] = false;
+            if !snap.has_edge(u, v) {
+                out.push((u, v));
+            }
+        }
+        touched.clear();
+    }
+    out
+}
+
+/// Every unconnected pair among a sorted node subset (the exhaustive
+/// universe used when the sampled set is small enough, and the denominator
+/// of the accuracy-ratio computation).
+pub fn all_pairs_among(snap: &Snapshot, members: &[NodeId]) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    for (i, &u) in members.iter().enumerate() {
+        for &v in &members[i + 1..] {
+            if !snap.has_edge(u, v) {
+                out.push((u, v));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path 0-1-2-3-4.
+    fn path5() -> Snapshot {
+        Snapshot::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn components_found_and_sized() {
+        let s = Snapshot::from_edges(7, &[(0, 1), (1, 2), (3, 4)]);
+        let (comp, sizes) = connected_components(&s);
+        assert_eq!(sizes.len(), 4, "path, edge, and two isolated nodes");
+        assert_eq!(comp[0], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[5], comp[6], "isolated nodes get their own components");
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 1, 2, 3]);
+        assert_eq!(largest_component_size(&s), 3);
+    }
+
+    #[test]
+    fn single_component_when_connected() {
+        let s = Snapshot::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let (_, sizes) = connected_components(&s);
+        assert_eq!(sizes, vec![4]);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let s = path5();
+        let d = bfs_distances(&s, 0, u32::MAX);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_depth_bound_respected() {
+        let s = path5();
+        let d = bfs_distances(&s, 0, 2);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[3], u32::MAX);
+    }
+
+    #[test]
+    fn distance_handles_disconnection() {
+        let s = Snapshot::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(distance(&s, 0, 1), Some(1));
+        assert_eq!(distance(&s, 0, 3), None);
+        assert_eq!(distance(&s, 2, 2), Some(0));
+    }
+
+    #[test]
+    fn two_hop_pairs_on_path() {
+        let s = path5();
+        let mut pairs = two_hop_pairs(&s);
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 2), (1, 3), (2, 4)]);
+    }
+
+    #[test]
+    fn two_hop_pairs_exclude_existing_edges() {
+        // Triangle: all pairs connected → no candidates.
+        let s = Snapshot::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert!(two_hop_pairs(&s).is_empty());
+    }
+
+    #[test]
+    fn two_hop_pairs_dedup_multiple_witnesses() {
+        // 0 and 3 share two common neighbors (1 and 2); pair must appear once.
+        let s = Snapshot::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let pairs = two_hop_pairs(&s);
+        assert_eq!(pairs.iter().filter(|&&p| p == (0, 3)).count(), 1);
+    }
+
+    #[test]
+    fn pairs_within_three_hops() {
+        let s = path5();
+        let mut pairs = pairs_within(&s, 3);
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 2), (0, 3), (1, 3), (1, 4), (2, 4)]);
+    }
+
+    #[test]
+    fn two_hop_among_respects_membership() {
+        let s = path5();
+        // Members {0, 2, 4}: (0,2) and (2,4) qualify; (0,4) is 4 hops.
+        let mut pairs = two_hop_pairs_among(&s, &[0, 2, 4]);
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 2), (2, 4)]);
+    }
+
+    #[test]
+    fn all_pairs_among_counts() {
+        let s = path5();
+        let pairs = all_pairs_among(&s, &[0, 1, 2]);
+        // C(3,2)=3 minus edges (0,1),(1,2) → only (0,2).
+        assert_eq!(pairs, vec![(0, 2)]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # osn-linalg
+//!
+//! A deliberately small, dependency-free linear-algebra kernel sized for the
+//! needs of the factorization-based link-prediction metrics in LinkLens:
+//!
+//! * [`dense::Matrix`] — row-major dense matrices with matmul, transpose,
+//!   LU solve (partial pivoting), Cholesky, and Householder QR.
+//! * [`sparse::SparseMatrix`] — CSR sparse matrices with sparse×vector and
+//!   sparse×dense products (the adjacency-matrix work-horse).
+//! * [`lanczos`] — a symmetric Lanczos eigensolver with full
+//!   reorthogonalization, used for the low-rank Katz approximation
+//!   (Katz ≈ U f(Λ) Uᵀ) and validated against a dense Jacobi reference.
+//!
+//! The crate intentionally implements only what the metrics need; it is not
+//! a general-purpose BLAS. Everything is `f64`, everything is
+//! deterministic, and all algorithms are exact except where the doc comment
+//! says otherwise.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod lanczos;
+pub mod sparse;
+
+pub use dense::Matrix;
+pub use sparse::SparseMatrix;
+
+/// Numerical tolerance used by the iterative routines in this crate when a
+/// caller does not supply one.
+pub const DEFAULT_TOL: f64 = 1e-10;

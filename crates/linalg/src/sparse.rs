@@ -1,0 +1,241 @@
+//! Compressed-sparse-row matrices.
+//!
+//! The adjacency matrix of every snapshot a metric touches is represented in
+//! CSR form: `row_ptr` delimits, per row, a slice of `(col_idx, value)`
+//! pairs sorted by column. That gives O(nnz) products and O(log deg)
+//! membership tests, which is all the random-walk and factorization metrics
+//! need.
+
+use crate::dense::Matrix;
+
+/// A CSR (compressed sparse row) `f64` matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Builds a CSR matrix from triplets `(row, col, value)`.
+    ///
+    /// Duplicate `(row, col)` entries are summed. Triplets may arrive in any
+    /// order.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+        }
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx: Vec<u32> = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
+        let mut last: Option<(usize, usize)> = None;
+        for (r, c, v) in sorted {
+            if last == Some((r, c)) {
+                *values.last_mut().expect("duplicate implies prior entry") += v;
+            } else {
+                col_idx.push(c as u32);
+                values.push(v);
+                row_ptr[r + 1] += 1; // per-row count, prefix-summed below
+                last = Some((r, c));
+            }
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        SparseMatrix { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Builds a symmetric 0/1 adjacency matrix from undirected edges over
+    /// `n` nodes. Each undirected edge `(u, v)` contributes entries at both
+    /// `(u, v)` and `(v, u)`; self-loops contribute a single diagonal entry.
+    pub fn adjacency(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut triplets = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            triplets.push((u as usize, v as usize, 1.0));
+            if u != v {
+                triplets.push((v as usize, u as usize, 1.0));
+            }
+        }
+        Self::from_triplets(n, n, &triplets)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(columns, values)` slices of row `i`.
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let span = self.row_ptr[i]..self.row_ptr[i + 1];
+        (&self.col_idx[span.clone()], &self.values[span])
+    }
+
+    /// Looks up entry `(i, j)` (binary search within the row).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&(j as u32)) {
+            Ok(pos) => vals[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse matrix × dense vector: `y = self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Like [`matvec`](Self::matvec) but reuses the output buffer.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        for (i, yi) in y.iter_mut().enumerate() {
+            let (cols, vals) = self.row(i);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c as usize];
+            }
+            *yi = acc;
+        }
+    }
+
+    /// Sparse × dense product `self * d` returning a dense matrix.
+    pub fn matmul_dense(&self, d: &Matrix) -> Matrix {
+        assert_eq!(self.cols, d.rows(), "dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, d.cols());
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let drow = d.row(c as usize);
+                let orow = out.row_mut(i);
+                for (o, &dv) in orow.iter_mut().zip(drow) {
+                    *o += v * dv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Converts to a dense matrix (tests / tiny problems only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                m[(i, c as usize)] += v;
+            }
+        }
+        m
+    }
+
+    /// True when the matrix equals its transpose (structure and values).
+    pub fn is_symmetric(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if (self.get(c as usize, i) - v).abs() > 1e-12 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_build_and_lookup() {
+        let m = SparseMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (2, 0, 5.0), (1, 1, -1.0)]);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 1), -1.0);
+        assert_eq!(m.get(2, 0), 5.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn duplicate_triplets_sum() {
+        let m = SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(m.get(0, 0), 3.5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn unsorted_triplets_sort_correctly() {
+        let m = SparseMatrix::from_triplets(2, 3, &[(1, 2, 1.0), (0, 1, 2.0), (1, 0, 3.0)]);
+        let (cols, vals) = m.row(1);
+        assert_eq!(cols, &[0, 2]);
+        assert_eq!(vals, &[3.0, 1.0]);
+        assert_eq!(m.row(0).0, &[1]);
+    }
+
+    #[test]
+    fn empty_rows_have_empty_slices() {
+        let m = SparseMatrix::from_triplets(4, 4, &[(3, 3, 1.0)]);
+        assert!(m.row(0).0.is_empty());
+        assert!(m.row(1).0.is_empty());
+        assert!(m.row(2).0.is_empty());
+        assert_eq!(m.row(3).0, &[3]);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let a = SparseMatrix::adjacency(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        assert!(a.is_symmetric());
+        assert_eq!(a.nnz(), 8);
+        assert_eq!(a.get(3, 0), 1.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = SparseMatrix::adjacency(3, &[(0, 1), (1, 2)]);
+        let x = [1.0, 2.0, 3.0];
+        let sparse = a.matvec(&x);
+        let dense = a.to_dense().matvec(&x);
+        assert_eq!(sparse, dense);
+    }
+
+    #[test]
+    fn matmul_dense_matches_dense_matmul() {
+        let a = SparseMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]);
+        let d = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 2.0]]);
+        let got = a.matmul_dense(&d);
+        let expect = a.to_dense().matmul(&d);
+        assert!(got.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn self_loop_single_entry() {
+        let a = SparseMatrix::adjacency(2, &[(0, 0), (0, 1)]);
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 0), 1.0);
+        assert_eq!(a.nnz(), 3);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the linear-algebra kernel: solver correctness on
+//! random systems, factorization reconstruction, and sparse/dense
+//! agreement.
+
+use osn_linalg::dense::Matrix;
+use osn_linalg::lanczos::{jacobi_eigen, lanczos_top_k};
+use osn_linalg::sparse::SparseMatrix;
+use proptest::prelude::*;
+
+/// A random square matrix with bounded entries.
+fn arb_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-5.0f64..5.0, n * n)
+        .prop_map(move |data| Matrix::from_vec(n, n, data))
+}
+
+/// A random diagonally dominant matrix (always invertible).
+fn arb_dd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    arb_matrix(n).prop_map(move |mut m| {
+        for i in 0..n {
+            let row_sum: f64 = (0..n).map(|j| m[(i, j)].abs()).sum();
+            m[(i, i)] = row_sum + 1.0;
+        }
+        m
+    })
+}
+
+proptest! {
+    #[test]
+    fn lu_solve_recovers_solution(a in arb_dd_matrix(5), x in proptest::collection::vec(-3.0f64..3.0, 5)) {
+        let b = a.matvec(&x);
+        let got = a.solve(&b).expect("diagonally dominant ⇒ invertible");
+        for i in 0..5 {
+            prop_assert!((got[i] - x[i]).abs() < 1e-8, "component {i}: {} vs {}", got[i], x[i]);
+        }
+    }
+
+    #[test]
+    fn solve_many_consistent_with_single(a in arb_dd_matrix(4),
+                                         x1 in proptest::collection::vec(-3.0f64..3.0, 4),
+                                         x2 in proptest::collection::vec(-3.0f64..3.0, 4)) {
+        let b1 = a.matvec(&x1);
+        let b2 = a.matvec(&x2);
+        let many = a.solve_many(&[b1.clone(), b2.clone()]).expect("invertible");
+        let s1 = a.solve(&b1).unwrap();
+        let s2 = a.solve(&b2).unwrap();
+        for i in 0..4 {
+            prop_assert!((many[0][i] - s1[i]).abs() < 1e-10);
+            prop_assert!((many[1][i] - s2[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs(a in arb_matrix(4)) {
+        let (q, r) = a.qr();
+        prop_assert!(q.matmul(&r).max_abs_diff(&a) < 1e-8);
+        let qtq = q.transpose().matmul(&q);
+        prop_assert!(qtq.max_abs_diff(&Matrix::identity(4)) < 1e-8);
+    }
+
+    #[test]
+    fn cholesky_on_gram_matrices(a in arb_matrix(4)) {
+        // AᵀA + I is always SPD.
+        let mut g = a.gram();
+        for i in 0..4 {
+            g[(i, i)] += 1.0;
+        }
+        let l = g.cholesky().expect("SPD by construction");
+        prop_assert!(l.matmul(&l.transpose()).max_abs_diff(&g) < 1e-8);
+    }
+
+    #[test]
+    fn jacobi_eigen_reconstructs_symmetric(a in arb_matrix(5)) {
+        // Symmetrize.
+        let sym = {
+            let t = a.transpose();
+            let mut s = &a + &t;
+            s.scale_mut(0.5);
+            s
+        };
+        let e = jacobi_eigen(&sym);
+        let mut lam = Matrix::zeros(5, 5);
+        for i in 0..5 {
+            lam[(i, i)] = e.values[i];
+        }
+        let rec = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());
+        prop_assert!(rec.max_abs_diff(&sym) < 1e-7);
+        // Eigenvalues sorted descending.
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn sparse_matvec_matches_dense(
+        edges in proptest::collection::vec((0u32..8, 0u32..8), 1..20),
+        x in proptest::collection::vec(-2.0f64..2.0, 8),
+    ) {
+        let a = SparseMatrix::adjacency(8, &edges);
+        let sparse = a.matvec(&x);
+        let dense = a.to_dense().matvec(&x);
+        for i in 0..8 {
+            prop_assert!((sparse[i] - dense[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lanczos_top_eigenvalue_dominates_rayleigh(
+        edges in proptest::collection::vec((0u32..10, 0u32..10), 3..25),
+    ) {
+        let filtered: Vec<(u32, u32)> = edges.into_iter().filter(|(a, b)| a != b).collect();
+        prop_assume!(!filtered.is_empty());
+        let a = SparseMatrix::adjacency(10, &filtered);
+        let e = lanczos_top_k(&a, 1, 40, 3);
+        let top = e.values[0].abs();
+        // The top |eigenvalue| bounds any Rayleigh quotient; test with a
+        // couple of probe vectors.
+        for seed in 0..3u64 {
+            let probe: Vec<f64> = (0..10).map(|i| ((i as u64 * 2654435761 + seed) % 97) as f64 / 97.0 - 0.5).collect();
+            let norm2: f64 = probe.iter().map(|v| v * v).sum();
+            prop_assume!(norm2 > 1e-9);
+            let av = a.matvec(&probe);
+            let rq: f64 = probe.iter().zip(&av).map(|(p, q)| p * q).sum::<f64>() / norm2;
+            prop_assert!(rq.abs() <= top + 1e-6, "Rayleigh {rq} exceeds top |λ| {top}");
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Local naive Bayes metrics (Liu & Zhou \[26\]): BCN, BAA, BRA.
+//!
+//! The local naive Bayes model re-weights each common neighbor `w` by how
+//! much more often it closes triangles than it leaves them open:
+//!
+//! * `s = |V|(|V|−1)/(2|E|) − 1` — the graph-level prior odds;
+//! * `R_w = (N_△w + 1) / (N_∧w + 1)` — `w`'s triangle vs open-wedge odds,
+//!   where `N_∧w = C(deg w, 2) − N_△w`;
+//! * BCN(u,v) = `|Γ(u)∩Γ(v)|·log s + Σ_w log R_w`;
+//! * BAA / BRA re-use AA's / RA's witness weights on `(log s + log R_w)`.
+//!
+//! Scores can be negative (they are log-odds); only the ranking matters.
+
+use crate::traits::{CandidatePolicy, Metric};
+use osn_graph::snapshot::Snapshot;
+use osn_graph::{stats, NodeId};
+
+/// Precomputed per-snapshot naive-Bayes quantities.
+struct BayesContext {
+    log_s: f64,
+    /// `log R_w` per node.
+    log_r: Vec<f64>,
+}
+
+impl BayesContext {
+    fn build(snap: &Snapshot) -> Self {
+        let n = snap.node_count() as f64;
+        let e = snap.edge_count() as f64;
+        // Guard tiny graphs: s must stay positive for the log.
+        let s = (n * (n - 1.0) / (2.0 * e.max(1.0)) - 1.0).max(1e-9);
+        let tri = stats::triangle_counts(snap);
+        let log_r = (0..snap.node_count())
+            .map(|w| {
+                let d = snap.degree(w as NodeId) as f64;
+                let wedges = d * (d - 1.0) / 2.0;
+                let t = tri[w] as f64;
+                ((t + 1.0) / ((wedges - t) + 1.0)).ln()
+            })
+            .collect();
+        BayesContext { log_s: s.ln(), log_r }
+    }
+}
+
+/// Local-naive-Bayes Common Neighbors (BCN) \[26\].
+pub struct BayesCommonNeighbors;
+
+impl Metric for BayesCommonNeighbors {
+    fn name(&self) -> &'static str {
+        "BCN"
+    }
+
+    fn candidate_policy(&self) -> CandidatePolicy {
+        CandidatePolicy::TwoHop
+    }
+
+    fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        let ctx = BayesContext::build(snap);
+        pairs
+            .iter()
+            .map(|&(u, v)| {
+                let mut cn = 0usize;
+                let mut acc = 0.0;
+                for w in snap.common_neighbors(u, v) {
+                    cn += 1;
+                    acc += ctx.log_r[w as usize];
+                }
+                cn as f64 * ctx.log_s + acc
+            })
+            .collect()
+    }
+}
+
+/// Local-naive-Bayes Adamic/Adar (BAA) \[26\].
+pub struct BayesAdamicAdar;
+
+impl Metric for BayesAdamicAdar {
+    fn name(&self) -> &'static str {
+        "BAA"
+    }
+
+    fn candidate_policy(&self) -> CandidatePolicy {
+        CandidatePolicy::TwoHop
+    }
+
+    fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        let ctx = BayesContext::build(snap);
+        pairs
+            .iter()
+            .map(|&(u, v)| {
+                snap.common_neighbors(u, v)
+                    .map(|w| {
+                        (ctx.log_s + ctx.log_r[w as usize]) / (snap.degree(w) as f64).ln()
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// Local-naive-Bayes Resource Allocation (BRA) \[26\] — the strongest metric
+/// on Renren in the paper.
+pub struct BayesResourceAllocation;
+
+impl Metric for BayesResourceAllocation {
+    fn name(&self) -> &'static str {
+        "BRA"
+    }
+
+    fn candidate_policy(&self) -> CandidatePolicy {
+        CandidatePolicy::TwoHop
+    }
+
+    fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        let ctx = BayesContext::build(snap);
+        pairs
+            .iter()
+            .map(|&(u, v)| {
+                snap.common_neighbors(u, v)
+                    .map(|w| (ctx.log_s + ctx.log_r[w as usize]) / snap.degree(w) as f64)
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fixture where witness quality differs: witness 1 closes its only
+    /// wedge into a triangle; witness 5 has the same degree but an open
+    /// wedge structure.
+    ///
+    /// 0-1, 1-2, 0-2 (triangle), plus 3-5, 5-4 (open wedge), 0-3? no.
+    fn closing_vs_open() -> Snapshot {
+        Snapshot::from_edges(
+            7,
+            &[(0, 1), (1, 2), (0, 2), (3, 5), (5, 4), (0, 6), (6, 2)],
+        )
+    }
+
+    #[test]
+    fn r_weight_prefers_triangle_closers() {
+        let s = closing_vs_open();
+        let ctx = BayesContext::build(&s);
+        // Node 1: deg 2, 1 triangle, 0 open wedges → R = 2/1 = 2.
+        assert!((ctx.log_r[1] - 2.0_f64.ln()).abs() < 1e-12);
+        // Node 5: deg 2, 0 triangles, 1 open wedge → R = 1/2.
+        assert!((ctx.log_r[5] - 0.5_f64.ln()).abs() < 1e-12);
+        assert!(ctx.log_r[1] > ctx.log_r[5]);
+    }
+
+    #[test]
+    fn bcn_ranks_witness_quality() {
+        // Pairs (3,4) via open-wedge witness 5 vs a triangle-closing
+        // witness of equal degree: node 6 (deg 2, sits in wedge 0-6-2 where
+        // 0-2 is an edge → 1 triangle). Pair (0,2) is an edge; use the
+        // wedge pair that 6 would close next: none unconnected — instead
+        // compare (3,4) against an equal-CN pair witnessed by node 1.
+        // Both witnesses have degree 2, so plain CN ties them; BCN must not.
+        let s = closing_vs_open();
+        let scores = BayesCommonNeighbors.score_pairs(&s, &[(3, 4)]);
+        // Witness 5 has log R < 0, so BCN < log s · 1.
+        let ctx = BayesContext::build(&s);
+        assert!(scores[0] < ctx.log_s);
+    }
+
+    #[test]
+    fn all_bayes_metrics_zero_without_common_neighbors() {
+        let s = closing_vs_open();
+        let pair = [(3, 6)]; // no shared neighbor
+        assert_eq!(BayesCommonNeighbors.score_pairs(&s, &pair), vec![0.0]);
+        assert_eq!(BayesAdamicAdar.score_pairs(&s, &pair), vec![0.0]);
+        assert_eq!(BayesResourceAllocation.score_pairs(&s, &pair), vec![0.0]);
+    }
+
+    #[test]
+    fn baa_bra_share_sign_structure_with_bcn() {
+        let s = closing_vs_open();
+        let pairs = [(3, 4), (0, 4)];
+        let bcn = BayesCommonNeighbors.score_pairs(&s, &pairs);
+        let baa = BayesAdamicAdar.score_pairs(&s, &pairs);
+        let bra = BayesResourceAllocation.score_pairs(&s, &pairs);
+        for i in 0..pairs.len() {
+            assert_eq!(bcn[i] == 0.0, baa[i] == 0.0);
+            assert_eq!(baa[i] == 0.0, bra[i] == 0.0);
+        }
+    }
+
+    #[test]
+    fn dense_graph_prior_is_guarded() {
+        // Complete graph minus one edge: s would be ≤ 0 without the guard.
+        let s = Snapshot::from_edges(3, &[(0, 1), (1, 2)]);
+        let scores = BayesCommonNeighbors.score_pairs(&s, &[(0, 2)]);
+        assert!(scores[0].is_finite());
+    }
+
+    #[test]
+    fn scores_symmetric() {
+        let s = closing_vs_open();
+        for m in [&BayesCommonNeighbors as &dyn Metric, &BayesAdamicAdar,
+                  &BayesResourceAllocation]
+        {
+            let a = m.score_pairs(&s, &[(3, 4)])[0];
+            let b = m.score_pairs(&s, &[(4, 3)])[0];
+            assert_eq!(a, b, "{} asymmetric", m.name());
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! The Katz index \[18\] and the two scalable implementations the paper
+//! compares: low-rank approximation (Katz-lr, after Acar et al. \[1\]) and
+//! scalable proximity estimation via landmarks (Katz-sc, after Song et
+//! al. \[38\]).
+//!
+//! Exact Katz is `K = Σ_{l≥1} βˡ Aˡ = (I − βA)⁻¹ − I`, infeasible beyond
+//! toy graphs. With the symmetric eigendecomposition `A = U Λ Uᵀ`:
+//! `K = U (1/(1−βλ) − 1) Uᵀ`, so a rank-r Lanczos factorization gives the
+//! Katz-lr scores in O(r) per pair. Katz-sc instead takes a Nyström-style
+//! landmark approximation: with `C = K[:, L]` (truncated-series columns for
+//! a landmark set `L`) and `W = K[L, L]`, `K ≈ C W⁺ Cᵀ`.
+
+use crate::traits::{CandidatePolicy, Metric};
+use osn_graph::snapshot::Snapshot;
+use osn_graph::NodeId;
+use osn_linalg::lanczos::lanczos_top_k;
+use osn_linalg::{Matrix, SparseMatrix};
+
+/// Shared Katz attenuation default (the paper uses β = 0.001 after \[1\]).
+pub const DEFAULT_BETA: f64 = 1e-3;
+
+fn adjacency(snap: &Snapshot) -> SparseMatrix {
+    let edges: Vec<(u32, u32)> = snap.edges().collect();
+    SparseMatrix::adjacency(snap.node_count(), &edges)
+}
+
+/// Low-rank Katz (Katz-lr): rank-`rank` Lanczos eigendecomposition of the
+/// adjacency, scored as `Σ_k f(λ_k) U[u,k] U[v,k]` with
+/// `f(λ) = 1/(1 − βλ) − 1`.
+///
+/// The spectral transform requires `βλ_max < 1`; with β = 1e-3 that holds
+/// for any graph with maximum degree below 1000-ish, and the factor is
+/// clamped defensively otherwise.
+#[derive(Clone, Debug)]
+pub struct KatzLr {
+    /// Attenuation factor β.
+    pub beta: f64,
+    /// Eigenpair count r.
+    pub rank: usize,
+    /// Lanczos iteration cap.
+    pub max_iter: usize,
+    /// Deterministic start-vector seed.
+    pub seed: u64,
+}
+
+impl Default for KatzLr {
+    fn default() -> Self {
+        KatzLr { beta: DEFAULT_BETA, rank: 48, max_iter: 160, seed: 1 }
+    }
+}
+
+impl Metric for KatzLr {
+    fn name(&self) -> &'static str {
+        "Katz-lr"
+    }
+
+    fn candidate_policy(&self) -> CandidatePolicy {
+        CandidatePolicy::ThreeHop
+    }
+
+    fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        if snap.edge_count() == 0 {
+            return vec![0.0; pairs.len()];
+        }
+        let a = adjacency(snap);
+        // Single-start Lanczos recovers one Ritz vector per eigenvalue
+        // cluster, so on small graphs (where exact is cheap and spectra are
+        // often degenerate by symmetry) use the dense Jacobi solver; the
+        // Lanczos path is for large snapshots where extremal clusters are
+        // all the ranking needs.
+        let eig = if snap.node_count() <= 256 {
+            let mut full = osn_linalg::lanczos::jacobi_eigen(&a.to_dense());
+            let keep = self.rank.min(full.values.len());
+            let mut order: Vec<usize> = (0..full.values.len()).collect();
+            order.sort_by(|&i, &j| {
+                full.values[j].abs().partial_cmp(&full.values[i].abs()).expect("finite")
+            });
+            let mut vectors = Matrix::zeros(snap.node_count(), keep);
+            let mut values = Vec::with_capacity(keep);
+            for (out, &col) in order.iter().take(keep).enumerate() {
+                values.push(full.values[col]);
+                for r in 0..snap.node_count() {
+                    vectors[(r, out)] = full.vectors[(r, col)];
+                }
+            }
+            full.values = values;
+            full.vectors = vectors;
+            full
+        } else {
+            lanczos_top_k(&a, self.rank.min(snap.node_count()), self.max_iter, self.seed)
+        };
+        // f(λ) = 1/(1-βλ) - 1, clamped away from the pole.
+        let factors: Vec<f64> = eig
+            .values
+            .iter()
+            .map(|&l| {
+                let denom = (1.0 - self.beta * l).max(0.05);
+                1.0 / denom - 1.0
+            })
+            .collect();
+        let r = factors.len();
+        pairs
+            .iter()
+            .map(|&(u, v)| {
+                (0..r)
+                    .map(|k| {
+                        factors[k]
+                            * eig.vectors[(u as usize, k)]
+                            * eig.vectors[(v as usize, k)]
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// Scalable-proximity Katz (Katz-sc): Nyström approximation through
+/// `landmarks` landmark nodes (half top-degree, half stride-spread), with
+/// landmark Katz columns computed by a `series_terms`-term truncated series
+/// (each term one SpMV).
+#[derive(Clone, Debug)]
+pub struct KatzSc {
+    /// Attenuation factor β.
+    pub beta: f64,
+    /// Number of landmark nodes.
+    pub landmarks: usize,
+    /// Truncation length of the Katz series for landmark columns.
+    pub series_terms: usize,
+    /// Ridge added to the landmark Gram block before inversion.
+    pub ridge: f64,
+}
+
+impl Default for KatzSc {
+    fn default() -> Self {
+        KatzSc { beta: DEFAULT_BETA, landmarks: 48, series_terms: 5, ridge: 1e-10 }
+    }
+}
+
+impl KatzSc {
+    /// Picks landmark node ids: the top half by degree plus an
+    /// evenly-strided sweep over the rest (Song et al. pick high-degree
+    /// landmarks; the strided half guards low-degree regions).
+    fn pick_landmarks(&self, snap: &Snapshot) -> Vec<NodeId> {
+        let n = snap.node_count();
+        let l = self.landmarks.min(n);
+        let mut by_degree: Vec<NodeId> = (0..n as NodeId).collect();
+        by_degree.sort_unstable_by_key(|&u| std::cmp::Reverse(snap.degree(u)));
+        let mut picked: Vec<NodeId> = by_degree[..l.div_ceil(2)].to_vec();
+        let stride = (n / l.max(1)).max(1);
+        let mut u = 0usize;
+        while picked.len() < l && u < n {
+            let cand = u as NodeId;
+            if !picked.contains(&cand) {
+                picked.push(cand);
+            }
+            u += stride;
+        }
+        // Fallback fill for tiny graphs.
+        let mut u = 0;
+        while picked.len() < l {
+            if !picked.contains(&(u as NodeId)) {
+                picked.push(u as NodeId);
+            }
+            u += 1;
+        }
+        picked.sort_unstable();
+        picked
+    }
+}
+
+impl Metric for KatzSc {
+    fn name(&self) -> &'static str {
+        "Katz-sc"
+    }
+
+    fn candidate_policy(&self) -> CandidatePolicy {
+        CandidatePolicy::ThreeHop
+    }
+
+    fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        let n = snap.node_count();
+        if snap.edge_count() == 0 || n == 0 {
+            return vec![0.0; pairs.len()];
+        }
+        let a = adjacency(snap);
+        let lm = self.pick_landmarks(snap);
+        let l = lm.len();
+
+        // C[:, j] = Σ_{i=1..T} βⁱ Aⁱ e_{lm[j]}  (truncated Katz column).
+        let mut c = Matrix::zeros(n, l);
+        let mut col = vec![0.0; n];
+        let mut next = vec![0.0; n];
+        for (j, &src) in lm.iter().enumerate() {
+            col.iter_mut().for_each(|x| *x = 0.0);
+            col[src as usize] = 1.0;
+            let mut weight = 1.0;
+            let mut acc = vec![0.0; n];
+            for _ in 0..self.series_terms {
+                a.matvec_into(&col, &mut next);
+                std::mem::swap(&mut col, &mut next);
+                weight *= self.beta;
+                for (av, &cv) in acc.iter_mut().zip(col.iter()) {
+                    *av += weight * cv;
+                }
+            }
+            for (i, &v) in acc.iter().enumerate() {
+                c[(i, j)] = v;
+            }
+        }
+
+        // W = C[lm, :] (the landmark block of K); M = C (W + δI)⁻¹.
+        let mut w = Matrix::zeros(l, l);
+        for (r_out, &lr) in lm.iter().enumerate() {
+            for j in 0..l {
+                w[(r_out, j)] = c[(lr as usize, j)];
+            }
+            w[(r_out, r_out)] += self.ridge;
+        }
+        // Solve (W + δI) Y = Cᵀ column-block-wise: rhs per graph node.
+        let rhs: Vec<Vec<f64>> = (0..n).map(|i| c.row(i).to_vec()).collect();
+        let Some(m_rows) = w.solve_many(&rhs) else {
+            // Singular landmark block even after ridge: fall back to the
+            // truncated series scores via the diagonal (no mixing).
+            return pairs
+                .iter()
+                .map(|&(u, v)| {
+                    // crude fallback: average of available landmark columns
+                    let mut s = 0.0;
+                    for j in 0..l {
+                        s += c[(u as usize, j)] * c[(v as usize, j)];
+                    }
+                    s
+                })
+                .collect();
+        };
+
+        // score(u, v) = M[u, :] · C[v, :]  (≈ K[u, v]).
+        pairs
+            .iter()
+            .map(|&(u, v)| {
+                let mu = &m_rows[u as usize];
+                let cv = c.row(v as usize);
+                mu.iter().zip(cv).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+}
+
+/// Exact truncated Katz (dense reference; tests and toy graphs only).
+pub fn exact_katz_truncated(snap: &Snapshot, beta: f64, terms: usize) -> Matrix {
+    let n = snap.node_count();
+    let a = adjacency(snap).to_dense();
+    let mut power = Matrix::identity(n);
+    let mut acc = Matrix::zeros(n, n);
+    let mut weight = 1.0;
+    for _ in 0..terms {
+        power = power.matmul(&a);
+        weight *= beta;
+        let term = &power * weight;
+        acc = &acc + &term;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two triangles bridged: 0-1-2 triangle, 3-4-5 triangle, bridge 2-3.
+    fn fixture() -> Snapshot {
+        Snapshot::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+    }
+
+    /// Dense exact Katz via (I − βA)⁻¹ − I, small graphs only.
+    fn exact_katz(snap: &Snapshot, beta: f64) -> Matrix {
+        let n = snap.node_count();
+        let a = adjacency(snap).to_dense();
+        let mut i_minus = Matrix::identity(n);
+        for r in 0..n {
+            for c in 0..n {
+                i_minus[(r, c)] -= beta * a[(r, c)];
+            }
+        }
+        // Invert by solving against identity columns.
+        let rhs: Vec<Vec<f64>> = (0..n)
+            .map(|j| (0..n).map(|i| f64::from(u8::from(i == j))).collect())
+            .collect();
+        let cols = i_minus.solve_many(&rhs).expect("I - βA invertible for small β");
+        let mut inv = Matrix::zeros(n, n);
+        for (j, coljj) in cols.iter().enumerate() {
+            for i in 0..n {
+                inv[(i, j)] = coljj[i];
+            }
+        }
+        for d in 0..n {
+            inv[(d, d)] -= 1.0;
+        }
+        inv
+    }
+
+    #[test]
+    fn katz_lr_full_rank_matches_exact() {
+        let s = fixture();
+        let beta = 0.05; // large enough that scores are well above noise
+        let lr = KatzLr { beta, rank: 6, max_iter: 60, seed: 3 };
+        let exact = exact_katz(&s, beta);
+        let pairs = [(0, 3), (0, 4), (1, 5), (2, 4)];
+        let got = lr.score_pairs(&s, &pairs);
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            let want = exact[(u as usize, v as usize)];
+            assert!(
+                (got[i] - want).abs() < 1e-6,
+                "pair ({u},{v}): got {} want {want}",
+                got[i]
+            );
+        }
+    }
+
+    #[test]
+    fn katz_lr_ranks_near_over_far() {
+        let s = fixture();
+        let lr = KatzLr::default();
+        let scores = lr.score_pairs(&s, &[(1, 3), (1, 5)]);
+        assert!(scores[0] > scores[1], "distance-2 pair must beat distance-3");
+    }
+
+    #[test]
+    fn katz_sc_all_landmarks_matches_truncated_series() {
+        // With every node a landmark, the Nyström identity C W⁻¹ Cᵀ = K_T
+        // holds exactly (K_T = truncated Katz) when W is invertible.
+        let s = fixture();
+        let beta = 0.05;
+        let terms = 5;
+        let sc = KatzSc { beta, landmarks: 6, series_terms: terms, ridge: 1e-12 };
+        let exact = exact_katz_truncated(&s, beta, terms);
+        let pairs = [(0, 3), (0, 4), (1, 5)];
+        let got = sc.score_pairs(&s, &pairs);
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            let want = exact[(u as usize, v as usize)];
+            assert!(
+                (got[i] - want).abs() < 1e-6,
+                "pair ({u},{v}): got {} want {want}",
+                got[i]
+            );
+        }
+    }
+
+    #[test]
+    fn katz_sc_few_landmarks_still_ranks_sanely() {
+        let s = fixture();
+        let sc = KatzSc { landmarks: 3, ..Default::default() };
+        let scores = sc.score_pairs(&s, &[(1, 3), (1, 5)]);
+        assert!(scores[0] > scores[1]);
+    }
+
+    #[test]
+    fn landmark_selection_is_dedup_and_sized() {
+        let s = fixture();
+        let sc = KatzSc { landmarks: 4, ..Default::default() };
+        let lm = sc.pick_landmarks(&s);
+        assert_eq!(lm.len(), 4);
+        let mut d = lm.clone();
+        d.dedup();
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn empty_graph_scores_zero() {
+        let s = Snapshot::from_edges(3, &[(0, 1)]);
+        // Not empty, but test the guard path via a pair on a fresh snapshot.
+        let lr = KatzLr::default();
+        let scores = lr.score_pairs(&s, &[(0, 2)]);
+        assert!(scores[0].abs() < 1e-9, "no path 0→2 exists");
+    }
+
+    #[test]
+    fn exact_truncated_reference_matches_hand_count() {
+        // Path 0-1-2: K_2[0][2] = β²·(# 2-walks) = β².
+        let s = Snapshot::from_edges(3, &[(0, 1), (1, 2)]);
+        let k = exact_katz_truncated(&s, 0.1, 2);
+        assert!((k[(0, 2)] - 0.01).abs() < 1e-12);
+        assert!((k[(0, 1)] - 0.1).abs() < 1e-12);
+    }
+}

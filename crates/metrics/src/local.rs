@@ -1,0 +1,210 @@
+//! Neighborhood heuristics: CN, JC, AA, RA, PA (Table 3 rows 1–4 and 13).
+
+use crate::traits::{CandidatePolicy, Metric};
+use osn_graph::snapshot::Snapshot;
+use osn_graph::NodeId;
+
+/// Common Neighbors [Newman 2001]: `|Γ(u) ∩ Γ(v)|`.
+pub struct CommonNeighbors;
+
+impl Metric for CommonNeighbors {
+    fn name(&self) -> &'static str {
+        "CN"
+    }
+
+    fn candidate_policy(&self) -> CandidatePolicy {
+        CandidatePolicy::TwoHop
+    }
+
+    fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        pairs.iter().map(|&(u, v)| snap.common_neighbor_count(u, v) as f64).collect()
+    }
+}
+
+/// Jaccard's Coefficient \[23\]: `|Γ(u) ∩ Γ(v)| / |Γ(u) ∪ Γ(v)|`.
+/// Zero when both neighborhoods are empty.
+pub struct JaccardCoefficient;
+
+impl Metric for JaccardCoefficient {
+    fn name(&self) -> &'static str {
+        "JC"
+    }
+
+    fn candidate_policy(&self) -> CandidatePolicy {
+        CandidatePolicy::TwoHop
+    }
+
+    fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        pairs
+            .iter()
+            .map(|&(u, v)| {
+                let inter = snap.common_neighbor_count(u, v);
+                let union = snap.degree(u) + snap.degree(v) - inter;
+                if union == 0 {
+                    0.0
+                } else {
+                    inter as f64 / union as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// Adamic/Adar \[2\]: `Σ_{w ∈ Γ(u) ∩ Γ(v)} 1 / log(deg(w))`.
+/// Common neighbors always have degree ≥ 2, so the log never vanishes.
+pub struct AdamicAdar;
+
+impl Metric for AdamicAdar {
+    fn name(&self) -> &'static str {
+        "AA"
+    }
+
+    fn candidate_policy(&self) -> CandidatePolicy {
+        CandidatePolicy::TwoHop
+    }
+
+    fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        pairs
+            .iter()
+            .map(|&(u, v)| {
+                snap.common_neighbors(u, v)
+                    .map(|w| 1.0 / (snap.degree(w) as f64).ln())
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// Resource Allocation \[45\]: `Σ_{w ∈ Γ(u) ∩ Γ(v)} 1 / deg(w)`.
+pub struct ResourceAllocation;
+
+impl Metric for ResourceAllocation {
+    fn name(&self) -> &'static str {
+        "RA"
+    }
+
+    fn candidate_policy(&self) -> CandidatePolicy {
+        CandidatePolicy::TwoHop
+    }
+
+    fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        pairs
+            .iter()
+            .map(|&(u, v)| {
+                snap.common_neighbors(u, v).map(|w| 1.0 / snap.degree(w) as f64).sum()
+            })
+            .collect()
+    }
+}
+
+/// Preferential Attachment \[6\]: `deg(u) · deg(v)` — the "rich get richer"
+/// score the paper finds near-useless on friendship networks (§4.2).
+pub struct PreferentialAttachment;
+
+impl Metric for PreferentialAttachment {
+    fn name(&self) -> &'static str {
+        "PA"
+    }
+
+    fn candidate_policy(&self) -> CandidatePolicy {
+        CandidatePolicy::Global
+    }
+
+    fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        pairs.iter().map(|&(u, v)| (snap.degree(u) * snap.degree(v)) as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Square 0-1-2-3 with diagonal 0-2 and pendant 4 attached to 0.
+    ///
+    /// ```text
+    ///   1 — 2
+    ///   | / |
+    ///   0 — 3
+    ///   |
+    ///   4
+    /// ```
+    fn fixture() -> Snapshot {
+        Snapshot::from_edges(5, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2), (0, 4)])
+    }
+
+    #[test]
+    fn cn_counts() {
+        let s = fixture();
+        // Pair (1,3): common neighbors {0, 2}.
+        assert_eq!(CommonNeighbors.score_pairs(&s, &[(1, 3), (1, 4), (2, 4)]), vec![
+            2.0, 1.0, 1.0
+        ]);
+    }
+
+    #[test]
+    fn jc_normalizes_by_union() {
+        let s = fixture();
+        // (1,3): Γ(1)={0,2}, Γ(3)={0,2} → inter 2, union 2 → 1.0.
+        // (1,4): Γ(4)={0} → inter 1, union 2 → 0.5.
+        let scores = JaccardCoefficient.score_pairs(&s, &[(1, 3), (1, 4)]);
+        assert_eq!(scores, vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn jc_isolated_pair_is_zero() {
+        let s = Snapshot::from_edges(3, &[(0, 1)]);
+        // Node 2 is isolated; (1,2) has union = {0}, inter = 0.
+        assert_eq!(JaccardCoefficient.score_pairs(&s, &[(1, 2)]), vec![0.0]);
+    }
+
+    #[test]
+    fn aa_weights_low_degree_witnesses_higher() {
+        let s = fixture();
+        // (1,3) witnesses: 0 (deg 4) and 2 (deg 3).
+        let expect = 1.0 / 4.0_f64.ln() + 1.0 / 3.0_f64.ln();
+        let got = AdamicAdar.score_pairs(&s, &[(1, 3)])[0];
+        assert!((got - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ra_weights_inverse_degree() {
+        let s = fixture();
+        let expect = 1.0 / 4.0 + 1.0 / 3.0;
+        let got = ResourceAllocation.score_pairs(&s, &[(1, 3)])[0];
+        assert!((got - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ra_bounded_by_cn() {
+        // RA ≤ CN/2 because every witness has degree ≥ 2.
+        let s = fixture();
+        let pairs = [(1, 3), (1, 4), (2, 4), (3, 4)];
+        let ra = ResourceAllocation.score_pairs(&s, &pairs);
+        let cn = CommonNeighbors.score_pairs(&s, &pairs);
+        for (r, c) in ra.iter().zip(&cn) {
+            assert!(*r <= c / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn pa_is_degree_product() {
+        let s = fixture();
+        // deg(1)=2, deg(3)=2 → 4; deg(0)=4 … pair (0, 2) is an edge but PA
+        // scores any pair it is handed.
+        assert_eq!(PreferentialAttachment.score_pairs(&s, &[(1, 3)]), vec![4.0]);
+        assert_eq!(PreferentialAttachment.score_pairs(&s, &[(1, 4)]), vec![2.0]);
+    }
+
+    #[test]
+    fn scores_are_symmetric_under_pair_order() {
+        // The trait takes canonical pairs, but the formulas must not care.
+        let s = fixture();
+        for m in [&CommonNeighbors as &dyn Metric, &JaccardCoefficient, &AdamicAdar,
+                  &ResourceAllocation, &PreferentialAttachment]
+        {
+            let a = m.score_pairs(&s, &[(1, 3)])[0];
+            let b = m.score_pairs(&s, &[(3, 1)])[0];
+            assert_eq!(a, b, "{} asymmetric", m.name());
+        }
+    }
+}

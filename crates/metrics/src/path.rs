@@ -1,0 +1,196 @@
+//! Path-based metrics: Shortest Path (SP) and Local Path (LP).
+
+use crate::traits::{CandidatePolicy, Metric};
+use osn_graph::snapshot::Snapshot;
+use osn_graph::{traversal, NodeId};
+
+/// Shortest Path: the score is the *negated* BFS hop count, so closer pairs
+/// rank higher. The paper notes SP effectively reduces to a random pick
+/// among 2-hop pairs — all of which tie at distance 2 — which is exactly
+/// what the seeded tie-breaking in [`crate::topk`] reproduces (§4.2).
+#[derive(Clone, Debug)]
+pub struct ShortestPath {
+    /// BFS depth cap; pairs farther apart score `-(max_depth + 1)`.
+    pub max_depth: u32,
+}
+
+impl Default for ShortestPath {
+    fn default() -> Self {
+        ShortestPath { max_depth: 6 }
+    }
+}
+
+impl Metric for ShortestPath {
+    fn name(&self) -> &'static str {
+        "SP"
+    }
+
+    fn candidate_policy(&self) -> CandidatePolicy {
+        CandidatePolicy::ThreeHop
+    }
+
+    fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        // Group pairs by source so each BFS is shared.
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        order.sort_unstable_by_key(|&i| pairs[i].0);
+        let mut scores = vec![0.0; pairs.len()];
+        let mut i = 0;
+        while i < order.len() {
+            let u = pairs[order[i]].0;
+            let mut j = i;
+            while j < order.len() && pairs[order[j]].0 == u {
+                j += 1;
+            }
+            let dist = traversal::bfs_distances(snap, u, self.max_depth);
+            for &idx in &order[i..j] {
+                let v = pairs[idx].1;
+                let d = dist[v as usize];
+                scores[idx] =
+                    if d == u32::MAX { -f64::from(self.max_depth + 1) } else { -f64::from(d) };
+            }
+            i = j;
+        }
+        scores
+    }
+}
+
+/// Local Path \[45\]: `|paths²(u,v)| + ε·|paths³(u,v)|` with ε = 1e-4.
+///
+/// `paths²` is the common-neighbor count; `paths³` is the number of length-3
+/// walks, computed per source with a scatter buffer (`A²` restricted to the
+/// source row), so a batch grouped by source costs
+/// O(Σ_{a∈Γ(u)} deg a + Σ deg v) instead of per-pair recomputation.
+#[derive(Clone, Debug)]
+pub struct LocalPath {
+    /// Weight of 3-hop paths (the paper tunes ε = 1e-4).
+    pub epsilon: f64,
+}
+
+impl Default for LocalPath {
+    fn default() -> Self {
+        LocalPath { epsilon: 1e-4 }
+    }
+}
+
+impl Metric for LocalPath {
+    fn name(&self) -> &'static str {
+        "LP"
+    }
+
+    fn candidate_policy(&self) -> CandidatePolicy {
+        CandidatePolicy::ThreeHop
+    }
+
+    fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        let n = snap.node_count();
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        order.sort_unstable_by_key(|&i| pairs[i].0);
+        let mut scores = vec![0.0; pairs.len()];
+        // walk2[x] = number of 2-step walks u → x.
+        let mut walk2 = vec![0u32; n];
+        let mut touched: Vec<NodeId> = Vec::new();
+        let mut i = 0;
+        while i < order.len() {
+            let u = pairs[order[i]].0;
+            let mut j = i;
+            while j < order.len() && pairs[order[j]].0 == u {
+                j += 1;
+            }
+            for &a in snap.neighbors(u) {
+                for &x in snap.neighbors(a) {
+                    if walk2[x as usize] == 0 {
+                        touched.push(x);
+                    }
+                    walk2[x as usize] += 1;
+                }
+            }
+            for &idx in &order[i..j] {
+                let v = pairs[idx].1;
+                // paths² = 2-step walks landing exactly on v.
+                let p2 = walk2[v as usize] as f64;
+                // paths³ = Σ_{b ∈ Γ(v)} walk2[b], excluding walks whose
+                // middle edge is (u,b) with b = u … for unconnected (u,v)
+                // walks cannot revisit the endpoints, so A³ is exact.
+                let p3: u32 = snap.neighbors(v).iter().map(|&b| walk2[b as usize]).sum();
+                scores[idx] = p2 + self.epsilon * f64::from(p3);
+            }
+            for &x in &touched {
+                walk2[x as usize] = 0;
+            }
+            touched.clear();
+            i = j;
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path 0-1-2-3-4 plus chord 1-3.
+    fn fixture() -> Snapshot {
+        Snapshot::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)])
+    }
+
+    #[test]
+    fn sp_scores_negative_distance() {
+        let s = fixture();
+        let scores = ShortestPath::default().score_pairs(&s, &[(0, 2), (0, 3), (0, 4)]);
+        assert_eq!(scores, vec![-2.0, -2.0, -3.0]);
+    }
+
+    #[test]
+    fn sp_caps_unreachable() {
+        let s = Snapshot::from_edges(4, &[(0, 1), (2, 3)]);
+        let sp = ShortestPath { max_depth: 4 };
+        assert_eq!(sp.score_pairs(&s, &[(0, 2)]), vec![-5.0]);
+    }
+
+    #[test]
+    fn lp_counts_two_and_three_paths() {
+        let s = fixture();
+        let lp = LocalPath { epsilon: 0.01 };
+        // Pair (0,2): one 2-path (0-1-2); 3-walks 0→2: 0-1-3-2 → p3 = 1.
+        let got = lp.score_pairs(&s, &[(0, 2)])[0];
+        assert!((got - (1.0 + 0.01)).abs() < 1e-12, "got {got}");
+    }
+
+    #[test]
+    fn lp_pure_three_hop_pair() {
+        let s = Snapshot::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let lp = LocalPath { epsilon: 0.5 };
+        // (0,3): no 2-paths, exactly one 3-path.
+        assert_eq!(lp.score_pairs(&s, &[(0, 3)]), vec![0.5]);
+    }
+
+    #[test]
+    fn lp_multiple_parallel_paths_accumulate() {
+        // Two disjoint 2-paths from 0 to 3: via 1 and via 2.
+        let s = Snapshot::from_edges(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
+        let lp = LocalPath::default();
+        let got = lp.score_pairs(&s, &[(0, 3)])[0];
+        assert!((got - 2.0).abs() < 1e-3, "two 2-paths expected, got {got}");
+    }
+
+    #[test]
+    fn lp_batches_match_single_queries() {
+        let s = fixture();
+        let lp = LocalPath::default();
+        let pairs = [(0, 2), (0, 3), (2, 4), (0, 4)];
+        let batch = lp.score_pairs(&s, &pairs);
+        for (i, &p) in pairs.iter().enumerate() {
+            assert_eq!(lp.score_pairs(&s, &[p])[0], batch[i], "pair {p:?}");
+        }
+    }
+
+    #[test]
+    fn lp_epsilon_zero_reduces_to_cn() {
+        let s = fixture();
+        let lp = LocalPath { epsilon: 0.0 };
+        let pairs = [(0, 2), (0, 3), (2, 4)];
+        let got = lp.score_pairs(&s, &pairs);
+        let cn = crate::local::CommonNeighbors.score_pairs(&s, &pairs);
+        assert_eq!(got, cn);
+    }
+}

@@ -1,0 +1,158 @@
+//! Top-k pair selection with seeded tie-breaking.
+
+use osn_graph::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the top-k heap: ordered by score, then by a seeded hash (the
+/// paper's "random choice among ties", deterministic here), then by index.
+#[derive(PartialEq)]
+struct Entry {
+    score: f64,
+    jitter: u64,
+    idx: usize,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the *worst* on top so
+        // it can be evicted (min-heap of the current best k).
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| other.jitter.cmp(&self.jitter))
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn pair_jitter(u: NodeId, v: NodeId, seed: u64) -> u64 {
+    let mut z = (u as u64) << 32 | v as u64;
+    z ^= seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Selects the `k` highest-scoring pairs. Ties are broken by a seeded hash
+/// of the pair, so equal-score candidates are chosen pseudo-randomly but
+/// reproducibly. NaN scores are skipped.
+///
+/// Runs in O(n log k) with O(k) extra space.
+pub fn top_k_pairs(
+    pairs: &[(NodeId, NodeId)],
+    scores: &[f64],
+    k: usize,
+    seed: u64,
+) -> Vec<(NodeId, NodeId)> {
+    assert_eq!(pairs.len(), scores.len(), "pairs/scores length mismatch");
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+    for (idx, (&pair, &score)) in pairs.iter().zip(scores).enumerate() {
+        if score.is_nan() {
+            continue;
+        }
+        let jitter = pair_jitter(pair.0, pair.1, seed);
+        if heap.len() < k {
+            heap.push(Entry { score, jitter, idx });
+        } else if let Some(worst) = heap.peek() {
+            let cand = Entry { score, jitter, idx };
+            // `worst` is the minimum under our reversed ordering; replace
+            // it when the candidate ranks strictly higher.
+            if cand.cmp(worst) == Ordering::Less {
+                heap.pop();
+                heap.push(cand);
+            }
+        }
+    }
+    let mut picked: Vec<Entry> = heap.into_vec();
+    // Under the reversed ordering the best entry is the smallest, so an
+    // ascending sort yields best-first output.
+    picked.sort_by(Entry::cmp);
+    picked.into_iter().map(|e| pairs[e.idx]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_highest_scores_in_order() {
+        let pairs = vec![(0, 1), (0, 2), (0, 3), (0, 4)];
+        let scores = vec![1.0, 4.0, 3.0, 2.0];
+        let top = top_k_pairs(&pairs, &scores, 2, 0);
+        assert_eq!(top, vec![(0, 2), (0, 3)]);
+    }
+
+    #[test]
+    fn k_larger_than_input_returns_all() {
+        let pairs = vec![(0, 1), (2, 3)];
+        let scores = vec![1.0, 2.0];
+        let top = top_k_pairs(&pairs, &scores, 10, 0);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0], (2, 3));
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        assert!(top_k_pairs(&[(0, 1)], &[1.0], 0, 0).is_empty());
+    }
+
+    #[test]
+    fn ties_break_deterministically_per_seed() {
+        let pairs: Vec<(u32, u32)> = (0..100).map(|i| (i, i + 1000)).collect();
+        let scores = vec![1.0; 100];
+        let a = top_k_pairs(&pairs, &scores, 10, 7);
+        let b = top_k_pairs(&pairs, &scores, 10, 7);
+        assert_eq!(a, b);
+        let c = top_k_pairs(&pairs, &scores, 10, 8);
+        assert_ne!(a, c, "different seeds should break ties differently");
+    }
+
+    #[test]
+    fn nan_scores_are_skipped() {
+        let pairs = vec![(0, 1), (0, 2), (0, 3)];
+        let scores = vec![f64::NAN, 1.0, 2.0];
+        let top = top_k_pairs(&pairs, &scores, 3, 0);
+        assert_eq!(top, vec![(0, 3), (0, 2)]);
+    }
+
+    #[test]
+    fn negative_and_infinite_scores_ordered() {
+        let pairs = vec![(0, 1), (0, 2), (0, 3)];
+        let scores = vec![f64::NEG_INFINITY, -5.0, f64::INFINITY];
+        let top = top_k_pairs(&pairs, &scores, 2, 0);
+        assert_eq!(top, vec![(0, 3), (0, 2)]);
+    }
+
+    #[test]
+    fn tie_winners_match_full_sort() {
+        // The heap's tie handling must agree with a full sort using the
+        // same composite key.
+        let pairs: Vec<(u32, u32)> = (0..50).map(|i| (i, i + 100)).collect();
+        let scores: Vec<f64> = (0..50).map(|i| f64::from(i % 5)).collect();
+        let k = 7;
+        let fast = top_k_pairs(&pairs, &scores, k, 3);
+        let mut idx: Vec<usize> = (0..50).collect();
+        idx.sort_by(|&a, &b| {
+            scores[b]
+                .total_cmp(&scores[a])
+                .then_with(|| {
+                    pair_jitter(pairs[b].0, pairs[b].1, 3)
+                        .cmp(&pair_jitter(pairs[a].0, pairs[a].1, 3))
+                })
+                .then_with(|| b.cmp(&a))
+        });
+        let slow: Vec<(u32, u32)> = idx[..k].iter().map(|&i| pairs[i]).collect();
+        assert_eq!(fast, slow);
+    }
+}

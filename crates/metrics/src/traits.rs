@@ -1,0 +1,63 @@
+//! The `Metric` trait and its candidate policy.
+
+use crate::candidates::CandidateSet;
+use crate::topk;
+use osn_graph::snapshot::Snapshot;
+use osn_graph::NodeId;
+
+/// How far from each other a pair of nodes may be for this metric to give
+/// it a non-trivial score. The evaluation framework uses the *loosest*
+/// policy among the metrics under test to build one shared candidate set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CandidatePolicy {
+    /// Non-zero only for pairs sharing ≥ 1 neighbor (distance exactly 2).
+    TwoHop,
+    /// Non-zero up to distance 3 (Local Path, SP, walks, Katz).
+    ThreeHop,
+    /// May rank arbitrary pairs (PA, Rescal) — the candidate set adds
+    /// supernode cross-pairs on top of the distance-bounded pairs.
+    Global,
+}
+
+/// One link-prediction similarity metric (Table 3 of the paper).
+///
+/// Implementations are stateless configuration objects: all per-snapshot
+/// state (factorizations, walk distributions, triangle counts) is computed
+/// inside [`score_pairs`](Metric::score_pairs) for the snapshot at hand.
+/// Callers amortize that cost by scoring all pairs of interest in a single
+/// call.
+pub trait Metric: Sync {
+    /// Display name matching the paper's tables ("BRA", "Katz-lr", …).
+    fn name(&self) -> &'static str;
+
+    /// Candidate policy (see [`CandidatePolicy`]).
+    fn candidate_policy(&self) -> CandidatePolicy;
+
+    /// Scores a batch of (unconnected) pairs against a snapshot. Returns
+    /// one finite score per pair, higher = more likely to connect.
+    fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64>;
+
+    /// Predicts the top-`k` pairs from a pre-built candidate set, with
+    /// seeded tie-breaking (ties are common for SP and CN).
+    fn predict_top_k(
+        &self,
+        snap: &Snapshot,
+        cands: &CandidateSet,
+        k: usize,
+        seed: u64,
+    ) -> Vec<(NodeId, NodeId)> {
+        let scores = self.score_pairs(snap, cands.pairs());
+        topk::top_k_pairs(cands.pairs(), &scores, k, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_ordering_is_loosest_last() {
+        assert!(CandidatePolicy::TwoHop < CandidatePolicy::ThreeHop);
+        assert!(CandidatePolicy::ThreeHop < CandidatePolicy::Global);
+    }
+}

@@ -1,0 +1,179 @@
+//! Stratified k-fold cross-validation.
+//!
+//! §5.2 of the paper closes with "to minimize such loss, we need to invest
+//! efforts on finding the right level of undersampling ratio (θ)". This
+//! module provides the standard tool for that investment: stratified
+//! k-fold splits (each fold preserves the class ratio) plus a generic
+//! scorer, so callers can pick θ — or any other hyper-parameter — on
+//! training data alone.
+
+use crate::data::Dataset;
+use crate::eval::roc_auc;
+use crate::Classifier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Stratified fold assignment: returns `folds[i]` = fold index of sample
+/// `i`, with positives and negatives spread evenly across `k` folds.
+///
+/// # Panics
+/// Panics if `k < 2` or the dataset has fewer than `k` samples of either
+/// class.
+pub fn stratified_folds(data: &Dataset, k: usize, seed: u64) -> Vec<usize> {
+    assert!(k >= 2, "need at least 2 folds");
+    let mut pos: Vec<usize> = (0..data.len()).filter(|&i| data.label_bool(i)).collect();
+    let mut neg: Vec<usize> = (0..data.len()).filter(|&i| !data.label_bool(i)).collect();
+    assert!(
+        pos.len() >= k && neg.len() >= k,
+        "need at least k samples per class (pos {}, neg {}, k {k})",
+        pos.len(),
+        neg.len()
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    for part in [&mut pos, &mut neg] {
+        for i in (1..part.len()).rev() {
+            part.swap(i, rng.random_range(0..=i));
+        }
+    }
+    let mut folds = vec![0usize; data.len()];
+    for (j, &i) in pos.iter().enumerate() {
+        folds[i] = j % k;
+    }
+    for (j, &i) in neg.iter().enumerate() {
+        folds[i] = j % k;
+    }
+    folds
+}
+
+/// Mean cross-validated ROC AUC of a classifier family on a dataset.
+/// `make` builds a fresh classifier per fold.
+pub fn cv_auc<C: Classifier, F: Fn() -> C>(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    make: F,
+) -> f64 {
+    let folds = stratified_folds(data, k, seed);
+    let mut total = 0.0;
+    for fold in 0..k {
+        let train_idx: Vec<usize> = (0..data.len()).filter(|&i| folds[i] != fold).collect();
+        let test_idx: Vec<usize> = (0..data.len()).filter(|&i| folds[i] == fold).collect();
+        let train = data.select(&train_idx);
+        let mut clf = make();
+        clf.fit(&train);
+        let scores: Vec<f64> = test_idx.iter().map(|&i| clf.decision(data.row(i))).collect();
+        let truth: Vec<bool> = test_idx.iter().map(|&i| data.label_bool(i)).collect();
+        total += roc_auc(&scores, &truth);
+    }
+    total / k as f64
+}
+
+/// Picks the undersampling ratio θ (negatives per positive) from a
+/// candidate list by cross-validated AUC on the *training* data — the §5.2
+/// "invest efforts in finding the right θ" procedure. Returns the winning
+/// θ and its CV AUC.
+pub fn select_theta<C: Classifier, F: Fn() -> C>(
+    data: &Dataset,
+    thetas: &[f64],
+    k: usize,
+    seed: u64,
+    make: F,
+) -> (f64, f64) {
+    assert!(!thetas.is_empty());
+    let mut best = (thetas[0], f64::MIN);
+    for &theta in thetas {
+        let sampled = data.undersample(theta, seed ^ theta.to_bits());
+        let (neg, pos) = sampled.binary_counts();
+        if pos < k || neg < k {
+            continue; // not enough data at this ratio
+        }
+        let auc = cv_auc(&sampled, k, seed, &make);
+        if auc > best.1 {
+            best = (theta, auc);
+        }
+    }
+    assert!(best.1 > f64::MIN, "no θ candidate left enough data for {k}-fold CV");
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svm::LinearSvm;
+
+    fn blobs(n: usize, gap: f64, pos_frac: f64) -> Dataset {
+        let mut d = Dataset::new(2);
+        let mut s = 9u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for i in 0..n {
+            let y = (i as f64 / n as f64) < pos_frac;
+            let c = if y { gap } else { -gap };
+            d.push(&[c + next(), next()], u32::from(y));
+        }
+        d
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let d = blobs(100, 1.0, 0.2);
+        let folds = stratified_folds(&d, 5, 1);
+        for fold in 0..5 {
+            let pos = (0..d.len())
+                .filter(|&i| folds[i] == fold && d.label_bool(i))
+                .count();
+            let neg = (0..d.len())
+                .filter(|&i| folds[i] == fold && !d.label_bool(i))
+                .count();
+            assert_eq!(pos, 4, "20 positives over 5 folds");
+            assert_eq!(neg, 16, "80 negatives over 5 folds");
+        }
+    }
+
+    #[test]
+    fn folds_deterministic_per_seed() {
+        let d = blobs(60, 1.0, 0.5);
+        assert_eq!(stratified_folds(&d, 3, 7), stratified_folds(&d, 3, 7));
+        assert_ne!(stratified_folds(&d, 3, 7), stratified_folds(&d, 3, 8));
+    }
+
+    #[test]
+    fn cv_auc_high_on_separable_low_on_noise() {
+        let separable = blobs(200, 2.0, 0.5);
+        let auc = cv_auc(&separable, 4, 1, || LinearSvm::seeded(1));
+        assert!(auc > 0.95, "separable data should CV near-perfectly, got {auc}");
+
+        // Labels independent of features → AUC ≈ 0.5.
+        let mut noise = Dataset::new(2);
+        let mut s = 3u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for i in 0..200 {
+            noise.push(&[next(), next()], u32::from(i % 2 == 0));
+        }
+        let auc = cv_auc(&noise, 4, 1, || LinearSvm::seeded(1));
+        assert!((auc - 0.5).abs() < 0.12, "noise should CV near 0.5, got {auc}");
+    }
+
+    #[test]
+    fn select_theta_returns_a_candidate() {
+        let d = blobs(400, 1.5, 0.05); // imbalanced 5% positive
+        let (theta, auc) = select_theta(&d, &[1.0, 5.0, 15.0], 3, 2, || LinearSvm::seeded(2));
+        assert!([1.0, 5.0, 15.0].contains(&theta));
+        assert!(auc > 0.8, "separable imbalanced data should still CV well, got {auc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k samples")]
+    fn too_few_positives_panics() {
+        let mut d = Dataset::new(1);
+        for i in 0..20 {
+            d.push(&[i as f64], u32::from(i == 0));
+        }
+        stratified_folds(&d, 3, 1);
+    }
+}

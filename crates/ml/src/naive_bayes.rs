@@ -1,0 +1,159 @@
+//! Gaussian naive Bayes.
+
+use crate::data::Dataset;
+use crate::Classifier;
+
+/// Gaussian naive Bayes: per-class, per-feature normal likelihoods with a
+/// variance floor for numerical safety. `decision` returns the posterior
+/// log-odds `log P(+|x) − log P(−|x)`.
+#[derive(Clone, Debug, Default)]
+pub struct GaussianNaiveBayes {
+    /// Per-class feature means (index 0 = negative, 1 = positive).
+    means: [Vec<f64>; 2],
+    /// Per-class feature variances.
+    vars: [Vec<f64>; 2],
+    /// Log class priors.
+    log_prior: [f64; 2],
+    fitted: bool,
+}
+
+impl GaussianNaiveBayes {
+    /// Creates an unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+const VAR_FLOOR: f64 = 1e-9;
+
+impl Classifier for GaussianNaiveBayes {
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let d = data.n_features();
+        let mut counts = [0usize; 2];
+        self.means = [vec![0.0; d], vec![0.0; d]];
+        self.vars = [vec![0.0; d], vec![0.0; d]];
+        for i in 0..data.len() {
+            let c = usize::from(data.label_bool(i));
+            counts[c] += 1;
+            for (m, &x) in self.means[c].iter_mut().zip(data.row(i)) {
+                *m += x;
+            }
+        }
+        assert!(
+            counts[0] > 0 && counts[1] > 0,
+            "Gaussian NB needs at least one sample of each class"
+        );
+        for (c, count) in counts.iter().enumerate() {
+            for m in &mut self.means[c] {
+                *m /= *count as f64;
+            }
+        }
+        for i in 0..data.len() {
+            let c = usize::from(data.label_bool(i));
+            for ((v, &m), &x) in self.vars[c].iter_mut().zip(&self.means[c]).zip(data.row(i)) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        for (c, count) in counts.iter().enumerate() {
+            for v in &mut self.vars[c] {
+                *v = (*v / *count as f64).max(VAR_FLOOR);
+            }
+        }
+        let n = data.len() as f64;
+        self.log_prior = [(counts[0] as f64 / n).ln(), (counts[1] as f64 / n).ln()];
+        self.fitted = true;
+    }
+
+    fn decision(&self, row: &[f64]) -> f64 {
+        assert!(self.fitted, "decision before fit");
+        let mut ll = [self.log_prior[0], self.log_prior[1]];
+        for (c, llc) in ll.iter_mut().enumerate() {
+            for ((&m, &v), &x) in self.means[c].iter().zip(&self.vars[c]).zip(row) {
+                *llc += -0.5 * ((x - m) * (x - m) / v + v.ln() + (2.0 * std::f64::consts::PI).ln());
+            }
+        }
+        ll[1] - ll[0]
+    }
+
+    fn name(&self) -> &'static str {
+        "NB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_blobs() -> Dataset {
+        // Deterministic pseudo-noise around ±1.5 on feature 0.
+        let mut d = Dataset::new(2);
+        let mut s = 11u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for i in 0..400 {
+            let y = i % 2 == 0;
+            let c = if y { 1.5 } else { -1.5 };
+            d.push(&[c + next(), next()], u32::from(y));
+        }
+        d
+    }
+
+    #[test]
+    fn learns_blobs() {
+        let d = gaussian_blobs();
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&d);
+        let correct = (0..d.len()).filter(|&i| nb.predict(d.row(i)) == d.label_bool(i)).count();
+        assert!(correct as f64 / d.len() as f64 > 0.97);
+    }
+
+    #[test]
+    fn decision_sign_tracks_class() {
+        let d = gaussian_blobs();
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&d);
+        assert!(nb.decision(&[2.0, 0.0]) > 0.0);
+        assert!(nb.decision(&[-2.0, 0.0]) < 0.0);
+    }
+
+    #[test]
+    fn priors_affect_decision() {
+        // Same likelihoods, skewed priors → boundary shifts.
+        let mut d = Dataset::new(1);
+        for _ in 0..90 {
+            d.push(&[-1.0], 0);
+        }
+        for _ in 0..10 {
+            d.push(&[1.0], 1);
+        }
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&d);
+        // Exactly between the class means, the prior dominates.
+        assert!(nb.decision(&[0.0]) < 0.0);
+    }
+
+    #[test]
+    fn constant_feature_is_safe() {
+        let mut d = Dataset::new(2);
+        d.push(&[1.0, 7.0], 0);
+        d.push(&[1.0, 7.0], 0);
+        d.push(&[2.0, 7.0], 1);
+        d.push(&[2.0, 7.0], 1);
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&d);
+        let score = nb.decision(&[1.5, 7.0]);
+        assert!(score.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "each class")]
+    fn single_class_panics() {
+        let mut d = Dataset::new(1);
+        d.push(&[0.0], 0);
+        d.push(&[1.0], 0);
+        GaussianNaiveBayes::new().fit(&d);
+    }
+}

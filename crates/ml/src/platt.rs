@@ -1,0 +1,213 @@
+//! Platt scaling: calibrated probabilities from raw decision scores.
+//!
+//! The paper's conclusions (§8) call out "binary classification results
+//! that lack granularity" as a concrete problem with several predictors.
+//! Platt scaling is the standard fix: fit `P(y=1 | s) = σ(A·s + B)` on a
+//! classifier's decision scores by regularized maximum likelihood (Platt
+//! 1999, with Lin–Lin–Weng's target smoothing), turning *any* ranking
+//! score — an SVM margin, a forest vote share, even a similarity metric —
+//! into a usable probability.
+
+// (serde intentionally not a dependency of osn-ml; keep the struct plain)
+
+/// A fitted Platt calibrator: `P(y=1|s) = σ(a·s + b)`.
+#[derive(Clone, Copy, Debug)]
+pub struct PlattScaler {
+    /// Slope on the decision score.
+    pub a: f64,
+    /// Intercept.
+    pub b: f64,
+}
+
+impl PlattScaler {
+    /// Fits the calibrator on `(score, label)` pairs by Newton-damped
+    /// gradient descent on the regularized log-loss, using the smoothed
+    /// targets `t⁺ = (N⁺+1)/(N⁺+2)`, `t⁻ = 1/(N⁻+2)` that keep the MLE
+    /// finite on separable data.
+    ///
+    /// # Panics
+    /// Panics if fewer than 2 samples or only one class is present.
+    pub fn fit(scores: &[f64], labels: &[bool]) -> PlattScaler {
+        assert_eq!(scores.len(), labels.len());
+        assert!(scores.len() >= 2, "need at least two samples");
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        let n_neg = labels.len() - n_pos;
+        assert!(n_pos > 0 && n_neg > 0, "need both classes to calibrate");
+
+        let t_pos = (n_pos as f64 + 1.0) / (n_pos as f64 + 2.0);
+        let t_neg = 1.0 / (n_neg as f64 + 2.0);
+        let targets: Vec<f64> =
+            labels.iter().map(|&l| if l { t_pos } else { t_neg }).collect();
+
+        // Gradient descent with a per-step backtracking line search —
+        // simple and robust for a 2-parameter convex problem.
+        let mut a = 0.0f64;
+        let mut b = -((n_neg as f64 + 1.0) / (n_pos as f64 + 1.0)).ln();
+        let nll = |a: f64, b: f64| -> f64 {
+            scores
+                .iter()
+                .zip(&targets)
+                .map(|(&s, &t)| {
+                    let z = a * s + b;
+                    // log(1+e^z) - t·z, stably.
+                    let log1p = if z > 0.0 { z + (-z).exp().ln_1p() } else { z.exp().ln_1p() };
+                    log1p - t * z
+                })
+                .sum()
+        };
+        let mut f = nll(a, b);
+        for _ in 0..200 {
+            // Gradient.
+            let mut ga = 0.0;
+            let mut gb = 0.0;
+            for (&s, &t) in scores.iter().zip(&targets) {
+                let z = a * s + b;
+                let p = if z >= 0.0 { 1.0 / (1.0 + (-z).exp()) } else { let e = z.exp(); e / (1.0 + e) };
+                ga += (p - t) * s;
+                gb += p - t;
+            }
+            let norm = (ga * ga + gb * gb).sqrt();
+            if norm < 1e-10 {
+                break;
+            }
+            // Backtracking step.
+            let mut step = 1.0 / (1.0 + norm);
+            let mut improved = false;
+            for _ in 0..40 {
+                let (na, nb) = (a - step * ga, b - step * gb);
+                let nf = nll(na, nb);
+                if nf < f {
+                    a = na;
+                    b = nb;
+                    f = nf;
+                    improved = true;
+                    break;
+                }
+                step *= 0.5;
+            }
+            if !improved {
+                break;
+            }
+        }
+        PlattScaler { a, b }
+    }
+
+    /// Calibrated probability for a decision score.
+    pub fn probability(&self, score: f64) -> f64 {
+        let z = self.a * score + self.b;
+        if z >= 0.0 {
+            1.0 / (1.0 + (-z).exp())
+        } else {
+            let e = z.exp();
+            e / (1.0 + e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable() -> (Vec<f64>, Vec<bool>) {
+        let scores: Vec<f64> = (0..40).map(|i| i as f64 / 10.0 - 2.0).collect();
+        let labels: Vec<bool> = scores.iter().map(|&s| s > 0.0).collect();
+        (scores, labels)
+    }
+
+    #[test]
+    fn calibrated_probabilities_are_monotone() {
+        let (s, l) = separable();
+        let p = PlattScaler::fit(&s, &l);
+        let probs: Vec<f64> = s.iter().map(|&x| p.probability(x)).collect();
+        for w in probs.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "calibration must preserve ranking");
+        }
+        assert!(probs[0] < 0.3, "low scores → low probability, got {}", probs[0]);
+        assert!(probs[39] > 0.7, "high scores → high probability");
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let (s, l) = separable();
+        let p = PlattScaler::fit(&s, &l);
+        for x in [-1e6, -1.0, 0.0, 1.0, 1e6] {
+            let pr = p.probability(x);
+            assert!((0.0..=1.0).contains(&pr));
+        }
+    }
+
+    #[test]
+    fn calibration_reflects_base_rate() {
+        // Uninformative scores: calibrated probability ≈ base rate.
+        let scores = vec![0.0; 100];
+        let labels: Vec<bool> = (0..100).map(|i| i < 10).collect();
+        let p = PlattScaler::fit(&scores, &labels);
+        let prob = p.probability(0.0);
+        assert!(
+            (prob - 0.1).abs() < 0.05,
+            "base rate 10% should calibrate near 0.1, got {prob}"
+        );
+    }
+
+    #[test]
+    fn noisy_overlap_gives_soft_probabilities() {
+        // Overlapping classes: mid scores must not saturate.
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..50 {
+            scores.push(i as f64 * 0.02);
+            labels.push(i % 3 != 0); // 2/3 positive across the range
+        }
+        for i in 0..50 {
+            scores.push(-(i as f64) * 0.02);
+            labels.push(i % 3 == 0); // 1/3 positive
+        }
+        let p = PlattScaler::fit(&scores, &labels);
+        let mid = p.probability(0.0);
+        assert!(mid > 0.2 && mid < 0.8, "overlap should stay soft, got {mid}");
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_panics() {
+        PlattScaler::fit(&[1.0, 2.0], &[true, true]);
+    }
+
+    #[test]
+    fn works_on_svm_scores_end_to_end() {
+        use crate::data::Dataset;
+        use crate::svm::LinearSvm;
+        use crate::Classifier;
+        let mut d = Dataset::new(1);
+        let mut s = 5u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for i in 0..200 {
+            let y = i % 2 == 0;
+            d.push(&[if y { 1.0 } else { -1.0 } + next()], u32::from(y));
+        }
+        let mut svm = LinearSvm::seeded(1);
+        svm.fit(&d);
+        let scores: Vec<f64> = (0..d.len()).map(|i| svm.decision(d.row(i))).collect();
+        let labels: Vec<bool> = (0..d.len()).map(|i| d.label_bool(i)).collect();
+        let platt = PlattScaler::fit(&scores, &labels);
+        // Calibrated probabilities should separate the classes.
+        let mean_pos: f64 = scores
+            .iter()
+            .zip(&labels)
+            .filter(|&(_, &l)| l)
+            .map(|(&s, _)| platt.probability(s))
+            .sum::<f64>()
+            / 100.0;
+        let mean_neg: f64 = scores
+            .iter()
+            .zip(&labels)
+            .filter(|&(_, &l)| !l)
+            .map(|(&s, _)| platt.probability(s))
+            .sum::<f64>()
+            / 100.0;
+        assert!(mean_pos > 0.8 && mean_neg < 0.2, "pos {mean_pos:.2} neg {mean_neg:.2}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Generator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Which growth model to run and its model-specific parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum NetworkKind {
+    /// Symmetric friendship formation (Facebook / Renren style).
+    Friendship {
+        /// Share of edges formed by triadic closure at day 0.
+        closure_start: f64,
+        /// Share of edges formed by triadic closure on the final day; the
+        /// share interpolates linearly in between. A decaying schedule
+        /// models the Facebook trace's regional-subsampling λ₂ decay; a
+        /// rising schedule models Renren/YouTube densification.
+        closure_end: f64,
+        /// Of the non-closure edges, the share attached degree-
+        /// proportionally (the rest attach uniformly at random).
+        preferential: f64,
+        /// Bias of triadic closure toward recently created edges: the
+        /// intermediate neighbor is drawn from the most recent
+        /// `recency_window` fraction of the initiator's adjacency list with
+        /// probability `recency_bias`.
+        recency_bias: f64,
+        /// See `recency_bias`.
+        recency_window: f64,
+    },
+    /// Subscription formation (YouTube style).
+    Subscription {
+        /// Zipf exponent of node popularity (larger ⇒ steeper supernodes).
+        zipf_exponent: f64,
+        /// Share of edges that are subscriber→popular attachments; the
+        /// remainder are friendship-style triadic closures among
+        /// subscribers (YouTube still has some social edges).
+        subscribe_share: f64,
+        /// Probability that the subscriber side of an edge is one of the
+        /// *recently arrived* (low-degree) nodes rather than a uniform one.
+        fresh_subscriber_bias: f64,
+    },
+}
+
+/// Full configuration of a synthetic growth trace.
+///
+/// Construction goes through [`crate::presets::TraceConfig`] constructors;
+/// the fields are public so experiments can tweak individual knobs and
+/// document the tweak.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Human-readable preset name ("facebook-like", …).
+    pub name: String,
+    /// Growth model and its parameters.
+    pub kind: NetworkKind,
+    /// Nodes present at day 0 (seeded as a sparse random graph).
+    pub initial_nodes: usize,
+    /// Edges among the initial nodes at day 0.
+    pub initial_edges: usize,
+    /// Number of simulated days.
+    pub days: u32,
+    /// Daily node-population growth rate (population ≈ n₀·e^{r·day}).
+    pub node_growth_rate: f64,
+    /// Mean edges initiated per awake node per day.
+    pub edges_per_active_node: f64,
+    /// Activity lifecycle: mean awake-session length in days.
+    pub session_days: f64,
+    /// Activity lifecycle: mean idle-gap length in days (heavy-tailed).
+    pub idle_days: f64,
+    /// Fraction of nodes that are long-term dormant (rarely awake); these
+    /// produce the long tail of the idle-time CDFs.
+    pub dormant_fraction: f64,
+}
+
+impl TraceConfig {
+    /// Returns a copy with node counts (initial and implied final) scaled
+    /// by `f`, for cheap test-sized traces. Edge budgets scale with the
+    /// node count automatically because they are per-node rates.
+    ///
+    /// # Panics
+    /// Panics unless `0 < f <= 1`.
+    pub fn scaled(mut self, f: f64) -> Self {
+        assert!(f > 0.0 && f <= 1.0, "scale factor must be in (0, 1]");
+        self.initial_nodes = ((self.initial_nodes as f64 * f) as usize).max(20);
+        self.initial_edges = ((self.initial_edges as f64 * f) as usize).max(20);
+        self
+    }
+
+    /// Returns a copy simulating `days` days instead of the preset length.
+    pub fn with_days(mut self, days: u32) -> Self {
+        assert!(days >= 2, "need at least two days");
+        self.days = days;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_reduces_sizes_with_floor() {
+        let c = TraceConfig::facebook_like();
+        let s = c.clone().scaled(0.001);
+        assert!(s.initial_nodes < c.initial_nodes);
+        assert!(s.initial_nodes >= 20);
+        assert_eq!(s.days, c.days);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scaled_rejects_zero() {
+        let _ = TraceConfig::facebook_like().scaled(0.0);
+    }
+
+    #[test]
+    fn with_days_overrides() {
+        let c = TraceConfig::renren_like().with_days(10);
+        assert_eq!(c.days, 10);
+    }
+}

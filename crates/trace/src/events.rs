@@ -1,0 +1,250 @@
+//! External disruption events (§3.1).
+//!
+//! The paper deliberately truncates its traces to avoid two external
+//! events: Renren's December-2006 merge with its largest competitor, and a
+//! YouTube network-policy change. This module *injects* such events into a
+//! generated trace so their effect on the methodology can be studied
+//! rather than assumed: a merge makes the snapshot machinery see a burst
+//! of structurally alien edges; a policy change shifts the edge-creation
+//! rate. Both disrupt λ₂ and the temporal features the §6 filters rely on
+//! — the experiments use this to demonstrate *why* the paper's truncation
+//! was necessary.
+
+use crate::GrowthTrace;
+use osn_graph::{NodeId, Timestamp, DAY};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A disruption to splice into a trace.
+#[derive(Clone, Copy, Debug)]
+pub enum Disruption {
+    /// A network-merge event at `day`: a disconnected population of
+    /// `nodes` joins at once, bringing `internal_edges` edges among itself
+    /// (its pre-merge social graph) plus `bridge_edges` random edges to the
+    /// host network — all timestamped within a single day.
+    Merge {
+        /// Day of the merge.
+        day: u32,
+        /// Size of the arriving population.
+        nodes: usize,
+        /// Edges internal to the arriving population.
+        internal_edges: usize,
+        /// Cross edges to the host network.
+        bridge_edges: usize,
+    },
+    /// A policy change at `day`: from that day on, edge creation is
+    /// throttled — every post-event edge survives only with probability
+    /// `keep_probability` (e.g. YouTube making subscriptions harder).
+    PolicyThrottle {
+        /// Day the policy takes effect.
+        day: u32,
+        /// Survival probability of post-event edges.
+        keep_probability: f64,
+    },
+}
+
+/// Applies a disruption to a trace, returning the disrupted trace.
+/// Deterministic in `seed`.
+pub fn apply(trace: &GrowthTrace, disruption: Disruption, seed: u64) -> GrowthTrace {
+    match disruption {
+        Disruption::Merge { day, nodes, internal_edges, bridge_edges } => {
+            merge(trace, day, nodes, internal_edges, bridge_edges, seed)
+        }
+        Disruption::PolicyThrottle { day, keep_probability } => {
+            throttle(trace, day, keep_probability, seed)
+        }
+    }
+}
+
+fn merge(
+    trace: &GrowthTrace,
+    day: u32,
+    new_nodes: usize,
+    internal_edges: usize,
+    bridge_edges: usize,
+    seed: u64,
+) -> GrowthTrace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4E47_1234);
+    let t_event = day as Timestamp * DAY;
+    let host_n = trace.nodes_at(t_event);
+    assert!(host_n >= 2, "merge day precedes the host network");
+
+    // Rebuild arrivals: host arrivals ≤ t_event, merged block at t_event,
+    // then the host's later arrivals shifted after the block (ids must stay
+    // arrival-ordered, so later host nodes get new ids).
+    let mut arrivals: Vec<Timestamp> = Vec::with_capacity(trace.node_count() + new_nodes);
+    let mut id_map: Vec<NodeId> = vec![0; trace.node_count()];
+    for (old_id, &a) in trace.arrivals().iter().enumerate() {
+        if a <= t_event {
+            id_map[old_id] = arrivals.len() as NodeId;
+            arrivals.push(a);
+        }
+    }
+    let merged_base = arrivals.len() as NodeId;
+    for _ in 0..new_nodes {
+        arrivals.push(t_event);
+    }
+    for (old_id, &a) in trace.arrivals().iter().enumerate() {
+        if a > t_event {
+            id_map[old_id] = arrivals.len() as NodeId;
+            arrivals.push(a);
+        }
+    }
+
+    let mut edges: Vec<(NodeId, NodeId, Timestamp)> = trace
+        .edges()
+        .iter()
+        .map(|e| (id_map[e.u as usize], id_map[e.v as usize], e.t))
+        .collect();
+
+    // The merged population's internal graph: random pairs with moderate
+    // clustering (pair + occasional closure through a previous edge).
+    let mut internal: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut attempts = 0;
+    while internal.len() < internal_edges && attempts < internal_edges * 20 {
+        attempts += 1;
+        let a = merged_base + rng.random_range(0..new_nodes as u32);
+        let b = if !internal.is_empty() && rng.random::<f64>() < 0.4 {
+            // Closure: endpoint of a random prior internal edge.
+            let (x, y) = internal[rng.random_range(0..internal.len())];
+            if rng.random::<f64>() < 0.5 {
+                x
+            } else {
+                y
+            }
+        } else {
+            merged_base + rng.random_range(0..new_nodes as u32)
+        };
+        if a != b {
+            internal.push(osn_graph::canonical(a, b));
+        }
+    }
+    let mut offset = 1u64;
+    for (a, b) in internal {
+        edges.push((a, b, t_event + offset));
+        offset += 1;
+    }
+    for _ in 0..bridge_edges {
+        let a = merged_base + rng.random_range(0..new_nodes as u32);
+        let b = rng.random_range(0..merged_base);
+        edges.push((a, b, t_event + offset));
+        offset += 1;
+    }
+    GrowthTrace::from_events(arrivals, edges)
+}
+
+fn throttle(trace: &GrowthTrace, day: u32, keep: f64, seed: u64) -> GrowthTrace {
+    assert!((0.0..=1.0).contains(&keep));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7417_0777);
+    let t_event = day as Timestamp * DAY;
+    let edges: Vec<(NodeId, NodeId, Timestamp)> = trace
+        .edges()
+        .iter()
+        .filter(|e| e.t <= t_event || rng.random::<f64>() < keep)
+        .map(|e| (e.u, e.v, e.t))
+        .collect();
+    GrowthTrace::from_events(trace.arrivals().to_vec(), edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::TraceConfig;
+    use osn_graph::sequence::SnapshotSequence;
+    use osn_graph::stats;
+
+    fn base() -> GrowthTrace {
+        TraceConfig::renren_like().scaled(0.05).with_days(40).generate(3)
+    }
+
+    #[test]
+    fn merge_adds_population_and_edges() {
+        let t = base();
+        let d = apply(
+            &t,
+            Disruption::Merge { day: 20, nodes: 100, internal_edges: 250, bridge_edges: 30 },
+            1,
+        );
+        assert_eq!(d.node_count(), t.node_count() + 100);
+        assert!(d.edge_count() > t.edge_count() + 200);
+        // Arrival order invariant survived (from_events would panic
+        // otherwise); the merged block arrives exactly at day 20.
+        assert_eq!(d.nodes_at(20 * DAY) - t.nodes_at(20 * DAY), 100);
+    }
+
+    #[test]
+    fn merge_produces_a_growth_spike() {
+        let t = base();
+        let d = apply(
+            &t,
+            Disruption::Merge { day: 20, nodes: 150, internal_edges: 400, bridge_edges: 50 },
+            1,
+        );
+        let daily = d.daily_growth();
+        let spike = daily[20].new_edges;
+        let before = daily[19].new_edges.max(1);
+        assert!(
+            spike > 4 * before,
+            "merge day should dwarf normal growth ({before} → {spike})"
+        );
+    }
+
+    #[test]
+    fn merge_disrupts_lambda2() {
+        // The methodology point: a merge floods one transition with edges
+        // between nodes invisible to neighborhood structure.
+        let t = base();
+        let d = apply(
+            &t,
+            Disruption::Merge { day: 20, nodes: 200, internal_edges: 600, bridge_edges: 60 },
+            1,
+        );
+        let seq = SnapshotSequence::with_count(&d, 10);
+        let mut min_lambda = f64::MAX;
+        let mut max_lambda: f64 = 0.0;
+        for i in 1..seq.len() {
+            let prev = seq.snapshot(i - 1);
+            let l = stats::two_hop_edge_ratio(&prev, &seq.new_edges(i));
+            min_lambda = min_lambda.min(l);
+            max_lambda = max_lambda.max(l);
+        }
+        assert!(
+            min_lambda < 0.5 * max_lambda,
+            "λ₂ should crater around the merge (min {min_lambda:.2}, max {max_lambda:.2})"
+        );
+    }
+
+    #[test]
+    fn throttle_cuts_post_event_growth() {
+        let t = base();
+        let d = apply(&t, Disruption::PolicyThrottle { day: 20, keep_probability: 0.2 }, 1);
+        let before: usize =
+            d.daily_growth().iter().take(20).map(|x| x.new_edges).sum();
+        let orig_before: usize =
+            t.daily_growth().iter().take(20).map(|x| x.new_edges).sum();
+        assert_eq!(before, orig_before, "pre-event edges untouched");
+        let after: usize = d.daily_growth().iter().skip(21).map(|x| x.new_edges).sum();
+        let orig_after: usize = t.daily_growth().iter().skip(21).map(|x| x.new_edges).sum();
+        assert!(
+            (after as f64) < 0.4 * orig_after as f64,
+            "post-event edges should be throttled ({orig_after} → {after})"
+        );
+    }
+
+    #[test]
+    fn throttle_keep_one_is_identity() {
+        let t = base();
+        let d = apply(&t, Disruption::PolicyThrottle { day: 10, keep_probability: 1.0 }, 1);
+        assert_eq!(d.edge_count(), t.edge_count());
+    }
+
+    #[test]
+    fn events_are_deterministic() {
+        let t = base();
+        let ev = Disruption::Merge { day: 15, nodes: 50, internal_edges: 100, bridge_edges: 10 };
+        let a = apply(&t, ev, 9);
+        let b = apply(&t, ev, 9);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.edges()[a.edge_count() / 2], b.edges()[b.edge_count() / 2]);
+    }
+}

@@ -1,0 +1,49 @@
+//! # osn-trace
+//!
+//! Synthetic growth-trace generators standing in for the three proprietary
+//! datasets of Liu et al. (IMC 2016): the Facebook New Orleans regional
+//! network, the full Renren graph, and the YouTube snowball crawl. None of
+//! those traces is redistributable, so LinkLens generates synthetic traces
+//! that reproduce the *properties the paper's findings depend on*:
+//!
+//! | Property (paper section) | Generator knob |
+//! |---|---|
+//! | exponential node/edge growth (Fig. 1) | daily growth rate |
+//! | densification + shrinking path length (Fig. 2–4) | per-day edge budget growth |
+//! | positive assortativity for friendship nets (§4.2) | triadic closure share |
+//! | negative assortativity / supernodes for YouTube (§4.2) | Zipf popularity attachment |
+//! | λ₂ rising (Renren/YouTube) vs decaying (Facebook) (§4.2) | closure-share schedule |
+//! | bursty node activity → idle-time separation (Fig. 13–14) | session/idle lifecycle |
+//! | recent common-neighbor arrivals → CN-gap separation (Fig. 15) | recency-biased closure |
+//!
+//! Two growth models are implemented:
+//!
+//! * [`friendship`] — symmetric friendship formation (Facebook/Renren
+//!   style): mixture of recency-biased triadic closure, degree-proportional
+//!   attachment and uniform attachment, driven by a bursty per-node
+//!   activity lifecycle.
+//! * [`subscription`] — subscription formation (YouTube style): most edges
+//!   attach a low-degree subscriber to a Zipf-popular target.
+//!
+//! [`events`] injects the external disruptions of §3.1 (a network merge,
+//! a policy change) so experiments can demonstrate why the paper truncates
+//! its traces around such events.
+//!
+//! [`presets::TraceConfig`] carries the tuned parameter sets
+//! (`facebook_like`, `renren_like`, `youtube_like`) plus `.scaled(f)` for
+//! cheap test-sized variants. All generation is deterministic given the
+//! seed passed to [`presets::TraceConfig::generate`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod config;
+pub mod events;
+pub mod friendship;
+pub mod lifecycle;
+pub mod presets;
+pub mod subscription;
+
+/// A generated growth trace — alias for the substrate's temporal graph.
+pub type GrowthTrace = osn_graph::temporal::TemporalGraph;

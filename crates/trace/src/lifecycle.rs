@@ -1,0 +1,254 @@
+//! Per-node activity lifecycle: bursty awake sessions separated by
+//! heavy-tailed idle gaps.
+//!
+//! This is what makes the §6 temporal features informative on synthetic
+//! data: a node initiating an edge today was, with high probability,
+//! already awake in the past few days (small idle time, several recent
+//! edges), while a uniformly random node is usually mid-gap. The paper
+//! measures exactly this separation in Figures 13–14.
+
+use rand::Rng;
+
+/// Activity state of one node.
+#[derive(Clone, Copy, Debug)]
+pub struct Lifecycle {
+    /// Day the current awake session ends (exclusive). When in the past,
+    /// the node is idle until `next_wake`.
+    session_end: f64,
+    /// Day the next awake session starts.
+    next_wake: f64,
+    /// Completed sessions so far (drives aging).
+    sessions: u32,
+    /// Per-node activity multiplier on the edge-initiation rate.
+    pub rate: f64,
+    /// Dormant nodes wake rarely and initiate little.
+    pub dormant: bool,
+}
+
+/// Shared lifecycle parameters (from the trace config).
+#[derive(Clone, Copy, Debug)]
+pub struct LifecycleParams {
+    /// Mean awake-session length, days.
+    pub session_days: f64,
+    /// Mean idle-gap length, days.
+    pub idle_days: f64,
+    /// Probability a node is long-term dormant.
+    pub dormant_fraction: f64,
+    /// Aging: each completed session stretches the next idle gap by this
+    /// fraction. Friendship networks use a positive value (users lose
+    /// interest over time — this is what makes high-degree old-timers
+    /// dormant, the §4.4 Figure 8 bias); subscription networks use 0
+    /// (the paper notes YouTube supernodes "remain super active").
+    pub aging: f64,
+}
+
+impl Lifecycle {
+    /// Spawns a node's lifecycle at day `day`. New arrivals start awake —
+    /// joining a social network is itself a burst of activity.
+    pub fn spawn<R: Rng>(params: &LifecycleParams, day: f64, rng: &mut R) -> Lifecycle {
+        let dormant = rng.random::<f64>() < params.dormant_fraction;
+        // Log-normal-ish activity multiplier: most nodes near 1, a few hot.
+        let z: f64 = gaussian(rng);
+        let rate = (0.6 * z).exp().clamp(0.05, 8.0);
+        let mut lc = Lifecycle { session_end: 0.0, next_wake: day, sessions: 0, rate, dormant };
+        lc.begin_session(params, day, rng);
+        lc
+    }
+
+    fn begin_session<R: Rng>(&mut self, params: &LifecycleParams, day: f64, rng: &mut R) {
+        let len = exponential(rng, params.session_days).max(1.0);
+        self.session_end = day + len;
+        // Heavy-tailed gap: exponential body with a Pareto-ish tail via
+        // squaring a uniform draw; dormant nodes take ~4× longer gaps, and
+        // every past session stretches the gap further (aging).
+        let base = if self.dormant { params.idle_days * 4.0 } else { params.idle_days };
+        let scale = base * (1.0 + params.aging * self.sessions as f64);
+        let gap = exponential(rng, scale) * (1.0 + rng.random::<f64>().powi(2) * 3.0);
+        self.next_wake = self.session_end + gap.max(0.5);
+        self.sessions = self.sessions.saturating_add(1);
+    }
+
+    /// Advances to `day` and reports whether the node is awake. Starts a
+    /// new session when the wake time has arrived.
+    pub fn awake<R: Rng>(&mut self, params: &LifecycleParams, day: f64, rng: &mut R) -> bool {
+        if day < self.session_end {
+            return true;
+        }
+        if day >= self.next_wake {
+            self.begin_session(params, day, rng);
+            return true;
+        }
+        false
+    }
+
+    /// Expected number of edges this node initiates on an awake day, given
+    /// the network-wide base rate.
+    pub fn daily_rate(&self, base: f64) -> f64 {
+        let r = base * self.rate;
+        if self.dormant {
+            r * 0.3
+        } else {
+            r
+        }
+    }
+}
+
+/// Standard normal draw (Box–Muller; one sample per call for simplicity).
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Exponential draw with the given mean.
+pub fn exponential<R: Rng>(rng: &mut R, mean: f64) -> f64 {
+    -mean * rng.random::<f64>().max(1e-12).ln()
+}
+
+/// Poisson draw (Knuth's method — fine for the small means used here).
+pub fn poisson<R: Rng>(rng: &mut R, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        // Normal approximation for large means.
+        return (mean + mean.sqrt() * gaussian(rng)).round().max(0.0) as usize;
+    }
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> LifecycleParams {
+        LifecycleParams { session_days: 3.0, idle_days: 15.0, dormant_fraction: 0.3, aging: 0.0 }
+    }
+
+    #[test]
+    fn new_nodes_start_awake() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for day in [0.0, 5.0, 100.0] {
+            let mut lc = Lifecycle::spawn(&params(), day, &mut rng);
+            assert!(lc.awake(&params(), day, &mut rng));
+        }
+    }
+
+    #[test]
+    fn nodes_alternate_awake_and_idle() {
+        let p = params();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lc = Lifecycle::spawn(&p, 0.0, &mut rng);
+        let mut saw_awake = false;
+        let mut saw_idle = false;
+        for day in 0..200 {
+            if lc.awake(&p, day as f64, &mut rng) {
+                saw_awake = true;
+            } else {
+                saw_idle = true;
+            }
+        }
+        assert!(saw_awake && saw_idle, "lifecycle never alternated in 200 days");
+    }
+
+    #[test]
+    fn dormant_nodes_are_less_available() {
+        let p = LifecycleParams { dormant_fraction: 0.0, ..params() };
+        let pd = LifecycleParams { dormant_fraction: 1.0, ..params() };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut count = |pp: LifecycleParams| {
+            let mut awake_days = 0usize;
+            for i in 0..50 {
+                let mut lc = Lifecycle::spawn(&pp, 0.0, &mut rng);
+                let _ = i;
+                for day in 0..100 {
+                    if lc.awake(&pp, day as f64, &mut rng) {
+                        awake_days += 1;
+                    }
+                }
+            }
+            awake_days
+        };
+        let active = count(p);
+        let dormant = count(pd);
+        assert!(
+            dormant < active,
+            "dormant nodes should be awake less often ({dormant} vs {active})"
+        );
+    }
+
+    #[test]
+    fn aging_stretches_idle_gaps() {
+        let young = params();
+        let old = LifecycleParams { aging: 0.5, ..params() };
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut awake_days = |pp: LifecycleParams| {
+            let mut total = 0usize;
+            for _ in 0..60 {
+                let mut lc = Lifecycle::spawn(&pp, 0.0, &mut rng);
+                for day in 0..300 {
+                    if lc.awake(&pp, day as f64, &mut rng) {
+                        total += 1;
+                    }
+                }
+            }
+            total
+        };
+        let no_aging = awake_days(young);
+        let aging = awake_days(old);
+        assert!(
+            aging < no_aging * 3 / 4,
+            "aging should noticeably reduce long-run availability ({no_aging} vs {aging})"
+        );
+    }
+
+    #[test]
+    fn poisson_mean_is_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let mean = 2.5;
+        let total: usize = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+        let emp = total as f64 / n as f64;
+        assert!((emp - mean).abs() < 0.1, "empirical mean {emp}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_branch() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 5_000;
+        let mean = 100.0;
+        let total: usize = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+        let emp = total as f64 / n as f64;
+        assert!((emp - mean).abs() < 2.0, "empirical mean {emp}");
+    }
+
+    #[test]
+    fn exponential_mean_is_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| exponential(&mut rng, 7.0)).sum();
+        assert!((total / n as f64 - 7.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,242 @@
+//! `linklens` — the command-line front door to the library.
+//!
+//! ```text
+//! linklens generate --preset renren --scale 0.1 --days 60 --seed 7 --out trace.txt
+//! linklens stats trace.txt [--snapshots 10]
+//! linklens predict trace.txt --metric BRA [--k 100] [--filter renren]
+//! linklens recommend trace.txt --user 42 [--metric RA] [--top 5]
+//! ```
+//!
+//! `generate` writes a synthetic growth trace in the v1 text format;
+//! `stats` prints the Figure 2–4 style evolution table for any trace
+//! (generated or imported via a `u v ts` edge list); `predict` scores the
+//! last snapshot transition with one metric; `recommend` prints link
+//! suggestions for one user.
+
+use linklens::core::filters::{FilterThresholds, TemporalFilter};
+use linklens::core::framework::SequenceEvaluator;
+use linklens::graph::io;
+use linklens::graph::sequence::SnapshotSequence;
+use linklens::graph::stats;
+use linklens::metrics::topk;
+use linklens::prelude::*;
+use linklens::trace::GrowthTrace;
+use std::fs::File;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    let rest = &args[1..];
+    match command.as_str() {
+        "generate" => generate(rest),
+        "stats" => stats_cmd(rest),
+        "predict" => predict(rest),
+        "recommend" => recommend(rest),
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown command '{other}'");
+            usage()
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "linklens — link prediction through an empirical lens (IMC 2016 reproduction)\n\
+         \n\
+         commands:\n\
+           generate --preset facebook|renren|youtube [--scale F] [--days N] [--seed N] --out FILE\n\
+           stats FILE [--snapshots N]\n\
+           predict FILE --metric NAME [--snapshots N] [--filter facebook|renren|youtube]\n\
+           recommend FILE --user ID [--metric NAME] [--top N]\n\
+         \n\
+         FILE is a linklens v1 trace or a bare 'u v timestamp' edge list."
+    );
+    exit(2)
+}
+
+/// Fetches the value following `--flag`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn parse_or_exit<T: std::str::FromStr>(value: &str, what: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("invalid {what}: '{value}'");
+        exit(2)
+    })
+}
+
+fn load_trace(path: &str) -> GrowthTrace {
+    let file = File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        exit(1)
+    });
+    // Try the native format first, fall back to a bare edge list.
+    match io::read_trace(file) {
+        Ok(t) => t,
+        Err(_) => {
+            let file = File::open(path).expect("reopen");
+            io::read_edge_list(file).unwrap_or_else(|e| {
+                eprintln!("cannot parse {path} as a trace or edge list: {e}");
+                exit(1)
+            })
+        }
+    }
+}
+
+fn generate(args: &[String]) {
+    let preset = flag_value(args, "--preset").unwrap_or("renren");
+    let scale: f64 = flag_value(args, "--scale").map_or(0.1, |v| parse_or_exit(v, "--scale"));
+    let days: u32 = flag_value(args, "--days").map_or(60, |v| parse_or_exit(v, "--days"));
+    let seed: u64 = flag_value(args, "--seed").map_or(42, |v| parse_or_exit(v, "--seed"));
+    let Some(out) = flag_value(args, "--out") else {
+        eprintln!("--out FILE is required");
+        exit(2)
+    };
+    let config = match preset {
+        "facebook" => TraceConfig::facebook_like(),
+        "renren" => TraceConfig::renren_like(),
+        "youtube" => TraceConfig::youtube_like(),
+        other => {
+            eprintln!("unknown preset '{other}' (facebook | renren | youtube)");
+            exit(2)
+        }
+    }
+    .scaled(scale)
+    .with_days(days);
+    let trace = config.generate(seed);
+    let file = File::create(out).unwrap_or_else(|e| {
+        eprintln!("cannot create {out}: {e}");
+        exit(1)
+    });
+    io::write_trace(&trace, file).expect("write trace");
+    println!(
+        "wrote {}: {} nodes, {} edges over {} days",
+        out,
+        trace.node_count(),
+        trace.edge_count(),
+        days
+    );
+}
+
+fn stats_cmd(args: &[String]) {
+    let Some(path) = args.first() else {
+        eprintln!("stats needs a trace file");
+        exit(2)
+    };
+    let snapshots: usize =
+        flag_value(args, "--snapshots").map_or(10, |v| parse_or_exit(v, "--snapshots"));
+    let trace = load_trace(path);
+    println!("{path}: {} nodes, {} edges", trace.node_count(), trace.edge_count());
+    let seq = SnapshotSequence::with_count(&trace, snapshots);
+    println!(
+        "{:>4} {:>8} {:>9} {:>8} {:>8} {:>8} {:>9}",
+        "snap", "nodes", "edges", "deg", "clust", "APL", "assort"
+    );
+    for i in 0..seq.len() {
+        let snap = seq.snapshot(i);
+        let p = stats::snapshot_properties(&snap, 30);
+        println!(
+            "{:>4} {:>8} {:>9} {:>8.2} {:>8.3} {:>8.2} {:>9.3}",
+            i, p.nodes, p.edges, p.degree.mean, p.clustering, p.avg_path_length, p.assortativity
+        );
+    }
+}
+
+fn predict(args: &[String]) {
+    let Some(path) = args.first() else {
+        eprintln!("predict needs a trace file");
+        exit(2)
+    };
+    let metric_name = flag_value(args, "--metric").unwrap_or("BRA");
+    let snapshots: usize =
+        flag_value(args, "--snapshots").map_or(10, |v| parse_or_exit(v, "--snapshots"));
+    let Some(metric) = linklens::metrics::metric_by_name(metric_name) else {
+        eprintln!(
+            "unknown metric '{metric_name}'; available: {:?}",
+            linklens::metrics::all_metrics().iter().map(|m| m.name()).collect::<Vec<_>>()
+        );
+        exit(2)
+    };
+    let trace = load_trace(path);
+    let seq = SnapshotSequence::with_count(&trace, snapshots);
+    let eval = SequenceEvaluator::new(&seq);
+    let filter = flag_value(args, "--filter").map(|name| {
+        let th = FilterThresholds::for_preset(&format!("{name}-like")).unwrap_or_else(|| {
+            eprintln!("unknown filter preset '{name}'");
+            exit(2)
+        });
+        TemporalFilter::new(th)
+    });
+    let t = seq.len() - 1;
+    let out = eval.evaluate_metrics_at(&[metric.as_ref()], t, filter.as_ref()).remove(0);
+    println!(
+        "{} on transition {} → {}: accuracy ratio {:.1}, absolute {:.2}% (k = {}, hits = {})",
+        out.metric,
+        t - 1,
+        t,
+        out.accuracy_ratio,
+        out.absolute_accuracy * 100.0,
+        out.k,
+        out.correct
+    );
+}
+
+fn recommend(args: &[String]) {
+    let Some(path) = args.first() else {
+        eprintln!("recommend needs a trace file");
+        exit(2)
+    };
+    let Some(user) = flag_value(args, "--user") else {
+        eprintln!("--user ID is required");
+        exit(2)
+    };
+    let user: NodeId = parse_or_exit(user, "--user");
+    let metric_name = flag_value(args, "--metric").unwrap_or("RA");
+    let top: usize = flag_value(args, "--top").map_or(5, |v| parse_or_exit(v, "--top"));
+    let Some(metric) = linklens::metrics::metric_by_name(metric_name) else {
+        eprintln!("unknown metric '{metric_name}'");
+        exit(2)
+    };
+    let trace = load_trace(path);
+    let snap = Snapshot::up_to(&trace, trace.edge_count());
+    if (user as usize) >= snap.node_count() {
+        eprintln!("user {user} not in the trace (max id {})", snap.node_count() - 1);
+        exit(1)
+    }
+    // Candidates: the user's unconnected 2-hop neighbors.
+    let mut cands: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for &w in snap.neighbors(user) {
+        for &v in snap.neighbors(w) {
+            if v != user && !snap.has_edge(user, v) && seen.insert(v) {
+                cands.push(osn_graph_pair(user, v));
+            }
+        }
+    }
+    if cands.is_empty() {
+        println!("user {user} has no 2-hop candidates (degree {})", snap.degree(user));
+        return;
+    }
+    let scores = metric.score_pairs(&snap, &cands);
+    println!(
+        "top {} suggestions for user {user} (degree {}), by {}:",
+        top.min(cands.len()),
+        snap.degree(user),
+        metric.name()
+    );
+    for (u, v) in topk::top_k_pairs(&cands, &scores, top, 1) {
+        let other = if u == user { v } else { u };
+        println!(
+            "  user {other:<6} (degree {:>3}, {} mutual connections)",
+            snap.degree(other),
+            snap.common_neighbor_count(user, other)
+        );
+    }
+}
+
+fn osn_graph_pair(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    linklens::graph::canonical(a, b)
+}
