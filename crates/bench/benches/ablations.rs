@@ -39,15 +39,9 @@ fn bench_ppr_eps(c: &mut Criterion) {
     for eps in [1e-3, 1e-4, 1e-5] {
         let ppr = PersonalizedPageRank { alpha: 0.15, epsilon: eps };
         let approx = ppr.score_pairs(&snap, &pairs);
-        let max_err = approx
-            .iter()
-            .zip(&exact)
-            .map(|(a, e)| (a - e).abs())
-            .fold(0.0, f64::max);
+        let max_err = approx.iter().zip(&exact).map(|(a, e)| (a - e).abs()).fold(0.0, f64::max);
         eprintln!("[ablation] PPR ε={eps:e}: max abs error vs ε=1e-7 is {max_err:.2e}");
-        group.bench_function(format!("eps_{eps:e}"), |b| {
-            b.iter(|| ppr.score_pairs(&snap, &pairs))
-        });
+        group.bench_function(format!("eps_{eps:e}"), |b| b.iter(|| ppr.score_pairs(&snap, &pairs)));
     }
     group.finish();
 }
@@ -68,9 +62,8 @@ fn bench_katz_rank(c: &mut Criterion) {
         };
         let overlap = top(&approx).intersection(&top(&reference)).count();
         eprintln!("[ablation] Katz-lr rank {rank}: top-100 overlap with rank-128 = {overlap}/100");
-        group.bench_function(format!("rank_{rank}"), |b| {
-            b.iter(|| katz.score_pairs(&snap, &pairs))
-        });
+        group
+            .bench_function(format!("rank_{rank}"), |b| b.iter(|| katz.score_pairs(&snap, &pairs)));
     }
     group.finish();
 }
@@ -88,11 +81,5 @@ fn bench_lrw_prune(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_candidate_width,
-    bench_ppr_eps,
-    bench_katz_rank,
-    bench_lrw_prune
-);
+criterion_group!(benches, bench_candidate_width, bench_ppr_eps, bench_katz_rank, bench_lrw_prune);
 criterion_main!(benches);

@@ -25,9 +25,7 @@ fn main() {
     let cal_snap = seq.snapshot(t - 1);
 
     let metrics = osn_metrics::all_metrics();
-    let features = |snap: &osn_graph::snapshot::Snapshot,
-                    pairs: &[(u32, u32)]|
-     -> Vec<Vec<f64>> {
+    let features = |snap: &osn_graph::snapshot::Snapshot, pairs: &[(u32, u32)]| -> Vec<Vec<f64>> {
         let cols: Vec<Vec<f64>> = metrics.iter().map(|m| m.score_pairs(snap, pairs)).collect();
         (0..pairs.len()).map(|i| cols.iter().map(|c| c[i]).collect()).collect()
     };
@@ -64,10 +62,8 @@ fn main() {
         pairs.swap(i, (z % (i as u64 + 1)) as usize);
     }
     let raw: Vec<(u32, u32)> = pairs.iter().map(|&(p, _)| p).collect();
-    let scores: Vec<f64> = features(&cal_snap, &raw)
-        .iter()
-        .map(|f| svm.decision(&scaler.transform(f)))
-        .collect();
+    let scores: Vec<f64> =
+        features(&cal_snap, &raw).iter().map(|f| svm.decision(&scaler.transform(f))).collect();
     let half = pairs.len() / 2;
     let platt = PlattScaler::fit(
         &scores[..half],

@@ -41,12 +41,26 @@ fn main() {
         },
         ctx.seed,
     );
-    let throttled =
-        apply(&clean, Disruption::PolicyThrottle { day: merge_day, keep_probability: 0.25 }, ctx.seed);
+    let throttled = apply(
+        &clean,
+        Disruption::PolicyThrottle { day: merge_day, keep_probability: 0.25 },
+        ctx.seed,
+    );
 
     let mut table = Table::new(
-        format!("Extension ({}): λ₂ / BRA accuracy ratio per transition, clean vs disrupted", cfg.name),
-        &["transition", "clean λ₂", "clean BRA", "merge λ₂", "merge BRA", "throttle λ₂", "throttle BRA"],
+        format!(
+            "Extension ({}): λ₂ / BRA accuracy ratio per transition, clean vs disrupted",
+            cfg.name
+        ),
+        &[
+            "transition",
+            "clean λ₂",
+            "clean BRA",
+            "merge λ₂",
+            "merge BRA",
+            "throttle λ₂",
+            "throttle BRA",
+        ],
     );
     let a = per_transition(&clean, ctx.snapshots);
     let b = per_transition(&merged, ctx.snapshots);

@@ -21,18 +21,20 @@ fn main() {
     let ba = barabasi_albert_with_internal(20, 12 * scale, 3, 30 * scale, 80, ctx.seed);
 
     let mut payload = Vec::new();
-    for (name, trace, expectation) in [
-        ("erdos-renyi", &er, "all ratios ≈ 1"),
-        ("barabasi-albert", &ba, "PA on top"),
-    ] {
+    for (name, trace, expectation) in
+        [("erdos-renyi", &er, "all ratios ≈ 1"), ("barabasi-albert", &ba, "PA on top")]
+    {
         let seq = SnapshotSequence::with_count(trace, 8);
         let eval = SequenceEvaluator::new(&seq);
         let metrics = osn_metrics::figure5_metrics();
         let refs: Vec<&dyn osn_metrics::traits::Metric> =
             metrics.iter().map(|m| m.as_ref()).collect();
         let mut table = Table::new(
-            format!("Null model '{name}' ({} nodes, {} edges) — expected: {expectation}",
-                trace.node_count(), trace.edge_count()),
+            format!(
+                "Null model '{name}' ({} nodes, {} edges) — expected: {expectation}",
+                trace.node_count(),
+                trace.edge_count()
+            ),
             &["metric", "mean accuracy ratio"],
         );
         let all = eval.evaluate_all(&refs, None);
@@ -40,8 +42,8 @@ fn main() {
             .iter()
             .enumerate()
             .map(|(i, series)| {
-                let mean = series.iter().map(|o| o.accuracy_ratio).sum::<f64>()
-                    / series.len() as f64;
+                let mean =
+                    series.iter().map(|o| o.accuracy_ratio).sum::<f64>() / series.len() as f64;
                 (refs[i].name().to_string(), mean)
             })
             .collect();

@@ -23,8 +23,7 @@ fn main() {
         let seq = ctx.sequence(&trace);
         let eval = SequenceEvaluator::new(&seq);
         let t = ctx.mid_transition().min(seq.len() - 1);
-        let filter =
-            TemporalFilter::new(FilterThresholds::for_preset(&cfg.name).expect("preset"));
+        let filter = TemporalFilter::new(FilterThresholds::for_preset(&cfg.name).expect("preset"));
 
         type Family = (&'static str, Box<dyn Metric>, Box<dyn Metric>);
         let families: Vec<Family> = vec![

@@ -32,9 +32,8 @@ fn main() {
         let svm = pipe.evaluate(ClassifierKind::Svm, theta, t, None);
         let coefs = svm.svm_coefficients.clone().expect("SVM coefficients");
         let names = svm.feature_names.clone();
-        let coef_of = |name: &str| {
-            names.iter().position(|n| n == name).map(|i| coefs[i]).unwrap_or(0.0)
-        };
+        let coef_of =
+            |name: &str| names.iter().position(|n| n == name).map(|i| coefs[i]).unwrap_or(0.0);
 
         let mut table = Table::new(
             format!("Figure 12 ({}): cumulative SVM |w| of top-N metrics", cfg.name),
@@ -44,12 +43,7 @@ fn main() {
         let mut series = Vec::new();
         for (i, (name, ratio)) in ranking.iter().enumerate() {
             cumulative += coef_of(name);
-            table.push_row(vec![
-                (i + 1).to_string(),
-                name.clone(),
-                fnum(*ratio),
-                fnum(cumulative),
-            ]);
+            table.push_row(vec![(i + 1).to_string(), name.clone(), fnum(*ratio), fnum(cumulative)]);
             series.push(cumulative);
         }
         println!("{}", table.render());

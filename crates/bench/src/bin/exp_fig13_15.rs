@@ -70,15 +70,17 @@ fn main() {
         // negatives (x = sorted sample index, y = idle days; the separation
         // is the vertical gap).
         let cdf_curve = |vals: &[f64]| -> Vec<f64> {
-            let mut v: Vec<f64> =
-                vals.iter().copied().filter(|x| x.is_finite()).collect();
+            let mut v: Vec<f64> = vals.iter().copied().filter(|x| x.is_finite()).collect();
             v.sort_by(f64::total_cmp);
             // Down-sample to ~40 points for the chart.
             let step = (v.len() / 40).max(1);
             v.into_iter().step_by(step).collect()
         };
         let chart = linklens_core::chart::Chart::new(
-            format!("Figure 13 ({}): active-node idle days, sorted (lower curve = fresher)", cfg.name),
+            format!(
+                "Figure 13 ({}): active-node idle days, sorted (lower curve = fresher)",
+                cfg.name
+            ),
             64,
             12,
         )
@@ -88,8 +90,8 @@ fn main() {
 
         payload.push(serde_json::json!({
             "network": cfg.name,
-            "positive": { "active_idle": pa, "recent_edges": pr, "cn_gap": pg },
-            "negative": { "active_idle": na, "recent_edges": nr, "cn_gap": ng },
+            "positive": serde_json::json!({ "active_idle": pa, "recent_edges": pr, "cn_gap": pg }),
+            "negative": serde_json::json!({ "active_idle": na, "recent_edges": nr, "cn_gap": ng }),
         }));
     }
     write_json(results_path("fig13_15.json"), &payload).expect("write results");

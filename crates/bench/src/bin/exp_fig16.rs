@@ -31,8 +31,7 @@ fn main() {
         let seq = ctx.sequence(&trace);
         let eval = SequenceEvaluator::new(&seq);
         let t = ctx.mid_transition().min(seq.len() - 1);
-        let filter =
-            TemporalFilter::new(FilterThresholds::for_preset(&cfg.name).expect("preset"));
+        let filter = TemporalFilter::new(FilterThresholds::for_preset(&cfg.name).expect("preset"));
         let prev = seq.snapshot(t - 1);
         let truth = eval.ground_truth(t);
         let k = truth.len();
@@ -56,16 +55,10 @@ fn main() {
             };
 
             let basic = ratio_of(base_cands.pairs(), &m.score_pairs(&prev, base_cands.pairs()));
-            let basic_f =
-                ratio_of(filt_cands.pairs(), &m.score_pairs(&prev, filt_cands.pairs()));
-            let tm = ratio_of(
-                base_cands.pairs(),
-                &ts.score_pairs(&seq, m, t, base_cands.pairs()),
-            );
-            let tm_f = ratio_of(
-                filt_cands.pairs(),
-                &ts.score_pairs(&seq, m, t, filt_cands.pairs()),
-            );
+            let basic_f = ratio_of(filt_cands.pairs(), &m.score_pairs(&prev, filt_cands.pairs()));
+            let tm = ratio_of(base_cands.pairs(), &ts.score_pairs(&seq, m, t, base_cands.pairs()));
+            let tm_f =
+                ratio_of(filt_cands.pairs(), &ts.score_pairs(&seq, m, t, filt_cands.pairs()));
 
             table.push_row(vec![
                 m.name().to_string(),

@@ -45,8 +45,13 @@ fn main() {
         println!("{}", chart.render());
         let first = &series[0];
         let last = series.last().expect("non-empty");
-        final_rows.push((cfg.name.clone(), first.degree.mean, last.degree.mean,
-                         first.avg_path_length, last.avg_path_length));
+        final_rows.push((
+            cfg.name.clone(),
+            first.degree.mean,
+            last.degree.mean,
+            first.avg_path_length,
+            last.avg_path_length,
+        ));
         payload.push(serde_json::json!({ "network": cfg.name, "series": series }));
     }
     let mut summary = Table::new(

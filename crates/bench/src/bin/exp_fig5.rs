@@ -45,8 +45,8 @@ fn main() {
             .iter()
             .enumerate()
             .map(|(i, series)| {
-                let mean = series.iter().map(|o| o.accuracy_ratio).sum::<f64>()
-                    / series.len() as f64;
+                let mean =
+                    series.iter().map(|o| o.accuracy_ratio).sum::<f64>() / series.len() as f64;
                 (i, mean)
             })
             .collect();
@@ -69,8 +69,7 @@ fn main() {
         )
         .log_y();
         for &(mi, _) in mean_ratio.iter().take(6) {
-            let series: Vec<f64> =
-                sweep.outcomes[mi].iter().map(|o| o.accuracy_ratio).collect();
+            let series: Vec<f64> = sweep.outcomes[mi].iter().map(|o| o.accuracy_ratio).collect();
             chart = chart.series(sweep.metric_names[mi].clone(), &series);
         }
         print!("{}", chart.render());
@@ -79,7 +78,10 @@ fn main() {
             mean_ratio.iter().take(6).map(|&(i, _)| &sweep.metric_names[i]).collect::<Vec<_>>()
         );
         println!("mean Pearson(accuracy ratio, λ₂) over top-6: {avg_corr:.2}");
-        println!("λ₂ series: {:?}\n", sweep.lambda2.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>());
+        println!(
+            "λ₂ series: {:?}\n",
+            sweep.lambda2.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>()
+        );
     }
 
     write_json(results_path("fig5.json"), &sweeps).expect("write results");

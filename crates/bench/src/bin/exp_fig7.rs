@@ -12,10 +12,8 @@ use linklens_core::report::{fnum, write_json, Table};
 use osn_graph::NodeId;
 
 fn degree_deciles(snap: &osn_graph::snapshot::Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
-    let mut degs: Vec<f64> = pairs
-        .iter()
-        .flat_map(|&(u, v)| [snap.degree(u) as f64, snap.degree(v) as f64])
-        .collect();
+    let mut degs: Vec<f64> =
+        pairs.iter().flat_map(|&(u, v)| [snap.degree(u) as f64, snap.degree(v) as f64]).collect();
     degs.sort_by(f64::total_cmp);
     if degs.is_empty() {
         return vec![0.0; 5];
@@ -38,7 +36,10 @@ fn main() {
     let snap = seq.snapshot(t - 1);
 
     let mut table = Table::new(
-        format!("Figure 7 ({}, transition {t}): degree percentiles of nodes in predicted edges", cfg.name),
+        format!(
+            "Figure 7 ({}, transition {t}): degree percentiles of nodes in predicted edges",
+            cfg.name
+        ),
         &["predictor", "p10", "p25", "median", "p75", "p90"],
     );
     let mut payload = Vec::new();

@@ -28,11 +28,17 @@ fn main() {
     let snap = seq.snapshot(t - 1);
 
     let mut table = Table::new(
-        format!("Figure 8 ({}, transition {t}): idle time (days) of nodes in predicted edges", cfg.name),
+        format!(
+            "Figure 8 ({}, transition {t}): idle time (days) of nodes in predicted edges",
+            cfg.name
+        ),
         &["predictor", "median", "p75", "p90", "frac < 3d"],
     );
     let mut payload = Vec::new();
-    let emit = |name: &str, mut days: Vec<f64>, payload: &mut Vec<serde_json::Value>, table: &mut Table| {
+    let emit = |name: &str,
+                mut days: Vec<f64>,
+                payload: &mut Vec<serde_json::Value>,
+                table: &mut Table| {
         if days.is_empty() {
             return;
         }

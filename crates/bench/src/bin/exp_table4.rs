@@ -17,8 +17,7 @@ fn main() {
     let metric_names = sweeps[0].metric_names.clone();
     let mut headers: Vec<&str> = vec!["Network"];
     headers.extend(metric_names.iter().map(String::as_str));
-    let mut table =
-        Table::new("Table 4: best absolute accuracy (%) per method", &headers);
+    let mut table = Table::new("Table 4: best absolute accuracy (%) per method", &headers);
     let mut payload = Vec::new();
     for sweep in &sweeps {
         let mut row = vec![sweep.network.clone()];

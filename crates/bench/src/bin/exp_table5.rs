@@ -43,8 +43,7 @@ fn main() {
         }
         let mut by_freq: Vec<NodeId> = freq.keys().copied().collect();
         by_freq.sort_unstable_by_key(|u| std::cmp::Reverse(freq[u]));
-        let top: std::collections::HashSet<NodeId> =
-            by_freq.into_iter().take(top_count).collect();
+        let top: std::collections::HashSet<NodeId> = by_freq.into_iter().take(top_count).collect();
 
         let share = |edges: &[(NodeId, NodeId)]| {
             if edges.is_empty() {

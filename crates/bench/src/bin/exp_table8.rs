@@ -47,13 +47,15 @@ fn main() {
     for (cfg, trace) in ctx.traces() {
         let seq = ctx.sequence(&trace);
         let t = ctx.mid_transition().min(seq.len() - 1);
-        let filter =
-            TemporalFilter::new(FilterThresholds::for_preset(&cfg.name).expect("preset"));
+        let filter = TemporalFilter::new(FilterThresholds::for_preset(&cfg.name).expect("preset"));
         let pipe = ClassificationPipeline::new(&seq, classification_config(&seq, t, &ctx));
         eprintln!("[table8] {} transition {t}", cfg.name);
 
         let mut table = Table::new(
-            format!("Table 8 ({}, transition {t}): accuracy ratio after/before filtering", cfg.name),
+            format!(
+                "Table 8 ({}, transition {t}): accuracy ratio after/before filtering",
+                cfg.name
+            ),
             &["predictor", "before", "after", "improvement"],
         );
         let mut rows = Vec::new();
@@ -118,11 +120,8 @@ fn main() {
                     min_recent_edges: base.min_recent_edges,
                     cn_gap_days: base.cn_gap_days * scale,
                 };
-                let out = pipe.evaluate_metric_on_sample(
-                    bra.as_ref(),
-                    t,
-                    Some(&TemporalFilter::new(th)),
-                );
+                let out =
+                    pipe.evaluate_metric_on_sample(bra.as_ref(), t, Some(&TemporalFilter::new(th)));
                 ab.push_row(vec![format!("{scale}x"), fnum(out.accuracy_ratio)]);
             }
             println!("{}", ab.render());

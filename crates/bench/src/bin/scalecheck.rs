@@ -1,21 +1,144 @@
 //! Internal calibration probe (not a paper experiment): times one full
-//! metric evaluation per network at the given scale.
+//! metric evaluation per network at the given scale, then sweeps the
+//! scoring-engine worker count over {1, 2, 4, max} and writes the
+//! per-stage throughput (enumerate / score / top-k, in pairs per second)
+//! to `BENCH_parallel_scaling.json`.
+//!
+//! ```text
+//! scalecheck [SCALE] [DAYS] [--sweep-only]
+//! ```
+
+use osn_metrics::candidates::CandidateSet;
+use osn_metrics::traits::{CandidatePolicy, Metric};
+use std::time::Instant;
+
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.35);
-    let days: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(90);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sweep_only = args.iter().any(|a| a == "--sweep-only");
+    let pos: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let scale: f64 = pos.first().and_then(|s| s.parse().ok()).unwrap_or(0.35);
+    let days: u32 = pos.get(1).and_then(|s| s.parse().ok()).unwrap_or(90);
+
+    if !sweep_only {
+        calibration(scale, days);
+    }
+    sweep(scale, days);
+}
+
+/// The original probe: one full evaluation transition per preset.
+fn calibration(scale: f64, days: u32) {
     for cfg in osn_trace::presets::TraceConfig::all() {
         let cfg = cfg.scaled(scale).with_days(days);
         let trace = cfg.generate(42);
         let seq = osn_graph::sequence::SnapshotSequence::with_count(&trace, 12);
         let eval = linklens_core::framework::SequenceEvaluator::new(&seq);
         let metrics = osn_metrics::all_metrics();
-        let refs: Vec<&dyn osn_metrics::traits::Metric> = metrics.iter().map(|m| m.as_ref()).collect();
-        let t0 = std::time::Instant::now();
+        let refs: Vec<&dyn Metric> = metrics.iter().map(|m| m.as_ref()).collect();
+        let t0 = Instant::now();
         let outs = eval.evaluate_metrics_at(&refs, 9, None);
-        println!("{}: nodes={} edges={} one-transition(15 metrics)={:?}", cfg.name,
-            trace.node_count(), trace.edge_count(), t0.elapsed());
+        println!(
+            "{}: nodes={} edges={} one-transition(15 metrics)={:?}",
+            cfg.name,
+            trace.node_count(),
+            trace.edge_count(),
+            t0.elapsed()
+        );
         for o in outs.iter().take(3) {
-            println!("  {} ratio={:.1} abs={:.4} k={}", o.metric, o.accuracy_ratio, o.absolute_accuracy, o.k);
+            println!(
+                "  {} ratio={:.1} abs={:.4} k={}",
+                o.metric, o.accuracy_ratio, o.absolute_accuracy, o.k
+            );
         }
     }
+}
+
+/// Times one stage, returning (seconds, result).
+fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t0 = Instant::now();
+    let out = f();
+    (t0.elapsed().as_secs_f64(), out)
+}
+
+fn rate(pairs: usize, secs: f64) -> f64 {
+    if secs > 0.0 {
+        pairs as f64 / secs
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Worker-count sweep on the renren-like preset (the densest candidate
+/// sets): per-stage pairs/sec at 1, 2, 4, and all-cores workers.
+fn sweep(scale: f64, days: u32) {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cfg = osn_trace::presets::TraceConfig::renren_like().scaled(scale).with_days(days);
+    let trace = cfg.generate(42);
+    let seq = osn_graph::sequence::SnapshotSequence::with_count(&trace, 12);
+    let snap = seq.snapshot(9);
+    let metrics = osn_metrics::all_metrics();
+    let refs: Vec<&dyn Metric> = metrics.iter().map(|m| m.as_ref()).collect();
+
+    let mut thread_counts = vec![1usize, 2, 4];
+    if !thread_counts.contains(&host) {
+        thread_counts.push(host);
+    }
+
+    let mut rows = Vec::new();
+    let mut cands_len = 0usize;
+    for &t in &thread_counts {
+        // Stage 1: candidate enumeration (distance ≤ 3 scan, the loosest
+        // distance-bounded policy).
+        let (enum_secs, pairs) = timed(|| osn_graph::traversal::pairs_within_t(&snap, 3, t));
+        let cands = CandidateSet::from_pairs(pairs, CandidatePolicy::ThreeHop);
+        cands_len = cands.len();
+        let scored_pairs = cands.len() * refs.len();
+
+        // Stage 2: chunked scoring of every metric over the shared slice.
+        let (score_secs, _cols) =
+            timed(|| osn_metrics::exec::score_matrix_t(&refs, &snap, cands.pairs(), t));
+
+        // Stage 3: fused scoring + streaming top-k (the prediction path —
+        // per-chunk heaps merged at the end, never materializing scores).
+        let k = (cands.len() / 100).max(10);
+        let (topk_secs, _preds) =
+            timed(|| osn_metrics::exec::predict_top_k_many_t(&refs, &snap, &cands, k, 0x11A5, t));
+
+        println!(
+            "threads={t}: enumerate {:.2}s ({:.0} pairs/s), score {:.2}s ({:.0} pairs/s), \
+             fused top-k {:.2}s ({:.0} pairs/s)",
+            enum_secs,
+            rate(cands.len(), enum_secs),
+            score_secs,
+            rate(scored_pairs, score_secs),
+            topk_secs,
+            rate(scored_pairs, topk_secs),
+        );
+        rows.push(serde_json::json!({
+            "threads": t,
+            "enumerate_secs": enum_secs,
+            "enumerate_pairs_per_sec": rate(cands.len(), enum_secs),
+            "score_secs": score_secs,
+            "score_pairs_per_sec": rate(scored_pairs, score_secs),
+            "topk_secs": topk_secs,
+            "topk_pairs_per_sec": rate(scored_pairs, topk_secs),
+        }));
+    }
+
+    let report = serde_json::json!({
+        "bench": "parallel_scaling",
+        "network": "renren-like",
+        "scale": scale,
+        "days": days,
+        "host_cores": host,
+        "nodes": snap.node_count(),
+        "edges": snap.edge_count(),
+        "candidate_pairs": cands_len,
+        "metrics": refs.len(),
+        "note": "pairs/sec; score and topk rates count candidate_pairs x metrics; speedups above host_cores workers are not expected",
+        "sweep": rows,
+    });
+    let path = "BENCH_parallel_scaling.json";
+    let text = serde_json::to_string_pretty(&report).expect("serialize bench json");
+    std::fs::write(path, text).expect("write bench json");
+    println!("wrote {path}");
 }

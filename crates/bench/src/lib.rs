@@ -58,10 +58,22 @@ impl ExperimentContext {
                 args.get(*i).unwrap_or_else(|| usage_exit("missing value")).clone()
             };
             match args[i].as_str() {
-                "--scale" => ctx.scale = take_value(&mut i).parse().unwrap_or_else(|_| usage_exit("bad --scale")),
-                "--days" => ctx.days = take_value(&mut i).parse().unwrap_or_else(|_| usage_exit("bad --days")),
-                "--seed" => ctx.seed = take_value(&mut i).parse().unwrap_or_else(|_| usage_exit("bad --seed")),
-                "--snapshots" => ctx.snapshots = take_value(&mut i).parse().unwrap_or_else(|_| usage_exit("bad --snapshots")),
+                "--scale" => {
+                    ctx.scale =
+                        take_value(&mut i).parse().unwrap_or_else(|_| usage_exit("bad --scale"))
+                }
+                "--days" => {
+                    ctx.days =
+                        take_value(&mut i).parse().unwrap_or_else(|_| usage_exit("bad --days"))
+                }
+                "--seed" => {
+                    ctx.seed =
+                        take_value(&mut i).parse().unwrap_or_else(|_| usage_exit("bad --seed"))
+                }
+                "--snapshots" => {
+                    ctx.snapshots =
+                        take_value(&mut i).parse().unwrap_or_else(|_| usage_exit("bad --snapshots"))
+                }
                 "--quick" => ctx.quick = true,
                 "--help" | "-h" => usage_exit(""),
                 other => usage_exit(&format!("unknown argument {other}")),
@@ -78,10 +90,7 @@ impl ExperimentContext {
 
     /// The three network presets at this context's scale/length.
     pub fn configs(&self) -> Vec<TraceConfig> {
-        TraceConfig::all()
-            .into_iter()
-            .map(|c| c.scaled(self.scale).with_days(self.days))
-            .collect()
+        TraceConfig::all().into_iter().map(|c| c.scaled(self.scale).with_days(self.days)).collect()
     }
 
     /// Generates all three traces (deterministic in the seed).
@@ -139,11 +148,15 @@ pub fn run_or_load_metric_sweep(ctx: &ExperimentContext) -> Vec<NetworkSweep> {
         }
     }
     let metrics = osn_metrics::figure5_metrics();
-    let refs: Vec<&dyn osn_metrics::traits::Metric> =
-        metrics.iter().map(|m| m.as_ref()).collect();
+    let refs: Vec<&dyn osn_metrics::traits::Metric> = metrics.iter().map(|m| m.as_ref()).collect();
     let mut sweeps = Vec::new();
     for (cfg, trace) in ctx.traces() {
-        eprintln!("[sweep] {}: {} nodes, {} edges", cfg.name, trace.node_count(), trace.edge_count());
+        eprintln!(
+            "[sweep] {}: {} nodes, {} edges",
+            cfg.name,
+            trace.node_count(),
+            trace.edge_count()
+        );
         let seq = ctx.sequence(&trace);
         let eval = linklens_core::framework::SequenceEvaluator::new(&seq);
         let started = std::time::Instant::now();
@@ -235,8 +248,7 @@ mod tests {
 
     #[test]
     fn sequence_has_requested_snapshots() {
-        let ctx =
-            ExperimentContext { scale: 0.05, days: 25, snapshots: 6, ..Default::default() };
+        let ctx = ExperimentContext { scale: 0.05, days: 25, snapshots: 6, ..Default::default() };
         let (_, trace) = ctx.traces().remove(0);
         let seq = ctx.sequence(&trace);
         assert_eq!(seq.len(), 6);
@@ -246,6 +258,6 @@ mod tests {
     fn mid_transition_in_range() {
         let ctx = ExperimentContext { snapshots: 16, ..Default::default() };
         let t = ctx.mid_transition();
-        assert!(t >= 2 && t < 16);
+        assert!((2..16).contains(&t));
     }
 }

@@ -185,8 +185,7 @@ mod tests {
     fn auc_ties_count_half() {
         let s = cliquey();
         // Cross-clique pairs all score 0 under CN → pure ties → 0.5.
-        let auc =
-            auc_of_metric(&CommonNeighbors, &s, &[(0, 12)], &[(1, 13)]);
+        let auc = auc_of_metric(&CommonNeighbors, &s, &[(0, 12)], &[(1, 13)]);
         assert_eq!(auc, 0.5);
     }
 

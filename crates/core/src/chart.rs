@@ -105,11 +105,7 @@ impl Chart {
             let glyph = GLYPHS[si % GLYPHS.len()];
             for (i, &v) in vs.iter().enumerate() {
                 let Some(t) = tx(v) else { continue };
-                let x = if max_len == 1 {
-                    0
-                } else {
-                    i * (self.width - 1) / (max_len - 1)
-                };
+                let x = if max_len == 1 { 0 } else { i * (self.width - 1) / (max_len - 1) };
                 let yf = (t - lo) / (hi - lo);
                 let y = ((1.0 - yf) * (self.height - 1) as f64).round() as usize;
                 let cell = &mut grid[y.min(self.height - 1)][x.min(self.width - 1)];
@@ -200,10 +196,7 @@ mod tests {
 
     #[test]
     fn log_scale_compresses_magnitudes() {
-        let s = Chart::new("", 20, 9)
-            .log_y()
-            .series("a", &[1.0, 10.0, 100.0, 1000.0])
-            .render();
+        let s = Chart::new("", 20, 9).log_y().series("a", &[1.0, 10.0, 100.0, 1000.0]).render();
         // Log labels should show the decade ends.
         assert!(s.contains("1000"));
         assert!(s.contains("1.0"));
@@ -231,10 +224,7 @@ mod tests {
 
     #[test]
     fn collisions_marked() {
-        let s = Chart::new("", 10, 4)
-            .series("a", &[1.0, 2.0])
-            .series("b", &[1.0, 3.0])
-            .render();
+        let s = Chart::new("", 10, 4).series("a", &[1.0, 2.0]).series("b", &[1.0, 3.0]).render();
         assert!(s.contains('·'), "overlapping first points should collide:\n{s}");
     }
 }

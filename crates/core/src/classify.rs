@@ -32,6 +32,7 @@ use osn_graph::sample;
 use osn_graph::sequence::SnapshotSequence;
 use osn_graph::snapshot::Snapshot;
 use osn_graph::{traversal, NodeId};
+use osn_metrics::exec;
 use osn_metrics::topk;
 use osn_metrics::traits::Metric;
 use osn_ml::data::Dataset;
@@ -314,18 +315,13 @@ impl<'a> ClassificationPipeline<'a> {
     // ----- internals -------------------------------------------------
 
     /// Computes the feature matrix (|pairs| × |metrics|) on a snapshot.
-    /// Metric columns are computed in parallel — this is the pipeline's
-    /// dominant cost (§3.2 of the paper says the same of theirs).
+    /// Metric columns run on the shared scoring engine — a (metric ×
+    /// chunk) work pool rather than one thread per metric — since this is
+    /// the pipeline's dominant cost (§3.2 of the paper says the same of
+    /// theirs).
     fn features(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<Vec<f64>> {
-        let cols: Vec<Vec<f64>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .metrics
-                .iter()
-                .map(|m| scope.spawn(move |_| m.score_pairs(snap, pairs)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("feature thread")).collect()
-        })
-        .expect("crossbeam scope");
+        let refs: Vec<&dyn Metric> = self.metrics.iter().map(|m| m.as_ref()).collect();
+        let cols = exec::score_matrix_t(&refs, snap, pairs, osn_graph::par::max_threads());
         (0..pairs.len()).map(|i| cols.iter().map(|c| c[i]).collect()).collect()
     }
 
@@ -382,13 +378,11 @@ impl<'a> ClassificationPipeline<'a> {
             .iter()
             .enumerate()
             .map(|(si, &seed_node)| {
-                let rng_seed =
-                    self.config.seed ^ (si as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let rng_seed = self.config.seed ^ (si as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
                 // --- sampling ---
                 let train_members =
                     sample::snowball(&train_snap, seed_node, self.config.sampling_p);
-                let test_members =
-                    sample::snowball(&test_snap, seed_node, self.config.sampling_p);
+                let test_members = sample::snowball(&test_snap, seed_node, self.config.sampling_p);
                 let train_set: HashSet<NodeId> = train_members.iter().copied().collect();
                 let test_set: HashSet<NodeId> = test_members.iter().copied().collect();
 
@@ -474,11 +468,8 @@ impl<'a> ClassificationPipeline<'a> {
                 }
             }
 
-            let scores: Vec<f64> = sd
-                .test_features
-                .iter()
-                .map(|f| clf.decision(&scaler.transform(f)))
-                .collect();
+            let scores: Vec<f64> =
+                sd.test_features.iter().map(|f| clf.decision(&scaler.transform(f))).collect();
             let predicted = topk::top_k_pairs(&sd.test_pairs, &scores, sd.k, sd.rng_seed);
             let correct = predicted.iter().filter(|p| sd.truth.contains(p)).count();
             let expected =
@@ -506,10 +497,7 @@ impl<'a> ClassificationPipeline<'a> {
 
     /// Diagnostic access to per-seed (sample size, universe, k) triples.
     pub fn seed_diagnostics(&self, t: usize) -> Vec<(usize, f64, usize)> {
-        self.prepare_seeds(t, 1.0, None)
-            .iter()
-            .map(|s| (s.sample_size, s.universe, s.k))
-            .collect()
+        self.prepare_seeds(t, 1.0, None).iter().map(|s| (s.sample_size, s.universe, s.k)).collect()
     }
 }
 
@@ -689,8 +677,8 @@ mod tests {
     fn transition_one_is_rejected() {
         let trace = closure_trace();
         let seq = SnapshotSequence::by_edge_delta(&trace, 30);
-        let pipe = ClassificationPipeline::new(&seq, Default::default())
-            .with_metrics(cheap_metrics());
+        let pipe =
+            ClassificationPipeline::new(&seq, Default::default()).with_metrics(cheap_metrics());
         let _ = pipe.evaluate(ClassifierKind::Svm, 1.0, 1, None);
     }
 }

@@ -86,11 +86,7 @@ impl FilterThresholds {
     /// for the idle times and CN gap, and the 40th percentile for the
     /// recent-edge count (Fig. 14's "more than 60% of positive pairs
     /// exceed it" reading). `window_days` is supplied by the caller.
-    pub fn discover(
-        snap: &Snapshot,
-        positives: &[(NodeId, NodeId)],
-        window_days: f64,
-    ) -> Self {
+    pub fn discover(snap: &Snapshot, positives: &[(NodeId, NodeId)], window_days: f64) -> Self {
         let window = (window_days * DAY as f64) as Timestamp;
         let mut act = Vec::with_capacity(positives.len());
         let mut inact = Vec::with_capacity(positives.len());

@@ -4,6 +4,7 @@ use osn_graph::sequence::SnapshotSequence;
 use osn_graph::snapshot::Snapshot;
 use osn_graph::NodeId;
 use osn_metrics::candidates::CandidateSet;
+use osn_metrics::exec;
 use osn_metrics::traits::{CandidatePolicy, Metric};
 use serde::Serialize;
 use std::collections::HashSet;
@@ -110,11 +111,8 @@ impl<'a> SequenceEvaluator<'a> {
         metrics: &[&dyn Metric],
         filter: Option<&TemporalFilter>,
     ) -> CandidateSet {
-        let policy = metrics
-            .iter()
-            .map(|m| m.candidate_policy())
-            .max()
-            .unwrap_or(CandidatePolicy::TwoHop);
+        let policy =
+            metrics.iter().map(|m| m.candidate_policy()).max().unwrap_or(CandidatePolicy::TwoHop);
         let cands = CandidateSet::build_capped(
             snap,
             policy,
@@ -159,8 +157,7 @@ impl<'a> SequenceEvaluator<'a> {
         // metrics never pay for (or get scored against) the much larger
         // 3-hop / global candidate sets.
         let mut outcomes: Vec<Option<PredictionOutcome>> = vec![None; metrics.len()];
-        for policy in
-            [CandidatePolicy::TwoHop, CandidatePolicy::ThreeHop, CandidatePolicy::Global]
+        for policy in [CandidatePolicy::TwoHop, CandidatePolicy::ThreeHop, CandidatePolicy::Global]
         {
             let group: Vec<(usize, &&dyn Metric)> = metrics
                 .iter()
@@ -172,38 +169,28 @@ impl<'a> SequenceEvaluator<'a> {
             }
             let group_metrics: Vec<&dyn Metric> = group.iter().map(|(_, m)| **m).collect();
             let cands = self.candidates_for(&prev, &group_metrics, filter);
-            // Metrics within a group are scored in parallel: they are
-            // read-only over the shared snapshot and candidate set.
-            let results: Vec<(usize, PredictionOutcome)> = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = group
-                    .iter()
-                    .map(|&(idx, m)| {
-                        let prev = &prev;
-                        let cands = &cands;
-                        let truth = &truth;
-                        scope.spawn(move |_| {
-                            let predicted = m.predict_top_k(prev, cands, k, self.seed);
-                            let correct =
-                                predicted.iter().filter(|p| truth.contains(p)).count();
-                            (
-                                idx,
-                                PredictionOutcome::from_hits(
-                                    m.name(),
-                                    t,
-                                    prev.edge_count(),
-                                    k,
-                                    correct,
-                                    u,
-                                ),
-                            )
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("metric thread")).collect()
-            })
-            .expect("crossbeam scope");
-            for (idx, outcome) in results {
-                outcomes[idx] = Some(outcome);
+            // All metrics in the group run on the shared scoring engine:
+            // one (metric × chunk) work pool over the candidate slice
+            // instead of one thread per metric, so a single slow metric
+            // no longer serializes the group.
+            let predictions = exec::predict_top_k_many_t(
+                &group_metrics,
+                &prev,
+                &cands,
+                k,
+                self.seed,
+                osn_graph::par::max_threads(),
+            );
+            for ((idx, m), predicted) in group.iter().zip(predictions) {
+                let correct = predicted.iter().filter(|p| truth.contains(p)).count();
+                outcomes[*idx] = Some(PredictionOutcome::from_hits(
+                    m.name(),
+                    t,
+                    prev.edge_count(),
+                    k,
+                    correct,
+                    u,
+                ));
             }
         }
         outcomes.into_iter().map(|o| o.expect("every metric evaluated")).collect()
@@ -219,7 +206,8 @@ impl<'a> SequenceEvaluator<'a> {
         let mut per_metric: Vec<Vec<PredictionOutcome>> =
             (0..metrics.len()).map(|_| Vec::new()).collect();
         for t in 1..self.seq.len() {
-            for (mi, outcome) in self.evaluate_metrics_at(metrics, t, filter).into_iter().enumerate()
+            for (mi, outcome) in
+                self.evaluate_metrics_at(metrics, t, filter).into_iter().enumerate()
             {
                 per_metric[mi].push(outcome);
             }

@@ -32,10 +32,7 @@ impl Table {
 
     /// Renders with aligned columns.
     pub fn render(&self) -> String {
-        let cols = self
-            .headers
-            .len()
-            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         let measure = |w: &mut Vec<usize>, cells: &[String]| {
             for (i, c) in cells.iter().enumerate() {

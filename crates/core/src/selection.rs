@@ -127,8 +127,7 @@ pub struct SelectionAnalysis {
 /// trees.
 pub fn analyze(samples: &[SelectionSample], good_fraction: f64) -> SelectionAnalysis {
     assert!(!samples.is_empty(), "need at least one sample");
-    let metric_names: Vec<String> =
-        samples[0].ratios.iter().map(|(n, _)| n.clone()).collect();
+    let metric_names: Vec<String> = samples[0].ratios.iter().map(|(n, _)| n.clone()).collect();
     let n_features = feature_names().len();
 
     // Multi-class winner tree.
@@ -136,11 +135,8 @@ pub fn analyze(samples: &[SelectionSample], good_fraction: f64) -> SelectionAnal
     for s in samples {
         winner_data.push(&s.features.to_row(), s.winner() as u32);
     }
-    let mut winner_tree = DecisionTree::new(TreeConfig {
-        max_depth: 4,
-        min_samples_leaf: 2,
-        ..Default::default()
-    });
+    let mut winner_tree =
+        DecisionTree::new(TreeConfig { max_depth: 4, min_samples_leaf: 2, ..Default::default() });
     // Force the class space to cover every metric even if some never win.
     let mut padded = winner_data.clone();
     if !samples.is_empty() {
@@ -279,8 +275,7 @@ mod tests {
     #[test]
     fn per_metric_rules_exist_for_planted_metrics() {
         let analysis = analyze(&samples(), 0.9);
-        let names: Vec<&str> =
-            analysis.per_metric_rules.iter().map(|(n, _)| n.as_str()).collect();
+        let names: Vec<&str> = analysis.per_metric_rules.iter().map(|(n, _)| n.as_str()).collect();
         assert!(names.contains(&"Rescal"), "got {names:?}");
         assert!(names.contains(&"BRA"));
     }

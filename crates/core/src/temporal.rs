@@ -35,14 +35,11 @@ pub fn pair_features(
 ) -> PairTemporalFeatures {
     let t = snap.time();
     let idle = |x: NodeId| {
-        snap.last_activity(x)
-            .map(|last| (t - last) as f64 / DAY as f64)
-            .unwrap_or(f64::INFINITY)
+        snap.last_activity(x).map(|last| (t - last) as f64 / DAY as f64).unwrap_or(f64::INFINITY)
     };
     let (iu, iv) = (idle(u), idle(v));
     // "Active" = smaller idle time; ties pick u.
-    let (active, active_idle, inactive_idle) =
-        if iu <= iv { (u, iu, iv) } else { (v, iv, iu) };
+    let (active, active_idle, inactive_idle) = if iu <= iv { (u, iu, iv) } else { (v, iv, iu) };
     PairTemporalFeatures {
         active_idle_days: active_idle,
         inactive_idle_days: inactive_idle,
@@ -95,11 +92,7 @@ pub fn positive_negative_pairs(
 pub fn cdf(mut values: Vec<f64>) -> Vec<(f64, f64)> {
     values.sort_by(f64::total_cmp);
     let n = values.len() as f64;
-    values
-        .iter()
-        .enumerate()
-        .map(|(i, &x)| (x, (i + 1) as f64 / n))
-        .collect()
+    values.iter().enumerate().map(|(i, &x)| (x, (i + 1) as f64 / n)).collect()
 }
 
 /// Fraction of `values` strictly below `threshold` — reads a CDF point the

@@ -171,10 +171,7 @@ mod tests {
         let pairs = [(10u32, 11u32)];
         let lr_score = lr.score_pairs(&seq, &CommonNeighbors, t, &pairs)[0];
         let ma_score = ma.score_pairs(&seq, &CommonNeighbors, t, &pairs)[0];
-        assert!(
-            lr_score > ma_score,
-            "LR should extrapolate an increasing series above its mean"
-        );
+        assert!(lr_score > ma_score, "LR should extrapolate an increasing series above its mean");
     }
 
     #[test]

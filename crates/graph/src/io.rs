@@ -91,7 +91,10 @@ pub fn read_trace<R: Read>(reader: R) -> Result<TemporalGraph, TraceIoError> {
                 if id != arrivals.len() {
                     return Err(TraceIoError::Parse(
                         lineno,
-                        format!("arrival ids must be dense and ascending (got {id}, expected {})", arrivals.len()),
+                        format!(
+                            "arrival ids must be dense and ascending (got {id}, expected {})",
+                            arrivals.len()
+                        ),
                     ));
                 }
                 arrivals.push(t);
@@ -102,9 +105,7 @@ pub fn read_trace<R: Read>(reader: R) -> Result<TemporalGraph, TraceIoError> {
                 let t = field("t")?;
                 edges.push((u, v, t));
             }
-            other => {
-                return Err(TraceIoError::Parse(lineno, format!("unknown record '{other}'")))
-            }
+            other => return Err(TraceIoError::Parse(lineno, format!("unknown record '{other}'"))),
         }
     }
     if let Some(n) = declared_nodes {

@@ -17,7 +17,11 @@
 //!   path length, degree assortativity, per-node triangle counts, and the
 //!   2-hop edge ratio λ₂ of §4.2.
 //! * [`traversal`] — BFS distances and the candidate-pair enumerators
-//!   (unconnected 2-hop pairs, distance-bounded pairs).
+//!   (unconnected 2-hop pairs, distance-bounded pairs), parallelized over
+//!   per-source partitions with deterministic in-order merging.
+//! * [`par`] — the shared worker pool every parallel stage runs on, with
+//!   thread-count resolution (`--threads` override → `LINKLENS_THREADS` →
+//!   available parallelism) and task-ordered result collection.
 //! * [`sample`] — snowball (BFS) sampling at a fixed percentage with a
 //!   fixed seed node, re-applied across consecutive snapshots (§5.1).
 //! * [`io`] — trace (de)serialization: the native v1 format plus bare
@@ -32,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod io;
+pub mod par;
 pub mod sample;
 pub mod sequence;
 pub mod snapshot;

@@ -1,0 +1,181 @@
+//! Deterministic data-parallel execution over a fixed worker pool.
+//!
+//! Every parallel stage in LinkLens (candidate enumeration, chunked pair
+//! scoring, per-source walk batches) funnels through [`run_indexed`] /
+//! [`run_indexed_init`]: `tasks` independent work items are pulled from a
+//! shared counter by at most `threads` scoped workers, and the results are
+//! returned **in task order** regardless of which worker ran which item.
+//! Combined with work items whose outputs are pure functions of their
+//! index, this makes every parallel computation bit-identical to its
+//! serial equivalent — the invariant the determinism property tests pin.
+//!
+//! The worker count is resolved once per call site via [`max_threads`]:
+//! an explicit programmatic override (set by the CLI's `--threads` flag)
+//! wins, then the `LINKLENS_THREADS` environment variable, then the
+//! machine's available parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Programmatic worker-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count for all subsequent parallel stages
+/// (`None` restores environment/auto resolution). Used by the CLI's
+/// `--threads` flag; tests should prefer the explicit `*_t` entry points
+/// instead of mutating this process-global.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The worker count parallel stages use when the caller does not pass one
+/// explicitly: the [`set_thread_override`] value if set, else
+/// `LINKLENS_THREADS` (if a positive integer), else available parallelism.
+pub fn max_threads() -> usize {
+    let over = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if over > 0 {
+        return over;
+    }
+    if let Ok(value) = std::env::var("LINKLENS_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Splits `0..len` into at most `parts` contiguous ranges of near-equal
+/// size, in order. Fewer (possibly zero) ranges come back when `len` is
+/// small; empty ranges are never produced.
+pub fn block_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.clamp(1, len.max(1));
+    if len == 0 {
+        return Vec::new();
+    }
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Runs `f(0..tasks)` across up to `threads` workers and returns the
+/// results **in task order**. Tasks are claimed dynamically from a shared
+/// counter, so uneven task costs balance automatically. With one thread
+/// (or one task) everything runs inline on the caller's stack.
+pub fn run_indexed<T, F>(tasks: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed_init(tasks, threads, || (), |(), i| f(i))
+}
+
+/// Like [`run_indexed`], but each worker first builds private state with
+/// `init` and threads it through every task it claims — the mechanism the
+/// walk metrics use to reuse one `Scratch` allocation per worker instead
+/// of one per source.
+pub fn run_indexed_init<S, T, I, F>(tasks: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, tasks.max(1));
+    if threads == 1 {
+        let mut state = init();
+        return (0..tasks).map(|i| f(&mut state, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks {
+                        break;
+                    }
+                    let out = f(&mut state, i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(out);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("result slot poisoned").expect("task produced no result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for threads in [1, 2, 4, 7] {
+            let got = run_indexed(23, threads, |i| i * i);
+            let want: Vec<usize> = (0..23).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_empty() {
+        let got: Vec<usize> = run_indexed(0, 4, |i| i);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn worker_state_is_reused_not_shared() {
+        // Each worker's state counts the tasks it ran; the total over all
+        // returned (task, count-so-far) pairs must cover every task once.
+        let got = run_indexed_init(
+            64,
+            4,
+            || 0usize,
+            |count, i| {
+                *count += 1;
+                (i, *count)
+            },
+        );
+        assert_eq!(got.len(), 64);
+        for (idx, (task, count)) in got.iter().enumerate() {
+            assert_eq!(*task, idx, "task order preserved");
+            assert!(*count >= 1, "state initialized before first task");
+        }
+    }
+
+    #[test]
+    fn block_ranges_cover_exactly() {
+        for (len, parts) in [(10, 3), (3, 10), (0, 4), (16, 4), (1, 1)] {
+            let ranges = block_ranges(len, parts);
+            let mut covered = 0;
+            for (i, r) in ranges.iter().enumerate() {
+                assert!(!r.is_empty(), "empty range at {i} for ({len},{parts})");
+                assert_eq!(r.start, covered, "gap before range {i}");
+                covered = r.end;
+            }
+            assert_eq!(covered, len);
+        }
+    }
+
+    #[test]
+    fn override_wins_over_environment() {
+        set_thread_override(Some(3));
+        assert_eq!(max_threads(), 3);
+        set_thread_override(None);
+        assert!(max_threads() >= 1);
+    }
+}

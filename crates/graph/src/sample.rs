@@ -33,9 +33,9 @@ pub fn snowball(snap: &Snapshot, seed: NodeId, p: f64) -> Vec<NodeId> {
     let mut queue = std::collections::VecDeque::new();
 
     let enqueue = |u: NodeId,
-                       visited: &mut Vec<bool>,
-                       order: &mut Vec<NodeId>,
-                       queue: &mut std::collections::VecDeque<NodeId>| {
+                   visited: &mut Vec<bool>,
+                   order: &mut Vec<NodeId>,
+                   queue: &mut std::collections::VecDeque<NodeId>| {
         if !visited[u as usize] {
             visited[u as usize] = true;
             order.push(u);

@@ -179,10 +179,7 @@ impl Snapshot {
     /// Creation time of edge `(u, v)` if present.
     pub fn edge_time(&self, u: NodeId, v: NodeId) -> Option<Timestamp> {
         let base = self.offsets[u as usize];
-        self.neighbors(u)
-            .binary_search(&v)
-            .ok()
-            .map(|pos| self.edge_times[base + pos])
+        self.neighbors(u).binary_search(&v).ok().map(|pos| self.edge_times[base + pos])
     }
 
     /// Iterates the common neighbors of `u` and `v` (sorted merge;

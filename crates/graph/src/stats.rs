@@ -113,8 +113,7 @@ pub fn avg_clustering(snap: &Snapshot) -> f64 {
 /// non-isolated nodes). Exact when `sources >= |V|`. Figure 3's y-axis.
 pub fn avg_path_length(snap: &Snapshot, sources: usize) -> f64 {
     let n = snap.node_count();
-    let candidates: Vec<NodeId> =
-        (0..n as NodeId).filter(|&u| snap.degree(u) > 0).collect();
+    let candidates: Vec<NodeId> = (0..n as NodeId).filter(|&u| snap.degree(u) > 0).collect();
     if candidates.is_empty() {
         return 0.0;
     }
@@ -206,10 +205,7 @@ pub fn top_degree_edge_share(prev: &Snapshot, new_edges: &[(NodeId, NodeId)], fr
     for &u in &by_degree[..top_k] {
         is_top[u as usize] = true;
     }
-    let hits = new_edges
-        .iter()
-        .filter(|&&(u, v)| is_top[u as usize] || is_top[v as usize])
-        .count();
+    let hits = new_edges.iter().filter(|&&(u, v)| is_top[u as usize] || is_top[v as usize]).count();
     hits as f64 / new_edges.len() as f64
 }
 

@@ -86,7 +86,10 @@ impl TemporalGraph {
     /// arrival time. Duplicate edges are dropped (keeping the earliest) and
     /// events are sorted by time; arrival order of nodes must already match
     /// the id order.
-    pub fn from_events(arrivals: Vec<Timestamp>, mut edges: Vec<(NodeId, NodeId, Timestamp)>) -> Self {
+    pub fn from_events(
+        arrivals: Vec<Timestamp>,
+        mut edges: Vec<(NodeId, NodeId, Timestamp)>,
+    ) -> Self {
         for w in arrivals.windows(2) {
             assert!(w[0] <= w[1], "node arrivals must be non-decreasing");
         }
@@ -151,14 +154,10 @@ impl TemporalGraph {
     /// Per-day counts of new nodes and new edges over the trace span
     /// (Figure 1 of the paper). Day 0 starts at the first event.
     pub fn daily_growth(&self) -> Vec<DailyGrowth> {
-        let t0 = self
-            .start_time()
-            .unwrap_or(0)
-            .min(self.node_arrival.first().copied().unwrap_or(0));
-        let t_end = self
-            .end_time()
-            .unwrap_or(0)
-            .max(self.node_arrival.last().copied().unwrap_or(0));
+        let t0 =
+            self.start_time().unwrap_or(0).min(self.node_arrival.first().copied().unwrap_or(0));
+        let t_end =
+            self.end_time().unwrap_or(0).max(self.node_arrival.last().copied().unwrap_or(0));
         let days = ((t_end - t0) / crate::DAY + 1) as usize;
         let mut out = vec![DailyGrowth::default(); days];
         for (d, g) in out.iter_mut().enumerate() {

@@ -79,15 +79,38 @@ pub fn distance(snap: &Snapshot, u: NodeId, v: NodeId) -> Option<u32> {
 
 /// All *unconnected* pairs `(u, v)`, `u < v`, at distance exactly 2
 /// (sharing at least one neighbor). This is the candidate universe for the
-/// neighborhood metrics.
+/// neighborhood metrics. Runs on [`crate::par::max_threads`] workers.
 ///
 /// Complexity O(Σ_w deg(w)²) — the standard 2-path enumeration bound.
 pub fn two_hop_pairs(snap: &Snapshot) -> Vec<(NodeId, NodeId)> {
+    two_hop_pairs_t(snap, crate::par::max_threads())
+}
+
+/// [`two_hop_pairs`] with an explicit worker count. Sources are split into
+/// contiguous blocks enumerated independently and concatenated in block
+/// order, so the output is identical for every `threads` value.
+pub fn two_hop_pairs_t(snap: &Snapshot, threads: usize) -> Vec<(NodeId, NodeId)> {
+    let n = snap.node_count();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        return two_hop_block(snap, 0..n);
+    }
+    // Over-partition: low source ids carry more `v > u` work, so dynamic
+    // claiming of small blocks balances the pool.
+    let blocks = crate::par::block_ranges(n, threads * 8);
+    let parts =
+        crate::par::run_indexed(blocks.len(), threads, |b| two_hop_block(snap, blocks[b].clone()));
+    parts.concat()
+}
+
+/// Serial 2-hop enumeration restricted to sources in `sources`.
+fn two_hop_block(snap: &Snapshot, sources: std::ops::Range<usize>) -> Vec<(NodeId, NodeId)> {
     let n = snap.node_count();
     let mut out = Vec::new();
     let mut mark = vec![false; n];
     let mut touched: Vec<NodeId> = Vec::new();
-    for u in 0..n as NodeId {
+    for u in sources {
+        let u = u as NodeId;
         // Collect distinct 2-hop endpoints v > u not adjacent to u.
         for &w in snap.neighbors(u) {
             for &v in snap.neighbors(w) {
@@ -110,12 +133,36 @@ pub fn two_hop_pairs(snap: &Snapshot) -> Vec<(NodeId, NodeId)> {
 
 /// Unconnected pairs `(u, v)`, `u < v`, with BFS distance in `2..=max_dist`.
 /// `max_dist = 2` matches [`two_hop_pairs`]; `3` adds the Local Path
-/// candidates.
+/// candidates. Runs on [`crate::par::max_threads`] workers.
 pub fn pairs_within(snap: &Snapshot, max_dist: u32) -> Vec<(NodeId, NodeId)> {
+    pairs_within_t(snap, max_dist, crate::par::max_threads())
+}
+
+/// [`pairs_within`] with an explicit worker count; output is identical for
+/// every `threads` value (per-source BFS partitions merged in order).
+pub fn pairs_within_t(snap: &Snapshot, max_dist: u32, threads: usize) -> Vec<(NodeId, NodeId)> {
     assert!(max_dist >= 2, "pairs at distance < 2 are already edges");
     let n = snap.node_count();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        return pairs_within_block(snap, max_dist, 0..n);
+    }
+    let blocks = crate::par::block_ranges(n, threads * 8);
+    let parts = crate::par::run_indexed(blocks.len(), threads, |b| {
+        pairs_within_block(snap, max_dist, blocks[b].clone())
+    });
+    parts.concat()
+}
+
+/// Serial bounded-BFS enumeration restricted to sources in `sources`.
+fn pairs_within_block(
+    snap: &Snapshot,
+    max_dist: u32,
+    sources: std::ops::Range<usize>,
+) -> Vec<(NodeId, NodeId)> {
     let mut out = Vec::new();
-    for u in 0..n as NodeId {
+    for u in sources {
+        let u = u as NodeId;
         let dist = bfs_distances(snap, u, max_dist);
         for (v, &d) in dist.iter().enumerate() {
             let v = v as NodeId;
@@ -266,6 +313,28 @@ mod tests {
         let mut pairs = two_hop_pairs_among(&s, &[0, 2, 4]);
         pairs.sort_unstable();
         assert_eq!(pairs, vec![(0, 2), (2, 4)]);
+    }
+
+    #[test]
+    fn enumeration_is_thread_count_invariant() {
+        // Dense-ish random-looking fixture: ring + chords.
+        let n = 40u32;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, (i + 1) % n));
+            if i % 3 == 0 {
+                edges.push((i, (i + 7) % n));
+            }
+        }
+        let canon: Vec<(NodeId, NodeId)> =
+            edges.iter().map(|&(a, b)| crate::canonical(a, b)).collect();
+        let s = Snapshot::from_edges(n as usize, &canon);
+        let two1 = two_hop_pairs_t(&s, 1);
+        let within1 = pairs_within_t(&s, 3, 1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(two_hop_pairs_t(&s, threads), two1, "two_hop threads={threads}");
+            assert_eq!(pairs_within_t(&s, 3, threads), within1, "within threads={threads}");
+        }
     }
 
     #[test]

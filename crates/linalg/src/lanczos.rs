@@ -190,10 +190,7 @@ pub fn lanczos_top_k(a: &SparseMatrix, k: usize, max_iter: usize, seed: u64) -> 
     // Pick the k largest-magnitude Ritz values and map vectors back.
     let mut order: Vec<usize> = (0..t_dim).collect();
     order.sort_by(|&i, &j| {
-        tri.values[j]
-            .abs()
-            .partial_cmp(&tri.values[i].abs())
-            .expect("finite ritz values")
+        tri.values[j].abs().partial_cmp(&tri.values[i].abs()).expect("finite ritz values")
     });
     let kept = k.min(t_dim);
     let mut values = Vec::with_capacity(kept);
@@ -245,11 +242,7 @@ mod tests {
 
     #[test]
     fn jacobi_reconstructs_matrix() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.0],
-            &[-2.0, 0.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]);
         let e = jacobi_eigen(&a);
         // A = V Λ Vᵀ
         let mut lam = Matrix::zeros(3, 3);

@@ -88,9 +88,7 @@ impl Metric for BayesAdamicAdar {
             .iter()
             .map(|&(u, v)| {
                 snap.common_neighbors(u, v)
-                    .map(|w| {
-                        (ctx.log_s + ctx.log_r[w as usize]) / (snap.degree(w) as f64).ln()
-                    })
+                    .map(|w| (ctx.log_s + ctx.log_r[w as usize]) / (snap.degree(w) as f64).ln())
                     .sum()
             })
             .collect()
@@ -133,10 +131,7 @@ mod tests {
     ///
     /// 0-1, 1-2, 0-2 (triangle), plus 3-5, 5-4 (open wedge), 0-3? no.
     fn closing_vs_open() -> Snapshot {
-        Snapshot::from_edges(
-            7,
-            &[(0, 1), (1, 2), (0, 2), (3, 5), (5, 4), (0, 6), (6, 2)],
-        )
+        Snapshot::from_edges(7, &[(0, 1), (1, 2), (0, 2), (3, 5), (5, 4), (0, 6), (6, 2)])
     }
 
     #[test]
@@ -198,8 +193,7 @@ mod tests {
     #[test]
     fn scores_symmetric() {
         let s = closing_vs_open();
-        for m in [&BayesCommonNeighbors as &dyn Metric, &BayesAdamicAdar,
-                  &BayesResourceAllocation]
+        for m in [&BayesCommonNeighbors as &dyn Metric, &BayesAdamicAdar, &BayesResourceAllocation]
         {
             let a = m.score_pairs(&s, &[(3, 4)])[0];
             let b = m.score_pairs(&s, &[(4, 3)])[0];

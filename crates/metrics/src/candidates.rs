@@ -38,9 +38,7 @@ impl CandidateSet {
     pub fn build(snap: &Snapshot, policy: CandidatePolicy, top_degree: usize) -> Self {
         let mut pairs = match policy {
             CandidatePolicy::TwoHop => traversal::two_hop_pairs(snap),
-            CandidatePolicy::ThreeHop | CandidatePolicy::Global => {
-                traversal::pairs_within(snap, 3)
-            }
+            CandidatePolicy::ThreeHop | CandidatePolicy::Global => traversal::pairs_within(snap, 3),
         };
         if policy == CandidatePolicy::Global {
             let n = snap.node_count();
@@ -48,8 +46,17 @@ impl CandidateSet {
             by_degree.sort_unstable_by_key(|&u| std::cmp::Reverse(snap.degree(u)));
             let top = &by_degree[..top_degree.min(n)];
             for &h in top {
+                // Neighbor lists are sorted ascending, so a single merge
+                // pass over `0..n` finds every non-neighbor in
+                // O(n + deg h) instead of a per-pair adjacency probe.
+                let mut adj = snap.neighbors(h).iter().copied().peekable();
                 for v in 0..n as NodeId {
-                    if v != h && !snap.has_edge(h, v) {
+                    while adj.next_if(|&a| a < v).is_some() {}
+                    if adj.peek() == Some(&v) {
+                        adj.next();
+                        continue;
+                    }
+                    if v != h {
                         pairs.push(osn_graph::canonical(h, v));
                     }
                 }

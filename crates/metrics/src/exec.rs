@@ -1,0 +1,351 @@
+//! The pair-parallel scoring engine.
+//!
+//! Every scoring surface in LinkLens — single-metric prediction, the
+//! evaluation framework's policy groups, the classification pipeline's
+//! feature matrix — funnels through this module instead of spawning one
+//! thread per metric. The engine splits a shared candidate list into
+//! cache-sized, *source-aligned* chunks and schedules (metric × chunk)
+//! work items over a fixed worker pool ([`osn_graph::par`]).
+//!
+//! Three design points keep results bit-identical to serial execution:
+//!
+//! 1. **Per-snapshot preparation** is hoisted out of the chunk loop:
+//!    [`Metric::prepare`] runs once (factorizations, landmark solves,
+//!    eigendecompositions) and returns a [`PairScorer`] that each chunk
+//!    calls read-only. Scores depend only on (snapshot, pair), never on
+//!    chunk shape.
+//! 2. **Source-aligned chunking** cuts only where `pairs[i].0` changes, so
+//!    group-by-source metrics (SP, LP) still share one BFS/scatter pass
+//!    per source inside a chunk.
+//! 3. **Fused streaming top-k**: each chunk feeds its scores straight into
+//!    a [`TopKAcc`] keyed by *global* pair index; per-chunk heaps merge
+//!    into exactly the serial selection (see [`crate::topk`]) without ever
+//!    materializing the full score vector.
+//!
+//! Metrics whose batch algorithm is itself parallel (the walk metrics'
+//! per-source passes) opt out of chunking via [`ExecMode::WholeBatch`] and
+//! receive the worker budget through [`Metric::score_pairs_t`].
+
+use crate::candidates::CandidateSet;
+use crate::topk::{self, TopKAcc};
+use crate::traits::Metric;
+use osn_graph::par;
+use osn_graph::snapshot::Snapshot;
+use osn_graph::NodeId;
+use std::ops::Range;
+
+/// How the engine executes one metric over a pair batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Split the pair list into source-aligned chunks scored in parallel
+    /// through the metric's prepared [`PairScorer`] (the default).
+    Chunked,
+    /// Hand the metric the whole batch plus a worker budget; the metric
+    /// parallelizes internally (walk metrics: per-source, with per-worker
+    /// scratch reuse).
+    WholeBatch,
+}
+
+/// A read-only scorer produced by [`Metric::prepare`] for one snapshot.
+///
+/// `score_chunk` must be a pure function of `(snapshot, pairs)` — chunk
+/// boundaries must not influence any score, or thread counts would change
+/// predictions.
+pub trait PairScorer: Send + Sync {
+    /// Scores one contiguous slice of the candidate list.
+    fn score_chunk(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64>;
+}
+
+/// The default [`PairScorer`]: delegates every chunk to
+/// [`Metric::score_pairs`]. Correct for any metric whose batch scoring has
+/// no cross-pair state (all the local, Bayes, path, and time-aware
+/// metrics).
+pub struct ScoreAll<'m, M: ?Sized>(pub &'m M);
+
+impl<M: Metric + ?Sized> PairScorer for ScoreAll<'_, M> {
+    fn score_chunk(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        self.0.score_pairs(snap, pairs)
+    }
+}
+
+/// Smallest chunk the engine bothers splitting off: below this, scheduling
+/// overhead beats cache friendliness.
+pub const MIN_CHUNK_PAIRS: usize = 1024;
+
+/// Cuts `pairs` into contiguous ranges of roughly `len / (threads × 4)`
+/// pairs (never below [`MIN_CHUNK_PAIRS`]), splitting only where the
+/// source endpoint changes so group-by-source metrics keep their per-source
+/// sharing. Candidate lists are sorted canonically, so equal sources are
+/// always adjacent.
+pub fn source_aligned_chunks(pairs: &[(NodeId, NodeId)], threads: usize) -> Vec<Range<usize>> {
+    let len = pairs.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let target = (len / (threads.max(1) * 4).max(1)).max(MIN_CHUNK_PAIRS);
+    let mut out = Vec::new();
+    let mut start = 0;
+    for i in 1..len {
+        if i - start >= target && pairs[i].0 != pairs[i - 1].0 {
+            out.push(start..i);
+            start = i;
+        }
+    }
+    out.push(start..len);
+    out
+}
+
+/// Scores `pairs` with the engine: prepared once, chunked across `threads`
+/// workers (or delegated whole with the worker budget for
+/// [`ExecMode::WholeBatch`] metrics). Bit-identical for every `threads`.
+pub fn score_pairs_t<M: Metric + ?Sized>(
+    m: &M,
+    snap: &Snapshot,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+) -> Vec<f64> {
+    match m.exec_mode() {
+        ExecMode::WholeBatch => m.score_pairs_t(snap, pairs, threads),
+        ExecMode::Chunked => {
+            let scorer = m.prepare(snap);
+            let chunks = source_aligned_chunks(pairs, threads);
+            if threads <= 1 || chunks.len() <= 1 {
+                return scorer.score_chunk(snap, pairs);
+            }
+            let parts = par::run_indexed(chunks.len(), threads, |c| {
+                scorer.score_chunk(snap, &pairs[chunks[c].clone()])
+            });
+            parts.concat()
+        }
+    }
+}
+
+/// Engine-backed top-k prediction with an explicit worker count: chunked
+/// metrics stream each chunk's scores into a per-chunk [`TopKAcc`] (global
+/// indices) and merge; whole-batch metrics score once and select serially.
+/// The returned pairs — including tie-break ordering — are identical for
+/// every `threads` value.
+pub fn predict_top_k_t<M: Metric + ?Sized>(
+    m: &M,
+    snap: &Snapshot,
+    cands: &CandidateSet,
+    k: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<(NodeId, NodeId)> {
+    let pairs = cands.pairs();
+    match m.exec_mode() {
+        ExecMode::WholeBatch => {
+            let scores = m.score_pairs_t(snap, pairs, threads);
+            topk::top_k_pairs(pairs, &scores, k, seed)
+        }
+        ExecMode::Chunked => {
+            let scorer = m.prepare(snap);
+            let chunks = source_aligned_chunks(pairs, threads);
+            let accs = par::run_indexed(chunks.len(), threads.max(1), |c| {
+                let range = chunks[c].clone();
+                let slice = &pairs[range.clone()];
+                let scores = scorer.score_chunk(snap, slice);
+                let mut acc = TopKAcc::new(k, seed);
+                for (off, (&pair, &score)) in slice.iter().zip(&scores).enumerate() {
+                    acc.push(pair, score, range.start + off);
+                }
+                acc
+            });
+            let mut merged = TopKAcc::new(k, seed);
+            for acc in accs {
+                merged.merge(acc);
+            }
+            merged.finish()
+        }
+    }
+}
+
+/// One (metric, chunk) work item for the shared pool.
+struct Item {
+    metric: usize,
+    chunk: Range<usize>,
+}
+
+/// Splits metric indices by execution mode.
+fn by_mode(metrics: &[&dyn Metric]) -> (Vec<usize>, Vec<usize>) {
+    let mut chunked = Vec::new();
+    let mut whole = Vec::new();
+    for (i, m) in metrics.iter().enumerate() {
+        match m.exec_mode() {
+            ExecMode::Chunked => chunked.push(i),
+            ExecMode::WholeBatch => whole.push(i),
+        }
+    }
+    (chunked, whole)
+}
+
+/// Top-k predictions for several metrics over one shared candidate set.
+///
+/// All chunked metrics are prepared in parallel, then their (metric ×
+/// chunk) items are scheduled over one `threads`-wide pool — a slow metric
+/// no longer serializes the transition the way one-thread-per-metric did.
+/// Whole-batch metrics run afterwards, each using the full worker budget
+/// internally. Results are in input metric order and bit-identical to
+/// `threads = 1`.
+pub fn predict_top_k_many_t(
+    metrics: &[&dyn Metric],
+    snap: &Snapshot,
+    cands: &CandidateSet,
+    k: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<Vec<(NodeId, NodeId)>> {
+    let pairs = cands.pairs();
+    let threads = threads.max(1);
+    let (chunked, whole) = by_mode(metrics);
+    let mut out: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); metrics.len()];
+
+    if !chunked.is_empty() {
+        let scorers =
+            par::run_indexed(chunked.len(), threads, |i| metrics[chunked[i]].prepare(snap));
+        let chunks = source_aligned_chunks(pairs, threads);
+        let items: Vec<Item> = chunked
+            .iter()
+            .enumerate()
+            .flat_map(|(si, _)| chunks.iter().map(move |c| Item { metric: si, chunk: c.clone() }))
+            .collect();
+        let accs = par::run_indexed(items.len(), threads, |w| {
+            let item = &items[w];
+            let slice = &pairs[item.chunk.clone()];
+            let scores = scorers[item.metric].score_chunk(snap, slice);
+            let mut acc = TopKAcc::new(k, seed);
+            for (off, (&pair, &score)) in slice.iter().zip(&scores).enumerate() {
+                acc.push(pair, score, item.chunk.start + off);
+            }
+            acc
+        });
+        let mut merged: Vec<TopKAcc> = chunked.iter().map(|_| TopKAcc::new(k, seed)).collect();
+        for (item, acc) in items.iter().zip(accs) {
+            merged[item.metric].merge(acc);
+        }
+        for (si, acc) in merged.into_iter().enumerate() {
+            out[chunked[si]] = acc.finish();
+        }
+    }
+    for &mi in &whole {
+        let scores = metrics[mi].score_pairs_t(snap, pairs, threads);
+        out[mi] = topk::top_k_pairs(pairs, &scores, k, seed);
+    }
+    out
+}
+
+/// Score columns (one `Vec<f64>` per metric, aligned with `pairs`) for
+/// several metrics, scheduled as (metric × chunk) items over one pool —
+/// the classification pipeline's feature-matrix backend. Column contents
+/// are bit-identical for every `threads` value.
+pub fn score_matrix_t(
+    metrics: &[&dyn Metric],
+    snap: &Snapshot,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+) -> Vec<Vec<f64>> {
+    let threads = threads.max(1);
+    let (chunked, whole) = by_mode(metrics);
+    let mut out: Vec<Vec<f64>> = vec![Vec::new(); metrics.len()];
+
+    if !chunked.is_empty() {
+        let scorers =
+            par::run_indexed(chunked.len(), threads, |i| metrics[chunked[i]].prepare(snap));
+        let chunks = source_aligned_chunks(pairs, threads);
+        let items: Vec<Item> = chunked
+            .iter()
+            .enumerate()
+            .flat_map(|(si, _)| chunks.iter().map(move |c| Item { metric: si, chunk: c.clone() }))
+            .collect();
+        let parts = par::run_indexed(items.len(), threads, |w| {
+            let item = &items[w];
+            scorers[item.metric].score_chunk(snap, &pairs[item.chunk.clone()])
+        });
+        let mut columns: Vec<Vec<f64>> =
+            chunked.iter().map(|_| Vec::with_capacity(pairs.len())).collect();
+        for (item, part) in items.iter().zip(parts) {
+            debug_assert_eq!(columns[item.metric].len(), item.chunk.start);
+            columns[item.metric].extend(part);
+        }
+        for (si, col) in columns.into_iter().enumerate() {
+            out[chunked[si]] = col;
+        }
+    }
+    for &mi in &whole {
+        out[mi] = metrics[mi].score_pairs_t(snap, pairs, threads);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::CandidatePolicy;
+
+    /// Two bridged triangles plus a pendant path.
+    fn fixture() -> Snapshot {
+        Snapshot::from_edges(
+            8,
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5), (5, 6), (6, 7)],
+        )
+    }
+
+    #[test]
+    fn chunks_are_source_aligned_and_cover() {
+        let pairs: Vec<(NodeId, NodeId)> =
+            (0..40u32).flat_map(|u| (u + 1..u + 5).map(move |v| (u / 3, v + 100))).collect();
+        let chunks = source_aligned_chunks(&pairs, 4);
+        let mut covered = 0;
+        for c in &chunks {
+            assert_eq!(c.start, covered);
+            covered = c.end;
+            if c.start > 0 {
+                assert_ne!(
+                    pairs[c.start].0,
+                    pairs[c.start - 1].0,
+                    "chunk boundary split a source run"
+                );
+            }
+        }
+        assert_eq!(covered, pairs.len());
+    }
+
+    #[test]
+    fn engine_scores_match_direct_scoring() {
+        let snap = fixture();
+        let cands = CandidateSet::build(&snap, CandidatePolicy::ThreeHop, 0);
+        for m in crate::all_metrics() {
+            let direct = m.score_pairs(&snap, cands.pairs());
+            for threads in [1, 2, 4] {
+                let engine = score_pairs_t(m.as_ref(), &snap, cands.pairs(), threads);
+                assert_eq!(engine, direct, "{} threads={threads}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_metric_predictions_match_single_metric() {
+        let snap = fixture();
+        let cands = CandidateSet::build(&snap, CandidatePolicy::Global, 2);
+        let metrics = crate::all_metrics();
+        let refs: Vec<&dyn Metric> = metrics.iter().map(|m| m.as_ref()).collect();
+        let many = predict_top_k_many_t(&refs, &snap, &cands, 4, 0x11A5, 3);
+        for (i, m) in refs.iter().enumerate() {
+            let single = predict_top_k_t(*m, &snap, &cands, 4, 0x11A5, 1);
+            assert_eq!(many[i], single, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn score_matrix_matches_columns() {
+        let snap = fixture();
+        let cands = CandidateSet::build(&snap, CandidatePolicy::ThreeHop, 0);
+        let metrics = crate::all_metrics();
+        let refs: Vec<&dyn Metric> = metrics.iter().map(|m| m.as_ref()).collect();
+        let matrix = score_matrix_t(&refs, &snap, cands.pairs(), 4);
+        for (i, m) in refs.iter().enumerate() {
+            assert_eq!(matrix[i], m.score_pairs(&snap, cands.pairs()), "{}", m.name());
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! landmark approximation: with `C = K[:, L]` (truncated-series columns for
 //! a landmark set `L`) and `W = K[L, L]`, `K ≈ C W⁺ Cᵀ`.
 
+use crate::exec::PairScorer;
 use crate::traits::{CandidatePolicy, Metric};
 use osn_graph::snapshot::Snapshot;
 use osn_graph::NodeId;
@@ -49,6 +50,31 @@ impl Default for KatzLr {
     }
 }
 
+/// Prepared Katz-lr state: spectral factors computed once per snapshot;
+/// every chunk is O(r) dot products per pair.
+struct KatzLrScorer {
+    factors: Vec<f64>,
+    vectors: Matrix,
+}
+
+impl PairScorer for KatzLrScorer {
+    fn score_chunk(&self, _snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        let r = self.factors.len();
+        pairs
+            .iter()
+            .map(|&(u, v)| {
+                (0..r)
+                    .map(|k| {
+                        self.factors[k]
+                            * self.vectors[(u as usize, k)]
+                            * self.vectors[(v as usize, k)]
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+}
+
 impl Metric for KatzLr {
     fn name(&self) -> &'static str {
         "Katz-lr"
@@ -59,8 +85,15 @@ impl Metric for KatzLr {
     }
 
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        self.prepare(snap).score_chunk(snap, pairs)
+    }
+
+    fn prepare<'a>(&'a self, snap: &Snapshot) -> Box<dyn PairScorer + 'a> {
         if snap.edge_count() == 0 {
-            return vec![0.0; pairs.len()];
+            return Box::new(KatzLrScorer {
+                factors: Vec::new(),
+                vectors: Matrix::zeros(snap.node_count().max(1), 0),
+            });
         }
         let a = adjacency(snap);
         // Single-start Lanczos recovers one Ritz vector per eigenvalue
@@ -98,19 +131,7 @@ impl Metric for KatzLr {
                 1.0 / denom - 1.0
             })
             .collect();
-        let r = factors.len();
-        pairs
-            .iter()
-            .map(|&(u, v)| {
-                (0..r)
-                    .map(|k| {
-                        factors[k]
-                            * eig.vectors[(u as usize, k)]
-                            * eig.vectors[(v as usize, k)]
-                    })
-                    .sum()
-            })
-            .collect()
+        Box::new(KatzLrScorer { factors, vectors: eig.vectors })
     }
 }
 
@@ -168,6 +189,48 @@ impl KatzSc {
     }
 }
 
+/// Prepared Katz-sc state: landmark columns `C` and the solved mixing rows
+/// `M = C (W + δI)⁻¹`, computed once per snapshot. `m_rows = None` marks
+/// both the empty-graph case (`C` empty) and the singular-landmark
+/// fallback, which scores through `C` alone.
+struct KatzScScorer {
+    c: Matrix,
+    m_rows: Option<Vec<Vec<f64>>>,
+}
+
+impl PairScorer for KatzScScorer {
+    fn score_chunk(&self, _snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        let l = self.c.cols();
+        if l == 0 {
+            return vec![0.0; pairs.len()];
+        }
+        match &self.m_rows {
+            // score(u, v) = M[u, :] · C[v, :]  (≈ K[u, v]).
+            Some(m_rows) => pairs
+                .iter()
+                .map(|&(u, v)| {
+                    let mu = &m_rows[u as usize];
+                    let cv = self.c.row(v as usize);
+                    mu.iter().zip(cv).map(|(a, b)| a * b).sum()
+                })
+                .collect(),
+            // Singular landmark block even after ridge: fall back to the
+            // truncated series scores via the diagonal (no mixing).
+            None => pairs
+                .iter()
+                .map(|&(u, v)| {
+                    // crude fallback: average of available landmark columns
+                    let mut s = 0.0;
+                    for j in 0..l {
+                        s += self.c[(u as usize, j)] * self.c[(v as usize, j)];
+                    }
+                    s
+                })
+                .collect(),
+        }
+    }
+}
+
 impl Metric for KatzSc {
     fn name(&self) -> &'static str {
         "Katz-sc"
@@ -178,9 +241,13 @@ impl Metric for KatzSc {
     }
 
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        self.prepare(snap).score_chunk(snap, pairs)
+    }
+
+    fn prepare<'a>(&'a self, snap: &Snapshot) -> Box<dyn PairScorer + 'a> {
         let n = snap.node_count();
         if snap.edge_count() == 0 || n == 0 {
-            return vec![0.0; pairs.len()];
+            return Box::new(KatzScScorer { c: Matrix::zeros(n.max(1), 0), m_rows: None });
         }
         let a = adjacency(snap);
         let lm = self.pick_landmarks(snap);
@@ -218,31 +285,8 @@ impl Metric for KatzSc {
         }
         // Solve (W + δI) Y = Cᵀ column-block-wise: rhs per graph node.
         let rhs: Vec<Vec<f64>> = (0..n).map(|i| c.row(i).to_vec()).collect();
-        let Some(m_rows) = w.solve_many(&rhs) else {
-            // Singular landmark block even after ridge: fall back to the
-            // truncated series scores via the diagonal (no mixing).
-            return pairs
-                .iter()
-                .map(|&(u, v)| {
-                    // crude fallback: average of available landmark columns
-                    let mut s = 0.0;
-                    for j in 0..l {
-                        s += c[(u as usize, j)] * c[(v as usize, j)];
-                    }
-                    s
-                })
-                .collect();
-        };
-
-        // score(u, v) = M[u, :] · C[v, :]  (≈ K[u, v]).
-        pairs
-            .iter()
-            .map(|&(u, v)| {
-                let mu = &m_rows[u as usize];
-                let cv = c.row(v as usize);
-                mu.iter().zip(cv).map(|(a, b)| a * b).sum()
-            })
-            .collect()
+        let m_rows = w.solve_many(&rhs);
+        Box::new(KatzScScorer { c, m_rows })
     }
 }
 
@@ -282,9 +326,8 @@ mod tests {
             }
         }
         // Invert by solving against identity columns.
-        let rhs: Vec<Vec<f64>> = (0..n)
-            .map(|j| (0..n).map(|i| f64::from(u8::from(i == j))).collect())
-            .collect();
+        let rhs: Vec<Vec<f64>> =
+            (0..n).map(|j| (0..n).map(|i| f64::from(u8::from(i == j))).collect()).collect();
         let cols = i_minus.solve_many(&rhs).expect("I - βA invertible for small β");
         let mut inv = Matrix::zeros(n, n);
         for (j, coljj) in cols.iter().enumerate() {
@@ -308,11 +351,7 @@ mod tests {
         let got = lr.score_pairs(&s, &pairs);
         for (i, &(u, v)) in pairs.iter().enumerate() {
             let want = exact[(u as usize, v as usize)];
-            assert!(
-                (got[i] - want).abs() < 1e-6,
-                "pair ({u},{v}): got {} want {want}",
-                got[i]
-            );
+            assert!((got[i] - want).abs() < 1e-6, "pair ({u},{v}): got {} want {want}", got[i]);
         }
     }
 
@@ -337,11 +376,7 @@ mod tests {
         let got = sc.score_pairs(&s, &pairs);
         for (i, &(u, v)) in pairs.iter().enumerate() {
             let want = exact[(u as usize, v as usize)];
-            assert!(
-                (got[i] - want).abs() < 1e-6,
-                "pair ({u},{v}): got {} want {want}",
-                got[i]
-            );
+            assert!((got[i] - want).abs() < 1e-6, "pair ({u},{v}): got {} want {want}", got[i]);
         }
     }
 

@@ -36,13 +36,17 @@
 //! caller-chosen pair batch, so the expensive enumeration is shared across
 //! all metrics per snapshot (the evaluation framework exploits this).
 //! Top-k selection with deterministic seeded tie-breaking — the paper's
-//! "random choice among ties" for SP — is in [`topk`].
+//! "random choice among ties" for SP — is in [`topk`]. Parallel execution
+//! (chunked candidate scoring, (metric × chunk) scheduling, fused
+//! streaming top-k) is in [`exec`]; predictions are bit-identical across
+//! worker counts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bayes;
 pub mod candidates;
+pub mod exec;
 pub mod katz;
 pub mod local;
 pub mod path;
@@ -80,10 +84,7 @@ pub fn all_metrics() -> Vec<Box<dyn Metric>> {
 /// The 12 metrics shown in the paper's Figure 5 / Table 4 (CN, AA, RA are
 /// dropped in favor of their local-naive-Bayes versions, as in the paper).
 pub fn figure5_metrics() -> Vec<Box<dyn Metric>> {
-    all_metrics()
-        .into_iter()
-        .filter(|m| !matches!(m.name(), "CN" | "AA" | "RA"))
-        .collect()
+    all_metrics().into_iter().filter(|m| !matches!(m.name(), "CN" | "AA" | "RA")).collect()
 }
 
 /// Looks a metric up by its display name (e.g. `"BRA"`, `"Katz-lr"`).

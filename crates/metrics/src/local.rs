@@ -67,9 +67,7 @@ impl Metric for AdamicAdar {
         pairs
             .iter()
             .map(|&(u, v)| {
-                snap.common_neighbors(u, v)
-                    .map(|w| 1.0 / (snap.degree(w) as f64).ln())
-                    .sum()
+                snap.common_neighbors(u, v).map(|w| 1.0 / (snap.degree(w) as f64).ln()).sum()
             })
             .collect()
     }
@@ -90,9 +88,7 @@ impl Metric for ResourceAllocation {
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
         pairs
             .iter()
-            .map(|&(u, v)| {
-                snap.common_neighbors(u, v).map(|w| 1.0 / snap.degree(w) as f64).sum()
-            })
+            .map(|&(u, v)| snap.common_neighbors(u, v).map(|w| 1.0 / snap.degree(w) as f64).sum())
             .collect()
     }
 }
@@ -136,9 +132,7 @@ mod tests {
     fn cn_counts() {
         let s = fixture();
         // Pair (1,3): common neighbors {0, 2}.
-        assert_eq!(CommonNeighbors.score_pairs(&s, &[(1, 3), (1, 4), (2, 4)]), vec![
-            2.0, 1.0, 1.0
-        ]);
+        assert_eq!(CommonNeighbors.score_pairs(&s, &[(1, 3), (1, 4), (2, 4)]), vec![2.0, 1.0, 1.0]);
     }
 
     #[test]
@@ -199,9 +193,13 @@ mod tests {
     fn scores_are_symmetric_under_pair_order() {
         // The trait takes canonical pairs, but the formulas must not care.
         let s = fixture();
-        for m in [&CommonNeighbors as &dyn Metric, &JaccardCoefficient, &AdamicAdar,
-                  &ResourceAllocation, &PreferentialAttachment]
-        {
+        for m in [
+            &CommonNeighbors as &dyn Metric,
+            &JaccardCoefficient,
+            &AdamicAdar,
+            &ResourceAllocation,
+            &PreferentialAttachment,
+        ] {
             let a = m.score_pairs(&s, &[(1, 3)])[0];
             let b = m.score_pairs(&s, &[(3, 1)])[0];
             assert_eq!(a, b, "{} asymmetric", m.name());

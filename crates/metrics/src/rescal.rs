@@ -11,6 +11,7 @@
 //! driven (YouTube-style) growth because the latent components assign
 //! heavy weights to globally important nodes (§4.2).
 
+use crate::exec::PairScorer;
 use crate::traits::{CandidatePolicy, Metric};
 use osn_graph::snapshot::Snapshot;
 use osn_graph::NodeId;
@@ -116,7 +117,8 @@ impl Rescal {
             // denom = R G Rᵀ + Rᵀ G R + λI, G = XᵀX.
             let g = x.gram();
             let rg = core.matmul(&g);
-            let mut denom = &rg.matmul(&core.transpose()) + &core.transpose().matmul(&g).matmul(&core);
+            let mut denom =
+                &rg.matmul(&core.transpose()) + &core.transpose().matmul(&g).matmul(&core);
             for d in 0..r {
                 denom[(d, d)] += self.lambda;
             }
@@ -137,10 +139,9 @@ impl Rescal {
             }
             let ax = a.matmul_dense(&x); // n × r
             let xtax = x.transpose().matmul(&ax); // r × r
-            // Left solve: (G+λI) Y = XᵀAX.
-            let rhs: Vec<Vec<f64>> = (0..r)
-                .map(|j| (0..r).map(|i| xtax[(i, j)]).collect())
-                .collect();
+                                                  // Left solve: (G+λI) Y = XᵀAX.
+            let rhs: Vec<Vec<f64>> =
+                (0..r).map(|j| (0..r).map(|i| xtax[(i, j)]).collect()).collect();
             if let Some(cols) = g_reg.solve_many(&rhs) {
                 let mut y = Matrix::zeros(r, r);
                 for (j, coljj) in cols.iter().enumerate() {
@@ -161,6 +162,21 @@ impl Rescal {
     }
 }
 
+/// A prepared RESCAL scorer: the ALS fit happens once, pair scoring is
+/// O(r²) per pair. `None` marks an empty graph (all scores zero).
+struct RescalScorer {
+    model: Option<RescalModel>,
+}
+
+impl PairScorer for RescalScorer {
+    fn score_chunk(&self, _snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        match &self.model {
+            None => vec![0.0; pairs.len()],
+            Some(model) => pairs.iter().map(|&(u, v)| model.score(u, v)).collect(),
+        }
+    }
+}
+
 impl Metric for Rescal {
     fn name(&self) -> &'static str {
         "Rescal"
@@ -171,11 +187,12 @@ impl Metric for Rescal {
     }
 
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
-        if snap.edge_count() == 0 {
-            return vec![0.0; pairs.len()];
-        }
-        let model = self.fit(snap);
-        pairs.iter().map(|&(u, v)| model.score(u, v)).collect()
+        self.prepare(snap).score_chunk(snap, pairs)
+    }
+
+    fn prepare<'a>(&'a self, snap: &Snapshot) -> Box<dyn PairScorer + 'a> {
+        let model = (snap.edge_count() > 0).then(|| self.fit(snap));
+        Box::new(RescalScorer { model })
     }
 }
 

@@ -77,10 +77,7 @@ impl Metric for RecencyCommonNeighbors {
     }
 
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
-        pairs
-            .iter()
-            .map(|&(u, v)| weighted_cn_sum(snap, u, v, self.tau_days, |_, w| w))
-            .collect()
+        pairs.iter().map(|&(u, v)| weighted_cn_sum(snap, u, v, self.tau_days, |_, w| w)).collect()
     }
 }
 

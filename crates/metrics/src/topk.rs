@@ -1,4 +1,11 @@
 //! Top-k pair selection with seeded tie-breaking.
+//!
+//! The composite key (score, seeded jitter, global index) is a *strict
+//! total order* whenever indices are distinct. That is what makes the
+//! chunked execution engine's per-chunk [`TopKAcc`] heaps mergeable with
+//! bit-identical results: an entry in the global top-k is necessarily in
+//! its own chunk's top-k, so merging per-chunk winners loses nothing, and
+//! the final sort is unambiguous.
 
 use osn_graph::NodeId;
 use std::cmp::Ordering;
@@ -11,6 +18,7 @@ struct Entry {
     score: f64,
     jitter: u64,
     idx: usize,
+    pair: (NodeId, NodeId),
 }
 
 impl Eq for Entry {}
@@ -41,6 +49,74 @@ fn pair_jitter(u: NodeId, v: NodeId, seed: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A streaming top-k accumulator over (pair, score, global index) triples.
+///
+/// The chunked scoring engine keeps one `TopKAcc` per chunk — fed with
+/// *global* pair indices so the tie-break key stays a total order across
+/// chunks — then [`merge`](Self::merge)s them. Because each chunk retains
+/// its own top-k under the shared total order, the merged result is
+/// bit-identical to a single serial pass ([`top_k_pairs`] is itself
+/// implemented as one accumulator).
+pub struct TopKAcc {
+    k: usize,
+    seed: u64,
+    heap: BinaryHeap<Entry>,
+}
+
+impl TopKAcc {
+    /// Creates an accumulator selecting the best `k` entries under `seed`'s
+    /// tie-breaking.
+    pub fn new(k: usize, seed: u64) -> Self {
+        TopKAcc { k, seed, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offers one candidate. `idx` must be the pair's position in the full
+    /// (un-chunked) candidate list so indices stay globally distinct.
+    /// NaN scores are skipped.
+    pub fn push(&mut self, pair: (NodeId, NodeId), score: f64, idx: usize) {
+        if self.k == 0 || score.is_nan() {
+            return;
+        }
+        let jitter = pair_jitter(pair.0, pair.1, self.seed);
+        let cand = Entry { score, jitter, idx, pair };
+        if self.heap.len() < self.k {
+            self.heap.push(cand);
+        } else if let Some(worst) = self.heap.peek() {
+            // `worst` is the minimum under our reversed ordering; replace
+            // it when the candidate ranks strictly higher.
+            if cand.cmp(worst) == Ordering::Less {
+                self.heap.pop();
+                self.heap.push(cand);
+            }
+        }
+    }
+
+    /// Folds another accumulator (same `k`/`seed`) into this one.
+    pub fn merge(&mut self, other: TopKAcc) {
+        debug_assert_eq!(self.k, other.k);
+        debug_assert_eq!(self.seed, other.seed);
+        for e in other.heap.into_vec() {
+            if self.heap.len() < self.k {
+                self.heap.push(e);
+            } else if let Some(worst) = self.heap.peek() {
+                if e.cmp(worst) == Ordering::Less {
+                    self.heap.pop();
+                    self.heap.push(e);
+                }
+            }
+        }
+    }
+
+    /// The selected pairs, best-first.
+    pub fn finish(self) -> Vec<(NodeId, NodeId)> {
+        let mut picked: Vec<Entry> = self.heap.into_vec();
+        // Under the reversed ordering the best entry is the smallest, so an
+        // ascending sort yields best-first output.
+        picked.sort_by(Entry::cmp);
+        picked.into_iter().map(|e| e.pair).collect()
+    }
+}
+
 /// Selects the `k` highest-scoring pairs. Ties are broken by a seeded hash
 /// of the pair, so equal-score candidates are chosen pseudo-randomly but
 /// reproducibly. NaN scores are skipped.
@@ -53,32 +129,11 @@ pub fn top_k_pairs(
     seed: u64,
 ) -> Vec<(NodeId, NodeId)> {
     assert_eq!(pairs.len(), scores.len(), "pairs/scores length mismatch");
-    if k == 0 {
-        return Vec::new();
-    }
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+    let mut acc = TopKAcc::new(k, seed);
     for (idx, (&pair, &score)) in pairs.iter().zip(scores).enumerate() {
-        if score.is_nan() {
-            continue;
-        }
-        let jitter = pair_jitter(pair.0, pair.1, seed);
-        if heap.len() < k {
-            heap.push(Entry { score, jitter, idx });
-        } else if let Some(worst) = heap.peek() {
-            let cand = Entry { score, jitter, idx };
-            // `worst` is the minimum under our reversed ordering; replace
-            // it when the candidate ranks strictly higher.
-            if cand.cmp(worst) == Ordering::Less {
-                heap.pop();
-                heap.push(cand);
-            }
-        }
+        acc.push(pair, score, idx);
     }
-    let mut picked: Vec<Entry> = heap.into_vec();
-    // Under the reversed ordering the best entry is the smallest, so an
-    // ascending sort yields best-first output.
-    picked.sort_by(Entry::cmp);
-    picked.into_iter().map(|e| pairs[e.idx]).collect()
+    acc.finish()
 }
 
 #[cfg(test)]
@@ -132,6 +187,35 @@ mod tests {
         let scores = vec![f64::NEG_INFINITY, -5.0, f64::INFINITY];
         let top = top_k_pairs(&pairs, &scores, 2, 0);
         assert_eq!(top, vec![(0, 3), (0, 2)]);
+    }
+
+    #[test]
+    fn chunked_merge_matches_serial_selection() {
+        // Split the candidate list into uneven chunks, accumulate each with
+        // global indices, merge in arbitrary order: identical to one pass.
+        let pairs: Vec<(u32, u32)> = (0..97).map(|i| (i, i + 200)).collect();
+        let scores: Vec<f64> = (0..97).map(|i| f64::from(i % 7)).collect();
+        let k = 11;
+        let seed = 5;
+        let serial = top_k_pairs(&pairs, &scores, k, seed);
+        for bounds in [vec![0, 10, 40, 97], vec![0, 97], vec![0, 1, 2, 50, 96, 97]] {
+            let mut accs: Vec<TopKAcc> = bounds
+                .windows(2)
+                .map(|w| {
+                    let mut acc = TopKAcc::new(k, seed);
+                    for i in w[0]..w[1] {
+                        acc.push(pairs[i], scores[i], i);
+                    }
+                    acc
+                })
+                .collect();
+            // Merge back-to-front so the order differs from chunk order.
+            let mut merged = accs.pop().unwrap();
+            while let Some(acc) = accs.pop() {
+                merged.merge(acc);
+            }
+            assert_eq!(merged.finish(), serial, "bounds {bounds:?}");
+        }
     }
 
     #[test]

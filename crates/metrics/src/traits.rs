@@ -1,7 +1,7 @@
 //! The `Metric` trait and its candidate policy.
 
 use crate::candidates::CandidateSet;
-use crate::topk;
+use crate::exec::{self, ExecMode, PairScorer, ScoreAll};
 use osn_graph::snapshot::Snapshot;
 use osn_graph::NodeId;
 
@@ -37,8 +37,39 @@ pub trait Metric: Sync {
     /// one finite score per pair, higher = more likely to connect.
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64>;
 
+    /// How the parallel engine executes this metric (see
+    /// [`ExecMode`]). Chunked by default; metrics whose batch algorithm
+    /// parallelizes internally (the walk metrics) return `WholeBatch`.
+    fn exec_mode(&self) -> ExecMode {
+        ExecMode::Chunked
+    }
+
+    /// Hoists per-snapshot work (factorizations, landmark solves) out of
+    /// the chunk loop, returning a read-only scorer the engine calls once
+    /// per chunk. The default wraps [`score_pairs`](Metric::score_pairs),
+    /// which is correct for any metric without cross-pair state.
+    fn prepare<'a>(&'a self, snap: &Snapshot) -> Box<dyn PairScorer + 'a> {
+        let _ = snap;
+        Box::new(ScoreAll(self))
+    }
+
+    /// [`score_pairs`](Metric::score_pairs) with an explicit worker
+    /// budget. Only [`ExecMode::WholeBatch`] metrics override this — the
+    /// engine parallelizes Chunked metrics itself.
+    fn score_pairs_t(
+        &self,
+        snap: &Snapshot,
+        pairs: &[(NodeId, NodeId)],
+        threads: usize,
+    ) -> Vec<f64> {
+        let _ = threads;
+        self.score_pairs(snap, pairs)
+    }
+
     /// Predicts the top-`k` pairs from a pre-built candidate set, with
-    /// seeded tie-breaking (ties are common for SP and CN).
+    /// seeded tie-breaking (ties are common for SP and CN). Runs on the
+    /// parallel engine with [`osn_graph::par::max_threads`] workers; the
+    /// result is bit-identical for every worker count.
     fn predict_top_k(
         &self,
         snap: &Snapshot,
@@ -46,8 +77,7 @@ pub trait Metric: Sync {
         k: usize,
         seed: u64,
     ) -> Vec<(NodeId, NodeId)> {
-        let scores = self.score_pairs(snap, cands.pairs());
-        topk::top_k_pairs(cands.pairs(), &scores, k, seed)
+        exec::predict_top_k_t(self, snap, cands, k, seed, osn_graph::par::max_threads())
     }
 }
 

@@ -1,7 +1,9 @@
 //! Random-walk metrics: Local Random Walk (LRW) and Personalized PageRank
 //! (PPR).
 
+use crate::exec::ExecMode;
 use crate::traits::{CandidatePolicy, Metric};
+use osn_graph::par;
 use osn_graph::snapshot::Snapshot;
 use osn_graph::NodeId;
 
@@ -114,17 +116,24 @@ fn walk_distribution(snap: &Snapshot, src: NodeId, steps: usize, prune: f64, scr
 
 /// Shared two-pass batch scorer: `combine(π_uv, π_vu)` per pair, where each
 /// directional probability comes from one walk/push per distinct source.
+///
+/// Sources are independent, so each per-source group is one work item on
+/// the shared pool; every worker reuses a single [`Scratch`] allocation
+/// across all the groups it claims. Each group's values are scattered back
+/// by pair index and are pure functions of `(snapshot, source)`, so the
+/// output is bit-identical for every `threads` value.
 fn two_pass_scores<F, G>(
     snap: &Snapshot,
     pairs: &[(NodeId, NodeId)],
-    mut run: F,
+    run: F,
     combine: G,
+    threads: usize,
 ) -> Vec<f64>
 where
-    F: FnMut(&Snapshot, NodeId, &mut Scratch),
+    F: Fn(&Snapshot, NodeId, &mut Scratch) + Sync,
     G: Fn(&Snapshot, (NodeId, NodeId), f64, f64) -> f64,
 {
-    let mut scr = Scratch::new(snap.node_count());
+    let n = snap.node_count();
     let mut p_uv = vec![0.0; pairs.len()];
     let mut p_vu = vec![0.0; pairs.len()];
 
@@ -133,6 +142,8 @@ where
         let dst_of = |p: (NodeId, NodeId)| if endpoint == 0 { p.1 } else { p.0 };
         let mut order: Vec<usize> = (0..pairs.len()).collect();
         order.sort_unstable_by_key(|&i| src_of(pairs[i]));
+        // One task per distinct source.
+        let mut groups: Vec<std::ops::Range<usize>> = Vec::new();
         let mut i = 0;
         while i < order.len() {
             let src = src_of(pairs[order[i]]);
@@ -140,24 +151,31 @@ where
             while j < order.len() && src_of(pairs[order[j]]) == src {
                 j += 1;
             }
-            run(snap, src, &mut scr);
-            for &idx in &order[i..j] {
-                let val = scr.buf[dst_of(pairs[idx]) as usize];
-                if endpoint == 0 {
-                    p_uv[idx] = val;
-                } else {
-                    p_vu[idx] = val;
-                }
-            }
-            scr.clear();
+            groups.push(i..j);
             i = j;
         }
+        let results = par::run_indexed_init(
+            groups.len(),
+            threads.max(1),
+            || Scratch::new(n),
+            |scr, g| {
+                let range = groups[g].clone();
+                let src = src_of(pairs[order[range.start]]);
+                run(snap, src, scr);
+                let vals: Vec<(usize, f64)> = order[range]
+                    .iter()
+                    .map(|&idx| (idx, scr.buf[dst_of(pairs[idx]) as usize]))
+                    .collect();
+                scr.clear();
+                vals
+            },
+        );
+        let target = if endpoint == 0 { &mut p_uv } else { &mut p_vu };
+        for (idx, val) in results.into_iter().flatten() {
+            target[idx] = val;
+        }
     }
-    pairs
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| combine(snap, p, p_uv[i], p_vu[i]))
-        .collect()
+    pairs.iter().enumerate().map(|(i, &p)| combine(snap, p, p_uv[i], p_vu[i])).collect()
 }
 
 impl Metric for LocalRandomWalk {
@@ -169,7 +187,20 @@ impl Metric for LocalRandomWalk {
         CandidatePolicy::ThreeHop
     }
 
+    fn exec_mode(&self) -> ExecMode {
+        ExecMode::WholeBatch
+    }
+
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        self.score_pairs_t(snap, pairs, par::max_threads())
+    }
+
+    fn score_pairs_t(
+        &self,
+        snap: &Snapshot,
+        pairs: &[(NodeId, NodeId)],
+        threads: usize,
+    ) -> Vec<f64> {
         let two_e = (2 * snap.edge_count()).max(1) as f64;
         two_pass_scores(
             snap,
@@ -178,6 +209,7 @@ impl Metric for LocalRandomWalk {
             |s, (u, v), puv, pvu| {
                 (s.degree(u) as f64 / two_e) * puv + (s.degree(v) as f64 / two_e) * pvu
             },
+            threads,
         )
     }
 }
@@ -238,12 +270,26 @@ impl Metric for PersonalizedPageRank {
         CandidatePolicy::ThreeHop
     }
 
+    fn exec_mode(&self) -> ExecMode {
+        ExecMode::WholeBatch
+    }
+
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        self.score_pairs_t(snap, pairs, par::max_threads())
+    }
+
+    fn score_pairs_t(
+        &self,
+        snap: &Snapshot,
+        pairs: &[(NodeId, NodeId)],
+        threads: usize,
+    ) -> Vec<f64> {
         two_pass_scores(
             snap,
             pairs,
             |s, src, scr| forward_push(s, src, self.alpha, self.epsilon, scr),
             |_, _, puv, pvu| puv + pvu,
+            threads,
         )
     }
 }
@@ -305,10 +351,7 @@ mod tests {
     fn lrw_prefers_near_pairs_on_non_bipartite_graph() {
         // Two triangles bridged (odd cycles break parity): 0-1-2 and 3-4-5
         // triangles joined by edge 2-3.
-        let s = Snapshot::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        );
+        let s = Snapshot::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
         let lrw = LocalRandomWalk::default();
         let scores = lrw.score_pairs(&s, &[(0, 3), (0, 4)]);
         assert!(scores[0] > scores[1], "distance-2 pair should beat distance-3: {scores:?}");
@@ -346,12 +389,11 @@ mod tests {
         }
         let mut scr = Scratch::new(n);
         forward_push(&s, 0, alpha, 1e-7, &mut scr);
-        for v in 0..n {
+        for (v, &exact) in pi.iter().enumerate() {
             assert!(
-                (scr.buf[v] - pi[v]).abs() < 1e-4,
-                "node {v}: push {} vs exact {}",
-                scr.buf[v],
-                pi[v]
+                (scr.buf[v] - exact).abs() < 1e-4,
+                "node {v}: push {} vs exact {exact}",
+                scr.buf[v]
             );
         }
     }

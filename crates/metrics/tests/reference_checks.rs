@@ -88,13 +88,13 @@ proptest! {
         // Dense reference: P = D⁻¹A row-stochastic (dangling rows absorb),
         // π(m) = eᵤ Pᵐ.
         let mut p = vec![vec![0.0f64; n]; n];
-        for x in 0..n {
+        for (x, row) in p.iter_mut().enumerate() {
             let d = snap.degree(x as NodeId);
             if d == 0 {
-                p[x][x] = 1.0;
+                row[x] = 1.0;
             } else {
                 for &y in snap.neighbors(x as NodeId) {
-                    p[x][y as usize] = 1.0 / d as f64;
+                    row[y as usize] = 1.0 / d as f64;
                 }
             }
         }

@@ -47,12 +47,7 @@ pub fn stratified_folds(data: &Dataset, k: usize, seed: u64) -> Vec<usize> {
 
 /// Mean cross-validated ROC AUC of a classifier family on a dataset.
 /// `make` builds a fresh classifier per fold.
-pub fn cv_auc<C: Classifier, F: Fn() -> C>(
-    data: &Dataset,
-    k: usize,
-    seed: u64,
-    make: F,
-) -> f64 {
+pub fn cv_auc<C: Classifier, F: Fn() -> C>(data: &Dataset, k: usize, seed: u64, make: F) -> f64 {
     let folds = stratified_folds(data, k, seed);
     let mut total = 0.0;
     for fold in 0..k {
@@ -121,12 +116,8 @@ mod tests {
         let d = blobs(100, 1.0, 0.2);
         let folds = stratified_folds(&d, 5, 1);
         for fold in 0..5 {
-            let pos = (0..d.len())
-                .filter(|&i| folds[i] == fold && d.label_bool(i))
-                .count();
-            let neg = (0..d.len())
-                .filter(|&i| folds[i] == fold && !d.label_bool(i))
-                .count();
+            let pos = (0..d.len()).filter(|&i| folds[i] == fold && d.label_bool(i)).count();
+            let neg = (0..d.len()).filter(|&i| folds[i] == fold && !d.label_bool(i)).count();
             assert_eq!(pos, 4, "20 positives over 5 folds");
             assert_eq!(neg, 16, "80 negatives over 5 folds");
         }

@@ -99,8 +99,7 @@ impl Dataset {
     pub fn undersample(&self, negatives_per_positive: f64, seed: u64) -> Dataset {
         assert!(negatives_per_positive > 0.0, "ratio must be positive");
         let positives: Vec<usize> = (0..self.len()).filter(|&i| self.label_bool(i)).collect();
-        let mut negatives: Vec<usize> =
-            (0..self.len()).filter(|&i| !self.label_bool(i)).collect();
+        let mut negatives: Vec<usize> = (0..self.len()).filter(|&i| !self.label_bool(i)).collect();
         let want = ((positives.len() as f64 * negatives_per_positive).round() as usize)
             .min(negatives.len());
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD05E_55A1);

@@ -48,8 +48,7 @@ pub fn roc_auc(scores: &[f64], truth: &[bool]) -> f64 {
         }
         i = j + 1;
     }
-    let rank_sum_pos: f64 =
-        truth.iter().zip(&ranks).filter(|&(&t, _)| t).map(|(_, &r)| r).sum();
+    let rank_sum_pos: f64 = truth.iter().zip(&ranks).filter(|&(&t, _)| t).map(|(_, &r)| r).sum();
     let u = rank_sum_pos - (n_pos as f64 * (n_pos as f64 + 1.0)) / 2.0;
     u / (n_pos as f64 * n_neg as f64)
 }

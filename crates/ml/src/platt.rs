@@ -36,8 +36,7 @@ impl PlattScaler {
 
         let t_pos = (n_pos as f64 + 1.0) / (n_pos as f64 + 2.0);
         let t_neg = 1.0 / (n_neg as f64 + 2.0);
-        let targets: Vec<f64> =
-            labels.iter().map(|&l| if l { t_pos } else { t_neg }).collect();
+        let targets: Vec<f64> = labels.iter().map(|&l| if l { t_pos } else { t_neg }).collect();
 
         // Gradient descent with a per-step backtracking line search —
         // simple and robust for a 2-parameter convex problem.
@@ -62,7 +61,12 @@ impl PlattScaler {
             let mut gb = 0.0;
             for (&s, &t) in scores.iter().zip(&targets) {
                 let z = a * s + b;
-                let p = if z >= 0.0 { 1.0 / (1.0 + (-z).exp()) } else { let e = z.exp(); e / (1.0 + e) };
+                let p = if z >= 0.0 {
+                    1.0 / (1.0 + (-z).exp())
+                } else {
+                    let e = z.exp();
+                    e / (1.0 + e)
+                };
                 ga += (p - t) * s;
                 gb += p - t;
             }
@@ -143,10 +147,7 @@ mod tests {
         let labels: Vec<bool> = (0..100).map(|i| i < 10).collect();
         let p = PlattScaler::fit(&scores, &labels);
         let prob = p.probability(0.0);
-        assert!(
-            (prob - 0.1).abs() < 0.05,
-            "base rate 10% should calibrate near 0.1, got {prob}"
-        );
+        assert!((prob - 0.1).abs() < 0.05, "base rate 10% should calibrate near 0.1, got {prob}");
     }
 
     #[test]

@@ -89,8 +89,7 @@ impl Classifier for LinearSvm {
                 let y = if data.label_bool(i) { 1.0 } else { -1.0 };
                 let cls_w = if y > 0.0 { self.positive_weight } else { 1.0 };
                 let eta = 1.0 / (self.lambda * t);
-                let margin =
-                    y * (dot(&self.weights, x) + self.bias);
+                let margin = y * (dot(&self.weights, x) + self.bias);
                 // Regularization shrinkage (w only — b is unregularized).
                 let shrink = 1.0 - eta * self.lambda;
                 for w in &mut self.weights {

@@ -99,14 +99,17 @@ impl DecisionTree {
         counts
     }
 
-    fn grow(&mut self, data: &Dataset, indices: Vec<usize>, depth: usize, rng: &mut StdRng) -> usize {
+    fn grow(
+        &mut self,
+        data: &Dataset,
+        indices: Vec<usize>,
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> usize {
         let counts = self.class_counts(data, &indices);
         let node_id = self.nodes.len();
         let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
-        if pure
-            || depth >= self.config.max_depth
-            || indices.len() < self.config.min_samples_split
-        {
+        if pure || depth >= self.config.max_depth || indices.len() < self.config.min_samples_split {
             self.nodes.push(Node::Leaf { counts });
             return node_id;
         }
@@ -276,12 +279,10 @@ impl DecisionTree {
         match &self.nodes[id] {
             Node::Leaf { counts } => {
                 let total: usize = counts.iter().sum();
-                let (class, &majority) = counts
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|&(_, &c)| c)
-                    .expect("non-empty counts");
-                let cond = if path.is_empty() { "(always)".to_string() } else { path.join(" and ") };
+                let (class, &majority) =
+                    counts.iter().enumerate().max_by_key(|&(_, &c)| c).expect("non-empty counts");
+                let cond =
+                    if path.is_empty() { "(always)".to_string() } else { path.join(" and ") };
                 out.push(format!(
                     "{cond} → class {} ({majority}/{total})",
                     cnames.get(class).copied().unwrap_or("?")
@@ -372,7 +373,13 @@ mod tests {
         let mut d = Dataset::new(1);
         for i in 0..30 {
             let x = i as f64;
-            let c = if x < 10.0 { 0 } else if x < 20.0 { 1 } else { 2 };
+            let c = if x < 10.0 {
+                0
+            } else if x < 20.0 {
+                1
+            } else {
+                2
+            };
             d.push(&[x], c);
         }
         let mut t = DecisionTree::default();

@@ -12,13 +12,7 @@ use osn_ml::Classifier;
 use proptest::prelude::*;
 
 /// Separable two-feature data with arbitrary affine placement.
-fn separable(
-    n_per_class: usize,
-    center: f64,
-    gap: f64,
-    scale: f64,
-    noise_seed: u64,
-) -> Dataset {
+fn separable(n_per_class: usize, center: f64, gap: f64, scale: f64, noise_seed: u64) -> Dataset {
     let mut d = Dataset::new(2);
     let mut s = noise_seed.max(1);
     let mut next = move || {
@@ -38,9 +32,8 @@ fn train_accuracy<C: Classifier>(clf: &mut C, d: &Dataset) -> f64 {
     let scaler = d.fit_scaler();
     let scaled = d.scaled_by(&scaler);
     clf.fit(&scaled);
-    let correct = (0..scaled.len())
-        .filter(|&i| clf.predict(scaled.row(i)) == scaled.label_bool(i))
-        .count();
+    let correct =
+        (0..scaled.len()).filter(|&i| clf.predict(scaled.row(i)) == scaled.label_bool(i)).count();
     correct as f64 / d.len() as f64
 }
 

@@ -183,7 +183,15 @@ mod tests {
         let n = snap.node_count() as NodeId;
         let targets: Vec<NodeId> = g.edges()[split..]
             .iter()
-            .filter_map(|e| if e.u < n { Some(e.u) } else if e.v < n { Some(e.v) } else { None })
+            .filter_map(|e| {
+                if e.u < n {
+                    Some(e.u)
+                } else if e.v < n {
+                    Some(e.v)
+                } else {
+                    None
+                }
+            })
             .collect();
         assert!(!targets.is_empty());
         // Hubs: top 5% by degree in the observed snapshot.
@@ -284,11 +292,9 @@ mod tests {
                 metrics
                     .iter()
                     .map(|m| {
-                        let cands =
-                            CandidateSet::build(&prev, CandidatePolicy::TwoHop, 0);
+                        let cands = CandidateSet::build(&prev, CandidatePolicy::TwoHop, 0);
                         let picked = m.predict_top_k(&prev, &cands, k, 5);
-                        let correct =
-                            picked.iter().filter(|p| truth.contains(p)).count();
+                        let correct = picked.iter().filter(|p| truth.contains(p)).count();
                         Outcome {
                             accuracy_ratio: if expected > 0.0 {
                                 correct as f64 / expected

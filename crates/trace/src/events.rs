@@ -91,11 +91,8 @@ fn merge(
         }
     }
 
-    let mut edges: Vec<(NodeId, NodeId, Timestamp)> = trace
-        .edges()
-        .iter()
-        .map(|e| (id_map[e.u as usize], id_map[e.v as usize], e.t))
-        .collect();
+    let mut edges: Vec<(NodeId, NodeId, Timestamp)> =
+        trace.edges().iter().map(|e| (id_map[e.u as usize], id_map[e.v as usize], e.t)).collect();
 
     // The merged population's internal graph: random pairs with moderate
     // clustering (pair + occasional closure through a previous edge).
@@ -183,10 +180,7 @@ mod tests {
         let daily = d.daily_growth();
         let spike = daily[20].new_edges;
         let before = daily[19].new_edges.max(1);
-        assert!(
-            spike > 4 * before,
-            "merge day should dwarf normal growth ({before} → {spike})"
-        );
+        assert!(spike > 4 * before, "merge day should dwarf normal growth ({before} → {spike})");
     }
 
     #[test]
@@ -218,10 +212,8 @@ mod tests {
     fn throttle_cuts_post_event_growth() {
         let t = base();
         let d = apply(&t, Disruption::PolicyThrottle { day: 20, keep_probability: 0.2 }, 1);
-        let before: usize =
-            d.daily_growth().iter().take(20).map(|x| x.new_edges).sum();
-        let orig_before: usize =
-            t.daily_growth().iter().take(20).map(|x| x.new_edges).sum();
+        let before: usize = d.daily_growth().iter().take(20).map(|x| x.new_edges).sum();
+        let orig_before: usize = t.daily_growth().iter().take(20).map(|x| x.new_edges).sum();
         assert_eq!(before, orig_before, "pre-event edges untouched");
         let after: usize = d.daily_growth().iter().skip(21).map(|x| x.new_edges).sum();
         let orig_after: usize = t.daily_growth().iter().skip(21).map(|x| x.new_edges).sum();

@@ -98,8 +98,7 @@ pub fn generate(cfg: &TraceConfig, seed: u64) -> GrowthTrace {
             }
         }
 
-        let closure_share =
-            closure_start + (closure_end - closure_start) * day_f / cfg.days as f64;
+        let closure_share = closure_start + (closure_end - closure_start) * day_f / cfg.days as f64;
 
         // Newly arrived nodes bootstrap 1–3 edges each.
         for u in (current..n).map(|i| i as NodeId) {
@@ -182,13 +181,7 @@ pub(crate) struct State {
 }
 
 impl State {
-    pub fn on_node<R: Rng>(
-        &mut self,
-        id: NodeId,
-        params: &LifecycleParams,
-        day: f64,
-        rng: &mut R,
-    ) {
+    pub fn on_node<R: Rng>(&mut self, id: NodeId, params: &LifecycleParams, day: f64, rng: &mut R) {
         debug_assert_eq!(id as usize, self.adj.len());
         self.adj.push(Vec::new());
         self.lifecycles.push(Lifecycle::spawn(params, day, rng));
@@ -285,8 +278,7 @@ impl State {
     ) -> Option<NodeId> {
         let roll: f64 = rng.random();
         let v = if roll < closure_share {
-            self.closure_target(u, bias, window, rng)
-                .or_else(|| self.preferential_target(rng))
+            self.closure_target(u, bias, window, rng).or_else(|| self.preferential_target(rng))
         } else if roll < closure_share + (1.0 - closure_share) * preferential {
             self.preferential_target(rng)
         } else {

@@ -131,10 +131,7 @@ mod tests {
         let cfg = TraceConfig::facebook_like().scaled(0.05).with_days(20);
         let a = cfg.generate(1);
         let b = cfg.generate(2);
-        assert_ne!(
-            a.edges()[..50.min(a.edge_count())],
-            b.edges()[..50.min(b.edge_count())]
-        );
+        assert_ne!(a.edges()[..50.min(a.edge_count())], b.edges()[..50.min(b.edge_count())]);
     }
 
     #[test]

@@ -145,10 +145,8 @@ pub fn generate(cfg: &TraceConfig, seed: u64) -> GrowthTrace {
                             let na = &state.adj[a as usize];
                             let nc = &state.adj[c as usize];
                             let probe = na.len().min(30);
-                            let overlap = na[na.len() - probe..]
-                                .iter()
-                                .filter(|w| nc.contains(w))
-                                .count();
+                            let overlap =
+                                na[na.len() - probe..].iter().filter(|w| nc.contains(w)).count();
                             if best.is_none_or(|(b, _)| overlap > b) {
                                 best = Some((overlap, c));
                             }
@@ -237,12 +235,7 @@ mod tests {
         let g = generate(&small_cfg(), 25);
         let snap = Snapshot::up_to(&g, g.edge_count());
         let d = stats::degree_stats(&snap);
-        assert!(
-            d.max as f64 > 10.0 * d.mean,
-            "max degree {} not ≫ mean {:.1}",
-            d.max,
-            d.mean
-        );
+        assert!(d.max as f64 > 10.0 * d.mean, "max degree {} not ≫ mean {:.1}", d.max, d.mean);
     }
 
     #[test]

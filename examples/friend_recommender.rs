@@ -7,12 +7,12 @@
 //! cargo run --release --example friend_recommender
 //! ```
 
-use linklens::prelude::*;
 use linklens::core::classify::ClassifierKind;
 use linklens::graph::traversal;
 use linklens::metrics::topk;
-use linklens::ml::Classifier;
 use linklens::ml::data::Dataset;
+use linklens::ml::Classifier;
+use linklens::prelude::*;
 
 fn main() {
     // A Renren-like friendship network.
@@ -40,8 +40,7 @@ fn main() {
     };
 
     // Undersample: all positives, 30 negatives per positive.
-    let positives: Vec<_> =
-        candidates.iter().copied().filter(|p| truth.contains(p)).collect();
+    let positives: Vec<_> = candidates.iter().copied().filter(|p| truth.contains(p)).collect();
     let negatives: Vec<_> = candidates
         .iter()
         .copied()
@@ -67,8 +66,7 @@ fn main() {
     let now = seq.snapshot(t - 1);
     let cands = traversal::two_hop_pairs(&now);
     let feats = features(&now, &cands);
-    let scores: Vec<f64> =
-        feats.iter().map(|f| svm.decision(&scaler.transform(f))).collect();
+    let scores: Vec<f64> = feats.iter().map(|f| svm.decision(&scaler.transform(f))).collect();
 
     // Show the strongest metric features overall (Figure 12 style).
     let names: Vec<&str> = metrics.iter().map(|m| m.name()).collect();

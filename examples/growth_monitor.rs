@@ -32,8 +32,14 @@ fn main() {
             };
             println!(
                 "{:>4} {:>7} {:>8} {:>7.1} {:>7.3} {:>7.2} {:>8.3} {:>6.2}",
-                i, p.nodes, p.edges, p.degree.mean, p.clustering, p.avg_path_length,
-                p.assortativity, lambda2
+                i,
+                p.nodes,
+                p.edges,
+                p.degree.mean,
+                p.clustering,
+                p.avg_path_length,
+                p.assortativity,
+                lambda2
             );
         }
 

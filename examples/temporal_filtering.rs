@@ -8,8 +8,8 @@
 //! ```
 
 use linklens::core::temporal::{fraction_below, pair_features, positive_negative_pairs};
-use linklens::prelude::*;
 use linklens::graph::DAY;
+use linklens::prelude::*;
 
 fn main() {
     let config = TraceConfig::renren_like().scaled(0.1).with_days(60);

@@ -1,0 +1,275 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the shim `serde`'s [`Serialize`]/[`Deserialize`] traits (a
+//! `Value`-tree model, not the real serde data model) for the shapes this
+//! workspace actually uses: named-field structs, and enums whose variants
+//! are unit or struct-like. Tokens are parsed directly — the container has
+//! no crates.io access, so `syn`/`quote` are unavailable.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct`/`enum` item, reduced to what codegen needs.
+enum Shape {
+    /// Named-field struct: type name + field names.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum: type name + variants, each unit (`None`) or struct-like
+    /// (`Some(field names)`).
+    Enum { name: String, variants: Vec<(String, Option<Vec<String>>)> },
+}
+
+/// Derives `serde::Serialize` (external tagging for enums, like real serde).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let body = match &shape {
+        Shape::Struct { name, fields } => {
+            let entries: Vec<String> =
+                fields.iter().map(|f| object_entry(f, &format!("&self.{f}"))).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    None => format!(
+                        "{name}::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Some(fs) => {
+                        let binds = fs.join(", ");
+                        let entries: Vec<String> =
+                            fs.iter().map(|f| object_entry(f, f)).collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{v}\"), \
+                                 ::serde::Value::Object(::std::vec![{}])\
+                             )]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    body.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let body = match &shape {
+        Shape::Struct { name, fields } => {
+            let inits: Vec<String> = fields.iter().map(|f| field_init(name, f, "value")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| f.is_none())
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let struct_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, f)| f.as_ref().map(|fs| (v, fs)))
+                .map(|(v, fs)| {
+                    let inits: Vec<String> =
+                        fs.iter().map(|f| field_init(name, f, "inner")).collect();
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {} }}),",
+                        inits.join(", ")
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::String(tag) => match tag.as_str() {{\n\
+                                 {unit}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                                     ::std::format!(\"unknown {name} variant `{{}}`\", other))),\n\
+                             }},\n\
+                             ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {strct}\n\
+                                     other => ::std::result::Result::Err(::serde::Error::msg(\
+                                         ::std::format!(\"unknown {name} variant `{{}}`\", other))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::Error::msg(\
+                                 \"expected a string or single-key object for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                strct = struct_arms.join("\n"),
+                name = name,
+            )
+        }
+    };
+    body.parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+/// `("f", Serialize::to_value(<expr>))` object-entry source text.
+fn object_entry(field: &str, expr: &str) -> String {
+    format!("(::std::string::String::from(\"{field}\"), ::serde::Serialize::to_value({expr}))")
+}
+
+/// `f: Deserialize::from_value(field(<src>, "f"))?` initializer source text.
+fn field_init(ty: &str, field: &str, src: &str) -> String {
+    format!(
+        "{field}: ::serde::Deserialize::from_value(::serde::field({src}, \"{field}\"))\
+             .map_err(|e| e.in_field(\"{ty}.{field}\"))?"
+    )
+}
+
+/// Parses the derive input down to a [`Shape`].
+fn parse_item(input: TokenStream) -> Shape {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct`/`enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported");
+    }
+    let body = match &toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive shim: expected a braced body for `{name}` (tuple structs unsupported), found {other:?}"
+        ),
+    };
+    match kw.as_str() {
+        "struct" => Shape::Struct { name, fields: parse_named_fields(body) },
+        "enum" => Shape::Enum { name, variants: parse_variants(body) },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+/// Field names of a named-field body (`a: T, b: U, ...`), attrs/vis skipped.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found `{other}`"),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after `{name}`, found `{other}`"),
+        }
+        skip_type(&toks, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Variants of an enum body; struct-like variants carry their field names.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Option<Vec<String>>)> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!(
+                    "serde_derive shim: tuple variant `{name}` unsupported — use a struct variant"
+                )
+            }
+            _ => None,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+/// Advances past `#[...]` attributes (incl. doc comments) and `pub`/`pub(..)`.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the bracket group
+                *i += 1;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Advances past a type up to (and over) the next top-level `,`.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}

@@ -1,0 +1,362 @@
+//! Offline stand-in for `serde_json` (the subset LinkLens uses).
+//!
+//! Bridges JSON text and the shim `serde`'s [`Value`] tree:
+//! [`to_string`]/[`to_string_pretty`] emit, [`from_str`] parses, and the
+//! [`json!`] macro builds `Value`s from object/array literals. Numbers are
+//! `f64`; values that round-trip as integers are printed without a decimal
+//! point so results files stay readable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde::{Error, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Renders any serializable value as a [`Value`] tree. Backs the [`json!`]
+/// macro's expression position.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at offset {}", p.pos)));
+    }
+    T::from_value(&value)
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal.
+///
+/// Keys are string literals; values are arbitrary serializable expressions.
+/// Unlike real serde_json this macro does not recurse into nested brace
+/// literals — wrap inner objects in their own `json!` call.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($v:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::to_value(&$v) ),* ])
+    };
+    ({ $($k:literal : $v:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $( (::std::string::String::from($k), $crate::to_value(&$v)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Emits `value` into `out`; `indent = None` means compact.
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+}
+
+/// JSON has no NaN/Infinity; mirror serde_json's lossy behaviour by
+/// emitting `null` for them rather than failing a whole results file.
+fn write_number(out: &mut String, n: f64) {
+    use std::fmt::Write as _;
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Recursive-descent JSON parser over raw bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| Error::msg("unexpected end of JSON input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!("expected `{}` at offset {}", b as char, self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => Ok(Value::String(self.parse_string()?)),
+            b'[' => self.parse_array(),
+            b'{' => self.parse_object(),
+            _ => self.parse_number(),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(Error::msg(format!("invalid literal at offset {}", self.pos)))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid utf-8 in number"))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error::msg(format!("invalid number `{text}` at offset {start}")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or_else(|| Error::msg("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::msg("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::msg("invalid \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::msg("invalid \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => {
+                            return Err(Error::msg(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through unmodified).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::msg("invalid utf-8 in string"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::msg(format!("expected `,` or `]` at {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::msg(format!("expected `,` or `}}` at {}", self.pos))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_values() {
+        let v = json!({
+            "name": "demo",
+            "xs": json!([1.5, 2.0, 3.0]),
+            "flag": true,
+            "missing": json!(null),
+        });
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn integers_print_without_decimal_point() {
+        assert_eq!(to_string(&3usize).unwrap(), "3");
+        assert_eq!(to_string(&1.25f64).unwrap(), "1.25");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let xs = vec![(1u32, 2.5f64), (3, 4.5)];
+        let text = to_string_pretty(&xs).unwrap();
+        let back: Vec<(u32, f64)> = from_str(&text).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "a\"b\\c\nd".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -25,7 +25,22 @@ use std::fs::File;
 use std::process::exit;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--threads N` is a global flag: strip it wherever it appears and
+    // pin the scoring-engine worker pool before any command runs.
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let Some(v) = args.get(i + 1) else {
+            eprintln!("--threads needs a value");
+            exit(2)
+        };
+        let n: usize = parse_or_exit(v, "--threads");
+        if n == 0 {
+            eprintln!("--threads must be >= 1");
+            exit(2)
+        }
+        linklens::graph::par::set_thread_override(Some(n));
+        args.drain(i..i + 2);
+    }
     let Some(command) = args.first() else { usage() };
     let rest = &args[1..];
     match command.as_str() {
@@ -50,6 +65,10 @@ fn usage() -> ! {
            stats FILE [--snapshots N]\n\
            predict FILE --metric NAME [--snapshots N] [--filter facebook|renren|youtube]\n\
            recommend FILE --user ID [--metric NAME] [--top N]\n\
+         \n\
+         global flags:\n\
+           --threads N   scoring-engine worker count (default: all cores;\n\
+                         also settable via LINKLENS_THREADS)\n\
          \n\
          FILE is a linklens v1 trace or a bare 'u v timestamp' edge list."
     );

@@ -56,8 +56,10 @@ pub mod prelude {
         all_metrics,
         bayes::{BayesAdamicAdar, BayesCommonNeighbors, BayesResourceAllocation},
         katz::{KatzLr, KatzSc},
-        local::{AdamicAdar, CommonNeighbors, JaccardCoefficient, PreferentialAttachment,
-                ResourceAllocation},
+        local::{
+            AdamicAdar, CommonNeighbors, JaccardCoefficient, PreferentialAttachment,
+            ResourceAllocation,
+        },
         path::{LocalPath, ShortestPath},
         rescal::Rescal,
         traits::Metric,

@@ -4,10 +4,7 @@
 use std::process::Command;
 
 fn linklens(args: &[&str]) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_linklens"))
-        .args(args)
-        .output()
-        .expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_linklens")).args(args).output().expect("binary runs")
 }
 
 fn tmp(name: &str) -> std::path::PathBuf {
@@ -20,8 +17,17 @@ fn tmp(name: &str) -> std::path::PathBuf {
 fn generate_stats_predict_recommend_pipeline() {
     let trace = tmp("pipeline.txt");
     let out = linklens(&[
-        "generate", "--preset", "renren", "--scale", "0.05", "--days", "30", "--seed", "3",
-        "--out", trace.to_str().unwrap(),
+        "generate",
+        "--preset",
+        "renren",
+        "--scale",
+        "0.05",
+        "--days",
+        "30",
+        "--seed",
+        "3",
+        "--out",
+        trace.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
     assert!(String::from_utf8_lossy(&out.stdout).contains("wrote"));
@@ -53,8 +59,17 @@ fn edge_list_import_works() {
 fn unknown_metric_is_a_clean_error() {
     let trace = tmp("err.txt");
     let _ = linklens(&[
-        "generate", "--preset", "facebook", "--scale", "0.05", "--days", "20", "--seed", "1",
-        "--out", trace.to_str().unwrap(),
+        "generate",
+        "--preset",
+        "facebook",
+        "--scale",
+        "0.05",
+        "--days",
+        "20",
+        "--seed",
+        "1",
+        "--out",
+        trace.to_str().unwrap(),
     ]);
     let out = linklens(&["predict", trace.to_str().unwrap(), "--metric", "NOPE"]);
     assert!(!out.status.success());

@@ -82,8 +82,7 @@ fn missing_link_protocol_on_generated_data() {
     let snap = seq.snapshot(t - 1);
     let eval = SequenceEvaluator::new(&seq);
     let future = eval.evaluate_metric(&ResourceAllocation, t);
-    let missing =
-        MissingLinkEval { hide_fraction: 0.05, seed: 7 }.run(&ResourceAllocation, &snap);
+    let missing = MissingLinkEval { hide_fraction: 0.05, seed: 7 }.run(&ResourceAllocation, &snap);
     assert!(missing.hidden > 0);
     assert!(missing.recovered > 0, "closure-heavy data must be partially recoverable");
     assert!((0.0..=1.0).contains(&missing.recovery_rate));

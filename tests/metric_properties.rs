@@ -18,12 +18,11 @@ fn arb_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
         let edge = (0..n as u32, 0..n as u32)
             .prop_filter("no self loop", |(a, b)| a != b)
             .prop_map(|(a, b)| linklens::graph::canonical(a, b));
-        proptest::collection::vec(edge, 1..40)
-            .prop_map(move |mut edges| {
-                edges.sort_unstable();
-                edges.dedup();
-                (n, edges)
-            })
+        proptest::collection::vec(edge, 1..40).prop_map(move |mut edges| {
+            edges.sort_unstable();
+            edges.dedup();
+            (n, edges)
+        })
     })
 }
 

@@ -112,10 +112,7 @@ fn temporal_positive_pairs_are_fresher_than_negative() {
             .collect();
         vals.iter().sum::<f64>() / vals.len() as f64
     };
-    assert!(
-        mean_idle(&pos) < mean_idle(&neg),
-        "positive pairs should have fresher active nodes"
-    );
+    assert!(mean_idle(&pos) < mean_idle(&neg), "positive pairs should have fresher active nodes");
 }
 
 #[test]

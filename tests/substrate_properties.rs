@@ -21,10 +21,8 @@ fn arb_trace() -> impl Strategy<Value = TemporalGraph> {
             for _ in 0..n {
                 g.add_node(0);
             }
-            let mut t = 1u64;
-            for (a, b) in raw {
+            for (t, (a, b)) in (1u64..).zip(raw) {
                 g.add_edge(a, b, t);
-                t += 1;
             }
             g
         })
