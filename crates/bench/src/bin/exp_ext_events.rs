@@ -17,11 +17,16 @@ use osn_trace::GrowthTrace;
 fn per_transition(trace: &GrowthTrace, snapshots: usize) -> Vec<(f64, f64)> {
     let seq = SnapshotSequence::with_count(trace, snapshots);
     let eval = SequenceEvaluator::new(&seq);
+    // One incremental sweep feeds both λ₂ and the metric evaluation.
+    let mut sweep = seq.snapshots();
     (1..seq.len())
         .map(|t| {
-            let prev = seq.snapshot(t - 1);
-            let lambda2 = stats::two_hop_edge_ratio(&prev, &seq.new_edges(t));
-            let out = eval.evaluate_metric(&BayesResourceAllocation, t);
+            let prev = sweep.next().expect("sweep covers every observed snapshot");
+            let lambda2 = stats::two_hop_edge_ratio(prev, &seq.new_edges(t));
+            let out = eval
+                .evaluate_metrics_on(&[&BayesResourceAllocation], prev, t, None)
+                .pop()
+                .expect("one metric in, one out");
             (lambda2, out.accuracy_ratio)
         })
         .collect()

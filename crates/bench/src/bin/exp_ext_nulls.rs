@@ -38,16 +38,21 @@ fn main() {
             &["metric", "mean accuracy ratio"],
         );
         let all = eval.evaluate_all(&refs, None);
+        // finite_mean skips degenerate (NaN-ratio) transitions; NaN means
+        // sort last rather than first.
         let mut rows: Vec<(String, f64)> = all
             .iter()
             .enumerate()
             .map(|(i, series)| {
                 let mean =
-                    series.iter().map(|o| o.accuracy_ratio).sum::<f64>() / series.len() as f64;
+                    linklens_core::framework::finite_mean(series.iter().map(|o| o.accuracy_ratio));
                 (refs[i].name().to_string(), mean)
             })
             .collect();
-        rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+        rows.sort_by(|a, b| {
+            let key = |x: f64| if x.is_nan() { f64::NEG_INFINITY } else { x };
+            key(b.1).total_cmp(&key(a.1))
+        });
         for (metric, mean) in &rows {
             table.push_row(vec![metric.clone(), fnum(*mean)]);
         }

@@ -24,6 +24,8 @@ fn main() {
         let eval = SequenceEvaluator::new(&seq);
         let t = ctx.mid_transition().min(seq.len() - 1);
         let filter = TemporalFilter::new(FilterThresholds::for_preset(&cfg.name).expect("preset"));
+        // Twelve evaluations share one transition: build G_{t-1} once.
+        let prev = seq.snapshot(t - 1);
 
         type Family = (&'static str, Box<dyn Metric>, Box<dyn Metric>);
         let families: Vec<Family> = vec![
@@ -36,10 +38,13 @@ fn main() {
             &["family", "static", "recency", "static+filter", "recency+filter"],
         );
         for (name, stat, rec) in &families {
-            let s = eval.evaluate_metrics_at(&[stat.as_ref()], t, None)[0].accuracy_ratio;
-            let r = eval.evaluate_metrics_at(&[rec.as_ref()], t, None)[0].accuracy_ratio;
-            let sf = eval.evaluate_metrics_at(&[stat.as_ref()], t, Some(&filter))[0].accuracy_ratio;
-            let rf = eval.evaluate_metrics_at(&[rec.as_ref()], t, Some(&filter))[0].accuracy_ratio;
+            let ratio = |m: &dyn Metric, f: Option<&TemporalFilter>| {
+                eval.evaluate_metrics_on(&[m], &prev, t, f)[0].accuracy_ratio
+            };
+            let s = ratio(stat.as_ref(), None);
+            let r = ratio(rec.as_ref(), None);
+            let sf = ratio(stat.as_ref(), Some(&filter));
+            let rf = ratio(rec.as_ref(), Some(&filter));
             table.push_row(vec![name.to_string(), fnum(s), fnum(r), fnum(sf), fnum(rf)]);
             payload.push(serde_json::json!({
                 "network": cfg.name, "family": name,

@@ -11,7 +11,7 @@
 
 use linklens_bench::{results_path, ExperimentContext};
 use linklens_core::report::{fnum, write_json, Table};
-use linklens_core::temporal::{fraction_below, pair_features, positive_negative_pairs};
+use linklens_core::temporal::{fraction_below, pair_features, positive_negative_pairs_on};
 use osn_graph::DAY;
 
 fn main() {
@@ -22,7 +22,9 @@ fn main() {
         let seq = ctx.sequence(&trace);
         let t = ctx.mid_transition().min(seq.len() - 1);
         let snap = seq.snapshot(t - 1);
-        let (pos, neg) = positive_negative_pairs(&seq, t, 4000, ctx.seed);
+        // The snapshot is already in hand; the `_on` variant reuses it
+        // instead of rebuilding G_{t-1} internally.
+        let (pos, neg) = positive_negative_pairs_on(&seq, &snap, t, 4000, ctx.seed);
 
         let collect = |pairs: &[(u32, u32)]| {
             let mut act = Vec::new();

@@ -21,9 +21,12 @@ fn main() {
             &["snapshot", "edges", "avg degree", "avg path len", "clustering"],
         );
         let mut series = Vec::new();
-        for i in 0..seq.len() {
-            let snap = seq.snapshot(i);
-            let p = stats::snapshot_properties(&snap, 40);
+        // Incremental sweep: one arena per sequence instead of a CSR
+        // rebuild per snapshot.
+        let mut sweep = seq.snapshots();
+        let mut i = 0;
+        while let Some(snap) = sweep.next() {
+            let p = stats::snapshot_properties(snap, 40);
             table.push_row(vec![
                 i.to_string(),
                 p.edges.to_string(),
@@ -32,6 +35,7 @@ fn main() {
                 fnum(p.clustering),
             ]);
             series.push(p);
+            i += 1;
         }
         println!("{}", table.render());
         let chart = linklens_core::chart::Chart::new(

@@ -12,7 +12,7 @@
 //!   Pearson 0.95 / 0.83 / 0.81 for the top-6 metrics).
 
 use linklens_bench::{results_path, run_or_load_metric_sweep, ExperimentContext};
-use linklens_core::framework::pearson;
+use linklens_core::framework::{finite_mean, pearson};
 use linklens_core::report::{fnum, write_json, Table};
 
 fn main() {
@@ -40,27 +40,35 @@ fn main() {
         println!("{}", table.render());
 
         // λ₂ correlation of the top-6 metrics by mean ratio (§4.2).
+        // Degenerate transitions carry NaN ratios; finite_mean skips them.
         let mut mean_ratio: Vec<(usize, f64)> = sweep
             .outcomes
             .iter()
             .enumerate()
-            .map(|(i, series)| {
-                let mean =
-                    series.iter().map(|o| o.accuracy_ratio).sum::<f64>() / series.len() as f64;
-                (i, mean)
-            })
+            .map(|(i, series)| (i, finite_mean(series.iter().map(|o| o.accuracy_ratio))))
             .collect();
-        mean_ratio.sort_by(|a, b| b.1.total_cmp(&a.1));
+        // NaN means "no usable transitions" — rank those metrics last, not
+        // first (total_cmp alone sorts +NaN above every number).
+        mean_ratio.sort_by(|a, b| {
+            let key = |x: f64| if x.is_nan() { f64::NEG_INFINITY } else { x };
+            key(b.1).total_cmp(&key(a.1))
+        });
         let corr: Vec<f64> = mean_ratio
             .iter()
             .take(6)
             .map(|&(mi, _)| {
-                let series: Vec<f64> =
-                    sweep.outcomes[mi].iter().map(|o| o.accuracy_ratio).collect();
-                pearson(&series, &sweep.lambda2)
+                // Correlate only over transitions with a defined ratio,
+                // keeping the λ₂ series aligned.
+                let (series, lambda2): (Vec<f64>, Vec<f64>) = sweep.outcomes[mi]
+                    .iter()
+                    .map(|o| o.accuracy_ratio)
+                    .zip(sweep.lambda2.iter().copied())
+                    .filter(|(r, _)| r.is_finite())
+                    .unzip();
+                pearson(&series, &lambda2)
             })
             .collect();
-        let avg_corr = corr.iter().sum::<f64>() / corr.len() as f64;
+        let avg_corr = finite_mean(corr.iter().copied());
         // Figure-style rendering: the top-6 series on a log axis.
         let mut chart = linklens_core::chart::Chart::new(
             format!("Figure 5 ({}) as a chart: accuracy ratio (log scale)", sweep.network),

@@ -1,13 +1,15 @@
 //! Internal calibration probe (not a paper experiment): times one full
-//! metric evaluation per network at the given scale, then sweeps the
-//! scoring-engine worker count over {1, 2, 4, max} and writes the
-//! per-stage throughput (enumerate / score / top-k, in pairs per second)
-//! to `BENCH_parallel_scaling.json`.
+//! metric evaluation per network at the given scale, sweeps the
+//! scoring-engine worker count over {1, 2, 4, max} into
+//! `BENCH_parallel_scaling.json`, and compares from-scratch vs incremental
+//! snapshot-sequence sweeps into `BENCH_snapshot_build.json`.
 //!
 //! ```text
-//! scalecheck [SCALE] [DAYS] [--sweep-only]
+//! scalecheck [SCALE] [DAYS] [--sweep-only | --snapshot-build-only]
 //! ```
 
+use osn_graph::sequence::SnapshotSequence;
+use osn_graph::snapshot::Snapshot;
 use osn_metrics::candidates::CandidateSet;
 use osn_metrics::traits::{CandidatePolicy, Metric};
 use std::time::Instant;
@@ -15,14 +17,20 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sweep_only = args.iter().any(|a| a == "--sweep-only");
+    let snapshot_build_only = args.iter().any(|a| a == "--snapshot-build-only");
     let pos: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let scale: f64 = pos.first().and_then(|s| s.parse().ok()).unwrap_or(0.35);
     let days: u32 = pos.get(1).and_then(|s| s.parse().ok()).unwrap_or(90);
 
+    if snapshot_build_only {
+        snapshot_build(scale, days);
+        return;
+    }
     if !sweep_only {
         calibration(scale, days);
     }
     sweep(scale, days);
+    snapshot_build(scale, days);
 }
 
 /// The original probe: one full evaluation transition per preset.
@@ -138,6 +146,106 @@ fn sweep(scale: f64, days: u32) {
         "sweep": rows,
     });
     let path = "BENCH_parallel_scaling.json";
+    let text = serde_json::to_string_pretty(&report).expect("serialize bench json");
+    std::fs::write(path, text).expect("write bench json");
+    println!("wrote {path}");
+}
+
+/// Order-sensitive digest of a snapshot's full CSR content, so the
+/// equality check below covers every array, not just summary counts.
+fn snapshot_digest(acc: u64, snap: &Snapshot) -> u64 {
+    let mut h = acc ^ 0xCBF2_9CE4_8422_2325;
+    let mut mix = |x: u64| {
+        h = (h ^ x).wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    mix(snap.node_count() as u64);
+    mix(snap.time());
+    for u in 0..snap.node_count() as u32 {
+        for (&v, &t) in snap.neighbors(u).iter().zip(snap.neighbor_times(u)) {
+            mix(v as u64);
+            mix(t);
+        }
+    }
+    h
+}
+
+/// From-scratch vs incremental full-sequence sweeps per preset: the
+/// tentpole benchmark behind `BENCH_snapshot_build.json`. An untimed
+/// verification pass first digests every snapshot on both paths and
+/// asserts the digests match (the property tests assert bit-identity,
+/// this asserts it at scale); the timed passes then measure construction
+/// alone, so the numbers are not diluted by a shared digest cost.
+fn snapshot_build(scale: f64, days: u32) {
+    let mut rows = Vec::new();
+    let mut largest: Option<(usize, f64)> = None;
+    for cfg in osn_trace::presets::TraceConfig::all() {
+        let cfg = cfg.scaled(scale).with_days(days);
+        let trace = cfg.generate(42);
+        let seq = SnapshotSequence::with_count(&trace, 16);
+
+        // Untimed equality witness over the full CSR of every snapshot.
+        let mut scratch_digest = 0u64;
+        for i in 0..seq.len() {
+            scratch_digest = snapshot_digest(scratch_digest, &seq.snapshot(i));
+        }
+        let mut incr_digest = 0u64;
+        let mut sweep = seq.snapshots();
+        while let Some(snap) = sweep.next() {
+            incr_digest = snapshot_digest(incr_digest, snap);
+        }
+        assert_eq!(
+            scratch_digest, incr_digest,
+            "{}: incremental sweep diverged from from-scratch snapshots",
+            cfg.name
+        );
+
+        // Timed passes: build every snapshot of the sequence, nothing else.
+        let (scratch_secs, ()) = timed(|| {
+            for i in 0..seq.len() {
+                std::hint::black_box(&seq.snapshot(i));
+            }
+        });
+        let (incr_secs, ()) = timed(|| {
+            let mut sweep = seq.snapshots();
+            while let Some(snap) = sweep.next() {
+                std::hint::black_box(snap);
+            }
+        });
+
+        let speedup = scratch_secs / incr_secs.max(1e-12);
+        println!(
+            "{}: edges={} snapshots={} from-scratch {:.3}s, incremental {:.3}s ({speedup:.1}x)",
+            cfg.name,
+            trace.edge_count(),
+            seq.len(),
+            scratch_secs,
+            incr_secs,
+        );
+        if largest.is_none_or(|(e, _)| trace.edge_count() > e) {
+            largest = Some((trace.edge_count(), speedup));
+        }
+        rows.push(serde_json::json!({
+            "network": cfg.name,
+            "nodes": trace.node_count(),
+            "edges": trace.edge_count(),
+            "snapshots": seq.len(),
+            "from_scratch_secs": scratch_secs,
+            "incremental_secs": incr_secs,
+            "from_scratch_edges_per_sec": rate(trace.edge_count() * seq.len(), scratch_secs),
+            "incremental_edges_per_sec": rate(trace.edge_count() * seq.len(), incr_secs),
+            "speedup": speedup,
+            "digests_equal": true,
+        }));
+    }
+    let report = serde_json::json!({
+        "bench": "snapshot_build",
+        "scale": scale,
+        "days": days,
+        "note": "full-sequence sweep: Snapshot::up_to per boundary vs one SnapshotBuilder arena; digests cover the full CSR of every snapshot",
+        "largest_preset_speedup": largest.map(|(_, s)| s),
+        "presets": rows,
+    });
+    let path = "BENCH_snapshot_build.json";
     let text = serde_json::to_string_pretty(&report).expect("serialize bench json");
     std::fs::write(path, text).expect("write bench json");
     println!("wrote {path}");

@@ -163,10 +163,13 @@ pub fn run_or_load_metric_sweep(ctx: &ExperimentContext) -> Vec<NetworkSweep> {
         let outcomes = eval.evaluate_all(&refs, None);
         let mut lambda2 = Vec::new();
         let mut properties = Vec::new();
+        // One incremental sweep serves both property series; the final
+        // snapshot is never observed, so it is never materialized.
+        let mut sweep = seq.snapshots();
         for t in 1..seq.len() {
-            let prev = seq.snapshot(t - 1);
-            lambda2.push(osn_graph::stats::two_hop_edge_ratio(&prev, &seq.new_edges(t)));
-            properties.push(osn_graph::stats::snapshot_properties(&prev, 30));
+            let prev = sweep.next().expect("sweep yields every boundary");
+            lambda2.push(osn_graph::stats::two_hop_edge_ratio(prev, &seq.new_edges(t)));
+            properties.push(osn_graph::stats::snapshot_properties(prev, 30));
         }
         eprintln!("[sweep] {} done in {:?}", cfg.name, started.elapsed());
         sweeps.push(NetworkSweep {
@@ -189,8 +192,13 @@ pub fn sampling_p_for(
     t: usize,
     target_nodes: usize,
 ) -> f64 {
-    let n = seq.snapshot(t - 1).node_count();
-    (target_nodes as f64 / n as f64).min(1.0)
+    (target_nodes as f64 / snapshot_node_count(seq, t - 1) as f64).min(1.0)
+}
+
+/// Node count of snapshot `i` — an O(log n) arrival lookup, no CSR build.
+fn snapshot_node_count(seq: &osn_graph::sequence::SnapshotSequence<'_>, i: usize) -> usize {
+    let time = seq.trace().edges()[seq.boundary(i) - 1].t;
+    seq.trace().nodes_at(time)
 }
 
 /// Standard classification setup shared by the §5/§6 experiment binaries.
@@ -202,7 +210,7 @@ pub fn classification_config(
     // Mirror the paper's §5.1 rule: the smallest network (Facebook) is used
     // whole (p = 100%), the larger two are snowball-sampled. "Small" here
     // means the whole graph fits the evaluation budget.
-    let nodes = seq.snapshot(t - 1).node_count();
+    let nodes = snapshot_node_count(seq, t - 1);
     let sampling_p = if nodes <= 2_600 {
         1.0
     } else {

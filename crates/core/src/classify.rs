@@ -27,7 +27,8 @@
 //! comparable either way.
 
 use crate::filters::TemporalFilter;
-use crate::framework::PredictionOutcome;
+use crate::framework::{finite_mean, PredictionOutcome};
+use osn_graph::builder::SnapshotBuilder;
 use osn_graph::sample;
 use osn_graph::sequence::SnapshotSequence;
 use osn_graph::snapshot::Snapshot;
@@ -152,11 +153,12 @@ pub struct ClassificationOutcome {
     pub negatives_per_positive: f64,
     /// Predicted snapshot index `t`.
     pub snapshot_index: usize,
-    /// Mean accuracy ratio over seeds.
+    /// Mean accuracy ratio over seeds with a defined random baseline;
+    /// `NaN` when every seed was degenerate (no truth / no universe).
     pub mean_accuracy_ratio: f64,
-    /// Standard deviation of the accuracy ratio over seeds.
+    /// Standard deviation of the accuracy ratio over the same seeds.
     pub std_accuracy_ratio: f64,
-    /// Mean absolute accuracy over seeds.
+    /// Mean absolute accuracy over seeds with `k > 0` (`NaN` otherwise).
     pub mean_absolute_accuracy: f64,
     /// Mean ground-truth `k` over seeds.
     pub mean_k: f64,
@@ -261,22 +263,25 @@ impl<'a> ClassificationPipeline<'a> {
         filter: Option<&TemporalFilter>,
     ) -> PredictionOutcome {
         assert!(t >= 2 && t < self.seq.len());
-        let train_snap = self.seq.snapshot(t - 2);
-        let test_snap = self.seq.snapshot(t - 1);
+        // One incremental arena walks t-2 → t-1; the training snapshot is
+        // only needed for seed picking, before the arena advances past it.
+        let mut arena = SnapshotBuilder::new(self.seq.trace());
+        let train_snap = arena.advance_to(self.seq.boundary(t - 2));
+        let seeds = sample::pick_seeds(train_snap, self.config.n_seeds, self.config.seed);
+        let test_snap = arena.advance_to(self.seq.boundary(t - 1));
         let test_truth: HashSet<(NodeId, NodeId)> = self.seq.new_edges(t).into_iter().collect();
-        let seeds = sample::pick_seeds(&train_snap, self.config.n_seeds, self.config.seed);
 
-        let mut ratio_acc = 0.0;
-        let mut abs_acc = 0.0;
+        let mut ratios = Vec::with_capacity(seeds.len());
+        let mut abs = Vec::with_capacity(seeds.len());
         let mut k_acc = 0usize;
         let mut correct_acc = 0usize;
         let mut expected_acc = 0.0;
         for (si, &seed_node) in seeds.iter().enumerate() {
-            let members = sample::snowball(&test_snap, seed_node, self.config.sampling_p);
+            let members = sample::snowball(test_snap, seed_node, self.config.sampling_p);
             let member_set: HashSet<NodeId> = members.iter().copied().collect();
-            let (mut pairs, exact_universe) = self.test_universe(&test_snap, &members);
+            let (mut pairs, exact_universe) = self.test_universe(test_snap, &members);
             if let Some(f) = filter {
-                pairs = f.filter_pairs(&test_snap, &pairs);
+                pairs = f.filter_pairs(test_snap, &pairs);
             }
             let truth: HashSet<(NodeId, NodeId)> = test_truth
                 .iter()
@@ -284,17 +289,16 @@ impl<'a> ClassificationPipeline<'a> {
                 .filter(|&(u, v)| member_set.contains(&u) && member_set.contains(&v))
                 .collect();
             let k = truth.len();
-            let scores = metric.score_pairs(&test_snap, &pairs);
+            let scores = metric.score_pairs(test_snap, &pairs);
             let predicted = topk::top_k_pairs(&pairs, &scores, k, self.config.seed ^ si as u64);
             let correct = predicted.iter().filter(|p| truth.contains(p)).count();
             let expected =
                 if exact_universe > 0.0 { (k as f64).powi(2) / exact_universe } else { 0.0 };
-            if expected > 0.0 {
-                ratio_acc += correct as f64 / expected;
-            }
-            if k > 0 {
-                abs_acc += correct as f64 / k as f64;
-            }
+            // Degenerate seeds (no truth or no universe) carry no signal:
+            // record NaN and let finite_mean skip them rather than dragging
+            // the average toward zero.
+            ratios.push(if expected > 0.0 { correct as f64 / expected } else { f64::NAN });
+            abs.push(if k > 0 { correct as f64 / k as f64 } else { f64::NAN });
             k_acc += k;
             correct_acc += correct;
             expected_acc += expected;
@@ -306,9 +310,9 @@ impl<'a> ClassificationPipeline<'a> {
             observed_edges: test_snap.edge_count(),
             k: (k_acc as f64 / n).round() as usize,
             correct: (correct_acc as f64 / n).round() as usize,
-            absolute_accuracy: abs_acc / n,
+            absolute_accuracy: finite_mean(abs),
             random_expected: expected_acc / n,
-            accuracy_ratio: ratio_acc / n,
+            accuracy_ratio: finite_mean(ratios),
         }
     }
 
@@ -367,8 +371,13 @@ impl<'a> ClassificationPipeline<'a> {
         filter: Option<&TemporalFilter>,
     ) -> Vec<SeedData> {
         assert!(t >= 2 && t < self.seq.len(), "need G_{{t-2}}, G_{{t-1}}, G_t");
-        let train_snap = self.seq.snapshot(t - 2);
-        let test_snap = self.seq.snapshot(t - 1);
+        // Both snapshots must stay live across every seed, so the training
+        // snapshot is cloned out of the arena before it advances to t-1 —
+        // still one from-scratch build plus one incremental delta, instead
+        // of two from-scratch builds.
+        let mut arena = SnapshotBuilder::new(self.seq.trace());
+        let train_snap = arena.advance_to(self.seq.boundary(t - 2)).clone();
+        let test_snap = arena.advance_to(self.seq.boundary(t - 1));
         let train_truth: HashSet<(NodeId, NodeId)> =
             self.seq.new_edges(t - 1).into_iter().collect();
         let test_truth: HashSet<(NodeId, NodeId)> = self.seq.new_edges(t).into_iter().collect();
@@ -382,7 +391,7 @@ impl<'a> ClassificationPipeline<'a> {
                 // --- sampling ---
                 let train_members =
                     sample::snowball(&train_snap, seed_node, self.config.sampling_p);
-                let test_members = sample::snowball(&test_snap, seed_node, self.config.sampling_p);
+                let test_members = sample::snowball(test_snap, seed_node, self.config.sampling_p);
                 let train_set: HashSet<NodeId> = train_members.iter().copied().collect();
                 let test_set: HashSet<NodeId> = test_members.iter().copied().collect();
 
@@ -404,9 +413,9 @@ impl<'a> ClassificationPipeline<'a> {
                 let neg_pool = self.features(&train_snap, &negatives);
 
                 // --- test universe ---
-                let (mut test_pairs, universe) = self.test_universe(&test_snap, &test_members);
+                let (mut test_pairs, universe) = self.test_universe(test_snap, &test_members);
                 if let Some(f) = filter {
-                    test_pairs = f.filter_pairs(&test_snap, &test_pairs);
+                    test_pairs = f.filter_pairs(test_snap, &test_pairs);
                 }
                 let truth: HashSet<(NodeId, NodeId)> = test_truth
                     .iter()
@@ -414,7 +423,7 @@ impl<'a> ClassificationPipeline<'a> {
                     .filter(|&(u, v)| test_set.contains(&u) && test_set.contains(&v))
                     .collect();
                 let k = truth.len();
-                let test_features = self.features(&test_snap, &test_pairs);
+                let test_features = self.features(test_snap, &test_pairs);
 
                 SeedData {
                     pos_features,
@@ -474,21 +483,28 @@ impl<'a> ClassificationPipeline<'a> {
             let correct = predicted.iter().filter(|p| sd.truth.contains(p)).count();
             let expected =
                 if sd.universe > 0.0 { (sd.k as f64).powi(2) / sd.universe } else { 0.0 };
-            ratios.push(if expected > 0.0 { correct as f64 / expected } else { 0.0 });
-            abs.push(if sd.k > 0 { correct as f64 / sd.k as f64 } else { 0.0 });
+            // NaN marks seeds with no random baseline; aggregation below
+            // skips them instead of counting them as zero accuracy.
+            ratios.push(if expected > 0.0 { correct as f64 / expected } else { f64::NAN });
+            abs.push(if sd.k > 0 { correct as f64 / sd.k as f64 } else { f64::NAN });
             ks.push(sd.k as f64);
         }
 
         let n = seeds.len() as f64;
-        let mean_ratio = ratios.iter().sum::<f64>() / n;
-        let var = ratios.iter().map(|r| (r - mean_ratio).powi(2)).sum::<f64>() / n;
+        let finite: Vec<f64> = ratios.iter().copied().filter(|r| r.is_finite()).collect();
+        let mean_ratio = finite_mean(finite.iter().copied());
+        let var = if finite.is_empty() {
+            f64::NAN
+        } else {
+            finite.iter().map(|r| (r - mean_ratio).powi(2)).sum::<f64>() / finite.len() as f64
+        };
         ClassificationOutcome {
             classifier: kind.name().to_string(),
             negatives_per_positive: theta,
             snapshot_index: t,
             mean_accuracy_ratio: mean_ratio,
             std_accuracy_ratio: var.sqrt(),
-            mean_absolute_accuracy: abs.iter().sum::<f64>() / n,
+            mean_absolute_accuracy: finite_mean(abs),
             mean_k: ks.iter().sum::<f64>() / n,
             svm_coefficients: coef_acc,
             feature_names: self.feature_names(),

@@ -33,6 +33,12 @@ pub struct PredictionOutcome {
     /// Expected hits of uniform-random prediction, `k² / U`.
     pub random_expected: f64,
     /// The paper's headline measure: `|E^M| / E|E^R|`.
+    ///
+    /// `NaN` when the transition has no random baseline (`k == 0` or an
+    /// empty unconnected-pair universe): "nothing to predict" is not the
+    /// same observation as "predicted everything wrong", so such
+    /// transitions must be *skipped* by aggregations, not averaged in as
+    /// zeros. Use [`finite_mean`] when summarizing ratio series.
     pub accuracy_ratio: f64,
 }
 
@@ -61,9 +67,28 @@ impl PredictionOutcome {
             accuracy_ratio: if random_expected > 0.0 {
                 correct as f64 / random_expected
             } else {
-                0.0
+                f64::NAN
             },
         }
+    }
+}
+
+/// Mean of the finite values in `values`, skipping `NaN`/infinite entries
+/// (degenerate transitions report [`PredictionOutcome::accuracy_ratio`] as
+/// `NaN`). Returns `NaN` when no finite value remains, so "no usable data"
+/// stays distinguishable from a genuine zero.
+pub fn finite_mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut sum, mut count) = (0.0, 0usize);
+    for v in values {
+        if v.is_finite() {
+            sum += v;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        f64::NAN
+    } else {
+        sum / count as f64
     }
 }
 
@@ -140,7 +165,10 @@ impl<'a> SequenceEvaluator<'a> {
     }
 
     /// Evaluates several metrics on transition `t` sharing one candidate
-    /// enumeration (and one optional filter pass).
+    /// enumeration (and one optional filter pass). Builds `G_{t-1}` from
+    /// scratch; when walking many transitions in order, prefer
+    /// [`evaluate_metrics_on`](Self::evaluate_metrics_on) fed by a
+    /// [`SnapshotSequence::snapshots`] sweep.
     pub fn evaluate_metrics_at(
         &self,
         metrics: &[&dyn Metric],
@@ -149,9 +177,28 @@ impl<'a> SequenceEvaluator<'a> {
     ) -> Vec<PredictionOutcome> {
         assert!(t >= 1 && t < self.seq.len(), "transition index out of range");
         let prev = self.seq.snapshot(t - 1);
+        self.evaluate_metrics_on(metrics, &prev, t, filter)
+    }
+
+    /// Evaluates several metrics on transition `t` given an
+    /// already-materialized observed snapshot `prev = G_{t-1}` — the
+    /// sweep-friendly core of [`evaluate_metrics_at`](Self::evaluate_metrics_at).
+    pub fn evaluate_metrics_on(
+        &self,
+        metrics: &[&dyn Metric],
+        prev: &Snapshot,
+        t: usize,
+        filter: Option<&TemporalFilter>,
+    ) -> Vec<PredictionOutcome> {
+        assert!(t >= 1 && t < self.seq.len(), "transition index out of range");
+        debug_assert_eq!(
+            prev.prefix_len(),
+            self.seq.boundary(t - 1),
+            "prev must be the snapshot at boundary t - 1"
+        );
         let truth = self.ground_truth(t);
         let k = truth.len();
-        let u = unconnected_pair_count(&prev);
+        let u = unconnected_pair_count(prev);
 
         // Metrics are grouped by candidate policy so the cheap 2-hop
         // metrics never pay for (or get scored against) the much larger
@@ -168,14 +215,14 @@ impl<'a> SequenceEvaluator<'a> {
                 continue;
             }
             let group_metrics: Vec<&dyn Metric> = group.iter().map(|(_, m)| **m).collect();
-            let cands = self.candidates_for(&prev, &group_metrics, filter);
+            let cands = self.candidates_for(prev, &group_metrics, filter);
             // All metrics in the group run on the shared scoring engine:
             // one (metric × chunk) work pool over the candidate slice
             // instead of one thread per metric, so a single slow metric
             // no longer serializes the group.
             let predictions = exec::predict_top_k_many_t(
                 &group_metrics,
-                &prev,
+                prev,
                 &cands,
                 k,
                 self.seed,
@@ -197,7 +244,10 @@ impl<'a> SequenceEvaluator<'a> {
     }
 
     /// Evaluates metrics over every transition `1..len()`, returning
-    /// `outcomes[metric][transition]`.
+    /// `outcomes[metric][transition]`. Observed snapshots come from one
+    /// incremental [`SnapshotSequence::snapshots`] sweep, so the whole pass
+    /// applies each trace edge once instead of rebuilding a CSR per
+    /// transition.
     pub fn evaluate_all(
         &self,
         metrics: &[&dyn Metric],
@@ -205,9 +255,13 @@ impl<'a> SequenceEvaluator<'a> {
     ) -> Vec<Vec<PredictionOutcome>> {
         let mut per_metric: Vec<Vec<PredictionOutcome>> =
             (0..metrics.len()).map(|_| Vec::new()).collect();
+        let mut sweep = self.seq.snapshots();
         for t in 1..self.seq.len() {
+            // Transition t observes snapshot t − 1; the final snapshot is
+            // only ever ground truth, so the sweep never materializes it.
+            let prev = sweep.next().expect("sweep yields len() snapshots");
             for (mi, outcome) in
-                self.evaluate_metrics_at(metrics, t, filter).into_iter().enumerate()
+                self.evaluate_metrics_on(metrics, prev, t, filter).into_iter().enumerate()
             {
                 per_metric[mi].push(outcome);
             }
@@ -372,6 +426,42 @@ mod tests {
         // And no metric can beat the ceiling.
         let out = eval.evaluate_metric(&CommonNeighbors, 1);
         assert!(out.absolute_accuracy <= two + 1e-12);
+    }
+
+    #[test]
+    fn degenerate_transition_yields_nan_ratio_not_zero() {
+        // k = 0: no ground truth → no random baseline → NaN, not 0.0.
+        let o = PredictionOutcome::from_hits("cn", 1, 10, 0, 0, 100.0);
+        assert!(o.random_expected == 0.0);
+        assert!(o.accuracy_ratio.is_nan(), "no-baseline must not read as 'all wrong'");
+        // Empty candidate universe: same story.
+        let o = PredictionOutcome::from_hits("cn", 1, 10, 5, 0, 0.0);
+        assert!(o.random_expected.is_nan());
+        assert!(o.accuracy_ratio.is_nan());
+        // A real baseline still produces a finite ratio.
+        let o = PredictionOutcome::from_hits("cn", 1, 10, 4, 2, 11.0);
+        assert!(o.accuracy_ratio.is_finite());
+    }
+
+    #[test]
+    fn finite_mean_skips_nan_rows() {
+        assert_eq!(finite_mean([1.0, f64::NAN, 3.0]), 2.0);
+        assert_eq!(finite_mean([f64::NAN, f64::INFINITY, 2.0]), 2.0);
+        assert!(finite_mean([f64::NAN]).is_nan());
+        assert!(finite_mean(std::iter::empty()).is_nan());
+    }
+
+    #[test]
+    fn evaluate_on_matches_evaluate_at() {
+        let trace = closing_square();
+        let seq = SnapshotSequence::by_edge_delta(&trace, 4);
+        let eval = SequenceEvaluator::new(&seq);
+        let metrics: Vec<&dyn Metric> = vec![&CommonNeighbors];
+        let prev = seq.snapshot(0);
+        let on = eval.evaluate_metrics_on(&metrics, &prev, 1, None);
+        let at = eval.evaluate_metrics_at(&metrics, 1, None);
+        assert_eq!(on[0].correct, at[0].correct);
+        assert_eq!(on[0].k, at[0].k);
     }
 
     #[test]

@@ -58,8 +58,22 @@ pub fn positive_negative_pairs(
     negative_cap: usize,
     seed: u64,
 ) -> PairSets {
-    assert!(t >= 1 && t < seq.len());
     let prev = seq.snapshot(t - 1);
+    positive_negative_pairs_on(seq, &prev, t, negative_cap, seed)
+}
+
+/// [`positive_negative_pairs`] with the observed snapshot `G_{t-1}` already
+/// materialized — lets incremental sweeps
+/// ([`SnapshotSequence::snapshots`]) reuse one arena across transitions.
+pub fn positive_negative_pairs_on(
+    seq: &SnapshotSequence<'_>,
+    prev: &Snapshot,
+    t: usize,
+    negative_cap: usize,
+    seed: u64,
+) -> PairSets {
+    assert!(t >= 1 && t < seq.len());
+    debug_assert_eq!(prev.prefix_len(), seq.boundary(t - 1));
     let positives = seq.new_edges(t);
     let pos_set: HashSet<(NodeId, NodeId)> = positives.iter().copied().collect();
 

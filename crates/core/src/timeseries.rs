@@ -9,6 +9,7 @@
 //! * **Linear Regression (LR)** — fit `score ~ a + b·step` and extrapolate
 //!   one step past the observed snapshot.
 
+use osn_graph::builder::SnapshotBuilder;
 use osn_graph::sequence::SnapshotSequence;
 use osn_graph::NodeId;
 use osn_metrics::traits::Metric;
@@ -56,15 +57,18 @@ impl TimeSeriesPredictor {
         let last = t - 1; // the observed snapshot index
         let first = last.saturating_sub(self.window - 1);
         let mut series: Vec<Vec<f64>> = Vec::with_capacity(last - first + 1);
+        // The window's snapshots are consecutive boundaries, so one
+        // incremental arena walks them instead of rebuilding each CSR.
+        let mut builder = SnapshotBuilder::new(seq.trace());
         for s in first..=last {
-            let snap = seq.snapshot(s);
+            let snap = builder.advance_to(seq.boundary(s));
             // Nodes may not exist yet in earlier snapshots: such scores are
             // 0 (no structure → no similarity), matching the metric's
             // zero-for-unknown semantics.
             let n = snap.node_count() as NodeId;
             let valid: Vec<(NodeId, NodeId)> =
                 pairs.iter().copied().filter(|&(u, v)| u < n && v < n).collect();
-            let valid_scores = metric.score_pairs(&snap, &valid);
+            let valid_scores = metric.score_pairs(snap, &valid);
             let mut scores = vec![0.0; pairs.len()];
             let mut vi = 0;
             for (i, &(u, v)) in pairs.iter().enumerate() {

@@ -11,9 +11,16 @@
 //! e <u> <v> <ts>               (one per edge, chronological)
 //! ```
 //!
-//! Blank lines and `#` comments are ignored. Real-world edge lists without
-//! arrival records load via [`read_edge_list`], which infers arrivals as
-//! first appearance.
+//! Blank (or whitespace-only) lines and `#` comments are ignored, and CRLF
+//! line endings are tolerated. Real-world edge lists without arrival
+//! records load via [`read_edge_list`], which infers arrivals as first
+//! appearance.
+//!
+//! For repeated runs over the same trace, [`write_cache`] / [`read_cache`]
+//! provide a versioned, checksummed binary format that skips text parsing
+//! entirely (see `DESIGN.md` for the layout); [`read_cache_file`] /
+//! [`write_cache_file`] are the path-based conveniences the CLI and bench
+//! harness use.
 
 use crate::temporal::TemporalGraph;
 use crate::{NodeId, Timestamp};
@@ -26,6 +33,10 @@ pub enum TraceIoError {
     Io(std::io::Error),
     /// Structural problem with the file, with line number and message.
     Parse(usize, String),
+    /// Binary cache rejected: wrong magic/version, truncation, or checksum
+    /// mismatch. Callers should fall back to the text source and rewrite
+    /// the cache.
+    Cache(String),
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -33,6 +44,7 @@ impl std::fmt::Display for TraceIoError {
         match self {
             TraceIoError::Io(e) => write!(f, "I/O error: {e}"),
             TraceIoError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
+            TraceIoError::Cache(msg) => write!(f, "trace cache rejected: {msg}"),
         }
     }
 }
@@ -70,18 +82,21 @@ pub fn read_trace<R: Read>(reader: R) -> Result<TemporalGraph, TraceIoError> {
     for (lineno, line) in r.lines().enumerate() {
         let lineno = lineno + 1;
         let line = line?;
+        // `trim` strips CR from CRLF endings and reduces whitespace-only
+        // lines to empty ones, which are skipped like blank lines.
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let tag = parts.next().expect("non-empty line has a first token");
+        let Some(tag) = parts.next() else {
+            continue; // unreachable after the trim, but never panic on input
+        };
         let mut field = |name: &str| -> Result<u64, TraceIoError> {
-            parts
+            let token = parts
                 .next()
-                .ok_or_else(|| TraceIoError::Parse(lineno, format!("missing {name}")))?
-                .parse()
-                .map_err(|_| TraceIoError::Parse(lineno, format!("bad {name}")))
+                .ok_or_else(|| TraceIoError::Parse(lineno, format!("missing {name}")))?;
+            token.parse().map_err(|_| TraceIoError::Parse(lineno, format!("bad {name} '{token}'")))
         };
         match tag {
             "n" => declared_nodes = Some(field("node count")? as usize),
@@ -107,6 +122,12 @@ pub fn read_trace<R: Read>(reader: R) -> Result<TemporalGraph, TraceIoError> {
             }
             other => return Err(TraceIoError::Parse(lineno, format!("unknown record '{other}'"))),
         }
+        if let Some(extra) = parts.next() {
+            return Err(TraceIoError::Parse(
+                lineno,
+                format!("unexpected trailing token '{extra}'"),
+            ));
+        }
     }
     if let Some(n) = declared_nodes {
         if n != arrivals.len() {
@@ -123,6 +144,10 @@ pub fn read_trace<R: Read>(reader: R) -> Result<TemporalGraph, TraceIoError> {
 /// remapping node labels to dense ids in order of first appearance and
 /// inferring arrivals as first appearance. This is the format most public
 /// OSN traces (including the paper's Facebook dataset) ship in.
+///
+/// Blank and whitespace-only lines are skipped, CRLF endings are
+/// tolerated, and trailing extra columns (weights, flags) are ignored —
+/// public edge lists are messy.
 pub fn read_edge_list<R: Read>(reader: R) -> Result<TemporalGraph, TraceIoError> {
     let r = BufReader::new(reader);
     let mut raw: Vec<(u64, u64, Timestamp)> = Vec::new();
@@ -135,11 +160,10 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<TemporalGraph, TraceIoError>
         }
         let mut parts = line.split_whitespace();
         let mut field = |name: &str| -> Result<u64, TraceIoError> {
-            parts
+            let token = parts
                 .next()
-                .ok_or_else(|| TraceIoError::Parse(lineno, format!("missing {name}")))?
-                .parse()
-                .map_err(|_| TraceIoError::Parse(lineno, format!("bad {name}")))
+                .ok_or_else(|| TraceIoError::Parse(lineno, format!("missing {name}")))?;
+            token.parse().map_err(|_| TraceIoError::Parse(lineno, format!("bad {name} '{token}'")))
         };
         let u = field("u")?;
         let v = field("v")?;
@@ -166,6 +190,137 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<TemporalGraph, TraceIoError>
         }
     }
     Ok(TemporalGraph::from_events(arrivals, edges))
+}
+
+// ----- binary trace cache -------------------------------------------------
+
+/// Magic prefix of the binary cache format.
+const CACHE_MAGIC: [u8; 4] = *b"LLTC";
+/// Current cache format version. Bump on any layout change; readers reject
+/// other versions so stale caches fall back to the text source.
+pub const CACHE_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash — the cache integrity checksum. Dependency-free and
+/// plenty for detecting truncation and bit rot (this is not a security
+/// boundary; caches live next to the files they mirror).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Writes a trace in the binary cache format:
+///
+/// ```text
+/// magic "LLTC" | version u32 | node_count u64 | edge_count u64
+/// arrival ts   (u64 × node_count)
+/// u u32, v u32, t u64   (× edge_count, chronological)
+/// fnv1a64 checksum of everything above   (u64)
+/// ```
+///
+/// All integers little-endian. The payload is assembled in memory so the
+/// checksum covers exactly the bytes written.
+pub fn write_cache<W: Write>(trace: &TemporalGraph, writer: W) -> Result<(), TraceIoError> {
+    let mut buf: Vec<u8> =
+        Vec::with_capacity(24 + trace.node_count() * 8 + trace.edge_count() * 16);
+    buf.extend_from_slice(&CACHE_MAGIC);
+    buf.extend_from_slice(&CACHE_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(trace.node_count() as u64).to_le_bytes());
+    buf.extend_from_slice(&(trace.edge_count() as u64).to_le_bytes());
+    for &t in trace.arrivals() {
+        buf.extend_from_slice(&t.to_le_bytes());
+    }
+    for e in trace.edges() {
+        buf.extend_from_slice(&e.u.to_le_bytes());
+        buf.extend_from_slice(&e.v.to_le_bytes());
+        buf.extend_from_slice(&e.t.to_le_bytes());
+    }
+    let checksum = fnv1a64(&buf);
+    let mut w = BufWriter::new(writer);
+    w.write_all(&buf)?;
+    w.write_all(&checksum.to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a trace written by [`write_cache`], verifying magic, version, and
+/// checksum. Any mismatch returns [`TraceIoError::Cache`] so callers can
+/// fall back to the text source.
+pub fn read_cache<R: Read>(reader: R) -> Result<TemporalGraph, TraceIoError> {
+    let mut bytes = Vec::new();
+    BufReader::new(reader).read_to_end(&mut bytes)?;
+    if bytes.len() < 24 + 8 {
+        return Err(TraceIoError::Cache("file shorter than header".into()));
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8-byte checksum tail"));
+    if payload[..4] != CACHE_MAGIC {
+        return Err(TraceIoError::Cache("bad magic (not a linklens trace cache)".into()));
+    }
+    let version = u32::from_le_bytes(payload[4..8].try_into().expect("4-byte version"));
+    if version != CACHE_VERSION {
+        return Err(TraceIoError::Cache(format!(
+            "unsupported version {version} (expected {CACHE_VERSION})"
+        )));
+    }
+    if fnv1a64(payload) != stored {
+        return Err(TraceIoError::Cache("checksum mismatch".into()));
+    }
+    let read_u64 = |at: usize| u64::from_le_bytes(payload[at..at + 8].try_into().expect("u64"));
+    let read_u32 = |at: usize| u32::from_le_bytes(payload[at..at + 4].try_into().expect("u32"));
+    let nodes = read_u64(8) as usize;
+    let edges = read_u64(16) as usize;
+    let expect = 24 + nodes * 8 + edges * 16;
+    if payload.len() != expect {
+        return Err(TraceIoError::Cache(format!(
+            "length mismatch: {} bytes for {nodes} nodes / {edges} edges (expected {expect})",
+            payload.len()
+        )));
+    }
+    let mut arrivals = Vec::with_capacity(nodes);
+    let mut at = 24;
+    for _ in 0..nodes {
+        arrivals.push(read_u64(at));
+        at += 8;
+    }
+    let mut edge_events = Vec::with_capacity(edges);
+    for _ in 0..edges {
+        let u = read_u32(at) as NodeId;
+        let v = read_u32(at + 4) as NodeId;
+        let t = read_u64(at + 8);
+        edge_events.push((u, v, t));
+        at += 16;
+    }
+    // `from_events` re-validates every TemporalGraph invariant, so even a
+    // hand-crafted cache cannot smuggle in an inconsistent trace.
+    Ok(TemporalGraph::from_events(arrivals, edge_events))
+}
+
+/// [`read_cache`] from a filesystem path.
+pub fn read_cache_file(path: impl AsRef<std::path::Path>) -> Result<TemporalGraph, TraceIoError> {
+    read_cache(std::fs::File::open(path)?)
+}
+
+/// [`write_cache`] to a filesystem path, creating parent directories. The
+/// file is written via a temporary sibling and renamed so a crashed run
+/// never leaves a truncated cache behind.
+pub fn write_cache_file(
+    trace: &TemporalGraph,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), TraceIoError> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = path.with_extension("llc.tmp");
+    write_cache(trace, std::fs::File::create(&tmp)?)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -243,5 +398,100 @@ mod tests {
         let g = read_edge_list(text.as_bytes()).unwrap();
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.edges()[0].t, 10, "earliest wins");
+    }
+
+    #[test]
+    fn whitespace_only_lines_are_skipped_not_panicked() {
+        let text = "n 2\n   \t \na 0 0\n\t\na 1 0\n \ne 0 1 5\n";
+        let g = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        let el = read_edge_list("  \t \n1 2 10\n   \n".as_bytes()).unwrap();
+        assert_eq!(el.edge_count(), 1);
+    }
+
+    #[test]
+    fn crlf_line_endings_tolerated() {
+        let text = "# header\r\nn 2\r\na 0 0\r\na 1 0\r\ne 0 1 5\r\n";
+        let g = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        let el = read_edge_list("1 2 10\r\n2 3 20\r\n".as_bytes()).unwrap();
+        assert_eq!(el.edge_count(), 2);
+    }
+
+    #[test]
+    fn malformed_token_reports_line_and_token() {
+        let text = "n 2\na 0 0\na 1 zero\n";
+        match read_trace(text.as_bytes()) {
+            Err(TraceIoError::Parse(3, msg)) => {
+                assert!(msg.contains("arrival time") && msg.contains("zero"), "{msg}")
+            }
+            other => panic!("expected parse error at line 3, got {other:?}"),
+        }
+        match read_edge_list("1 2 10\n3 x 20\n".as_bytes()) {
+            Err(TraceIoError::Parse(2, msg)) => assert!(msg.contains('v'), "{msg}"),
+            other => panic!("expected parse error at line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_tokens_rejected_in_v1_but_ignored_in_edge_lists() {
+        let text = "n 1\na 0 0 extra\n";
+        assert!(matches!(read_trace(text.as_bytes()), Err(TraceIoError::Parse(2, _))));
+        // Edge lists commonly carry extra columns (weights); tolerate them.
+        let g = read_edge_list("1 2 10 0.5\n".as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn cache_round_trips_exactly() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_cache(&g, &mut buf).unwrap();
+        let back = read_cache(&buf[..]).unwrap();
+        assert_eq!(back.arrivals(), g.arrivals());
+        assert_eq!(back.edges(), g.edges());
+        assert_eq!(back.node_count(), g.node_count());
+    }
+
+    #[test]
+    fn cache_rejects_corruption() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_cache(&g, &mut buf).unwrap();
+
+        // Flip one payload byte: checksum mismatch.
+        let mut bad = buf.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        assert!(matches!(read_cache(&bad[..]), Err(TraceIoError::Cache(_))));
+
+        // Truncate: too short / length mismatch.
+        assert!(matches!(read_cache(&buf[..10]), Err(TraceIoError::Cache(_))));
+
+        // Wrong magic.
+        let mut magic = buf.clone();
+        magic[0] = b'X';
+        assert!(matches!(read_cache(&magic[..]), Err(TraceIoError::Cache(_))));
+
+        // Future version.
+        let mut vers = buf.clone();
+        vers[4..8].copy_from_slice(&99u32.to_le_bytes());
+        match read_cache(&vers[..]) {
+            Err(TraceIoError::Cache(msg)) => assert!(msg.contains("version"), "{msg}"),
+            other => panic!("expected cache error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_file_helpers_round_trip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("linklens-test-cache");
+        let path = dir.join("trace.llc");
+        write_cache_file(&g, &path).unwrap();
+        let back = read_cache_file(&path).unwrap();
+        assert_eq!(back.edges(), g.edges());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -12,6 +12,12 @@
 //! * [`sequence::SnapshotSequence`] — the constant-edge-delta snapshotting
 //!   scheme of §3.2 ("snapshot delta"), including ground-truth extraction
 //!   of the new edges between consecutive snapshots.
+//! * [`builder::SnapshotBuilder`] — the incremental snapshot engine: one
+//!   reusable CSR arena advanced boundary-to-boundary by merging only the
+//!   delta edges, so a full sequence sweep
+//!   ([`sequence::SnapshotSequence::snapshots`]) costs O(E) instead of
+//!   O(S·E). Bit-identical to [`snapshot::Snapshot::up_to`] at every
+//!   prefix.
 //! * [`stats`] — the network properties used throughout the paper: degree
 //!   distribution moments and percentiles, clustering coefficient, average
 //!   path length, degree assortativity, per-node triangle counts, and the
@@ -35,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod io;
 pub mod par;
 pub mod sample;

@@ -24,22 +24,40 @@ static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// (`None` restores environment/auto resolution). Used by the CLI's
 /// `--threads` flag; tests should prefer the explicit `*_t` entry points
 /// instead of mutating this process-global.
+///
+/// # Panics
+/// Panics on `Some(0)`: zero is the internal "not set" sentinel, so
+/// accepting it would silently restore auto resolution when the caller
+/// asked for a (nonsensical) zero-thread pool. Pass `None` to unset.
 pub fn set_thread_override(threads: Option<usize>) {
+    assert!(
+        threads != Some(0),
+        "thread override must be positive (use None to restore auto resolution)"
+    );
     THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
 }
 
 /// The worker count parallel stages use when the caller does not pass one
 /// explicitly: the [`set_thread_override`] value if set, else
 /// `LINKLENS_THREADS` (if a positive integer), else available parallelism.
+/// An unparsable or non-positive `LINKLENS_THREADS` is ignored with a
+/// one-time warning on stderr rather than silently falling through.
 pub fn max_threads() -> usize {
     let over = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if over > 0 {
         return over;
     }
     if let Ok(value) = std::env::var("LINKLENS_THREADS") {
-        if let Ok(n) = value.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
+        match value.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring LINKLENS_THREADS={value:?} \
+                         (expected a positive integer); using auto resolution"
+                    );
+                });
             }
         }
     }
@@ -177,5 +195,11 @@ mod tests {
         assert_eq!(max_threads(), 3);
         set_thread_override(None);
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_override_is_rejected_not_swallowed() {
+        set_thread_override(Some(0));
     }
 }

@@ -1,5 +1,6 @@
 //! Constant-edge-delta snapshot sequences (§3.2 of the paper).
 
+use crate::builder::SnapshotBuilder;
 use crate::snapshot::Snapshot;
 use crate::temporal::TemporalGraph;
 use crate::NodeId;
@@ -77,9 +78,26 @@ impl<'a> SnapshotSequence<'a> {
         self.boundaries[i]
     }
 
-    /// Materializes snapshot `i` (0-based).
+    /// Materializes snapshot `i` (0-based) from scratch. For walking
+    /// several boundaries in order, prefer [`snapshots`](Self::snapshots),
+    /// which advances one reusable arena incrementally instead of
+    /// rebuilding the full CSR per boundary.
     pub fn snapshot(&self, i: usize) -> Snapshot {
         Snapshot::up_to(self.trace, self.boundaries[i])
+    }
+
+    /// An in-order sweep over the sequence's snapshots backed by one
+    /// incremental [`SnapshotBuilder`] arena. Each call to
+    /// [`SnapshotSweep::next`] yields a view borrowed from the sweep, valid
+    /// until the next advance — each boundary costs one streaming merge of
+    /// the delta into the previous CSR instead of a from-scratch
+    /// scatter-and-sort of the whole prefix.
+    pub fn snapshots(&self) -> SnapshotSweep<'_> {
+        SnapshotSweep {
+            builder: SnapshotBuilder::new(self.trace),
+            boundaries: &self.boundaries,
+            next: 0,
+        }
     }
 
     /// Ground truth for predicting snapshot `i` from snapshot `i − 1`: the
@@ -91,8 +109,10 @@ impl<'a> SnapshotSequence<'a> {
     /// Panics if `i == 0` or `i >= len()`.
     pub fn new_edges(&self, i: usize) -> Vec<(NodeId, NodeId)> {
         assert!(i > 0 && i < self.len(), "new_edges needs 1 <= i < len");
-        let prev = self.snapshot(i - 1);
-        let existing = prev.node_count() as NodeId;
+        // The node universe of G_{i-1} is every node arrived by its
+        // snapshot time — an O(log n) lookup, no CSR build required.
+        let prev_time = self.trace.edges()[self.boundaries[i - 1] - 1].t;
+        let existing = self.trace.nodes_at(prev_time) as NodeId;
         self.trace.edges()[self.boundaries[i - 1]..self.boundaries[i]]
             .iter()
             .filter(|e| e.u < existing && e.v < existing)
@@ -111,6 +131,46 @@ impl<'a> SnapshotSequence<'a> {
             prev_t = t;
         }
         out
+    }
+}
+
+/// A lending in-order iterator over a sequence's snapshots. Created by
+/// [`SnapshotSequence::snapshots`].
+///
+/// This is deliberately *not* a `std::iter::Iterator`: each yielded
+/// `&Snapshot` borrows the sweep's internal arena and is invalidated by the
+/// next advance, which is exactly what lets the whole sweep reuse one
+/// allocation. Use `while let Some(snap) = sweep.next()`.
+#[derive(Debug)]
+pub struct SnapshotSweep<'a> {
+    builder: SnapshotBuilder<'a>,
+    boundaries: &'a [usize],
+    next: usize,
+}
+
+impl<'a> SnapshotSweep<'a> {
+    /// Advances to the next boundary and returns the snapshot there, or
+    /// `None` after the final snapshot.
+    #[allow(clippy::should_implement_trait)] // lending: the item borrows self
+    pub fn next(&mut self) -> Option<&Snapshot> {
+        let b = *self.boundaries.get(self.next)?;
+        self.next += 1;
+        Some(self.builder.advance_to(b))
+    }
+
+    /// Index of the snapshot the *next* call to [`next`](Self::next) will
+    /// yield (equivalently: how many snapshots have been yielded so far).
+    pub fn position(&self) -> usize {
+        self.next
+    }
+
+    /// The snapshot most recently yielded, if any.
+    pub fn current(&self) -> Option<&Snapshot> {
+        if self.next == 0 {
+            None
+        } else {
+            self.builder.current()
+        }
     }
 }
 
@@ -199,6 +259,22 @@ mod tests {
         let seq = SnapshotSequence::by_edge_delta(&g, 5);
         // Boundary edges at t = 50, 100, 150, 200 → spacings 50 each.
         assert_eq!(seq.spacings(), vec![50, 50, 50]);
+    }
+
+    #[test]
+    fn sweep_matches_from_scratch_snapshots() {
+        let g = chain(30);
+        let seq = SnapshotSequence::by_edge_delta(&g, 4);
+        let mut sweep = seq.snapshots();
+        assert!(sweep.current().is_none());
+        let mut seen = 0;
+        while let Some(snap) = sweep.next() {
+            assert_eq!(snap, &seq.snapshot(seen), "snapshot {seen}");
+            seen += 1;
+        }
+        assert_eq!(seen, seq.len());
+        assert!(sweep.next().is_none(), "sweep is fused");
+        assert_eq!(sweep.current().map(|s| s.prefix_len()), Some(seq.boundary(seq.len() - 1)));
     }
 
     #[test]

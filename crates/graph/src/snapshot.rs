@@ -13,15 +13,20 @@ use crate::{canonical, NodeId, Timestamp};
 ///
 /// The node universe is `0..node_count()`: every node whose arrival time is
 /// at or before the snapshot time, whether or not it has edges yet.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq`/`Eq` compare the full representation (offsets, neighbor and
+/// edge-time arrays, counters), which is what lets the property tests assert
+/// that incrementally advanced snapshots ([`crate::builder::SnapshotBuilder`])
+/// are bit-identical to from-scratch [`Snapshot::up_to`] builds.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Snapshot {
-    n: usize,
-    offsets: Vec<usize>,
-    neighbors: Vec<NodeId>,
-    edge_times: Vec<Timestamp>,
-    time: Timestamp,
-    edge_count: usize,
-    prefix_len: usize,
+    pub(crate) n: usize,
+    pub(crate) offsets: Vec<usize>,
+    pub(crate) neighbors: Vec<NodeId>,
+    pub(crate) edge_times: Vec<Timestamp>,
+    pub(crate) time: Timestamp,
+    pub(crate) edge_count: usize,
+    pub(crate) prefix_len: usize,
 }
 
 impl Snapshot {

@@ -25,8 +25,17 @@ pub fn precision_recall(predictions: &[bool], truth: &[bool]) -> (f64, f64) {
 
 /// ROC AUC via the rank statistic (Mann–Whitney U), with tie correction.
 /// Returns 0.5 when either class is absent.
+///
+/// Returns `NaN` when any score is `NaN`: ranking is undefined for NaN, and
+/// the tie-averaging pass below groups equal scores with `==`, under which
+/// NaN never equals itself — NaNs would land at both ends of the
+/// `total_cmp` order (by sign bit) with arbitrary distinct ranks, silently
+/// skewing the statistic instead of flagging the bad input.
 pub fn roc_auc(scores: &[f64], truth: &[bool]) -> f64 {
     assert_eq!(scores.len(), truth.len());
+    if scores.iter().any(|s| s.is_nan()) {
+        return f64::NAN;
+    }
     let n_pos = truth.iter().filter(|&&t| t).count();
     let n_neg = truth.len() - n_pos;
     if n_pos == 0 || n_neg == 0 {
@@ -104,6 +113,20 @@ mod tests {
     #[test]
     fn auc_single_class_is_half() {
         assert_eq!(roc_auc(&[0.1, 0.9], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn auc_nan_scores_yield_nan_not_a_skewed_rank() {
+        // A NaN score must poison the result. Before the guard, -NaN and
+        // +NaN sorted to opposite ends under total_cmp and (never being ==)
+        // each kept a private rank, producing a plausible-looking AUC.
+        let scores = [0.1, f64::NAN, 0.9];
+        let truth = [false, true, true];
+        assert!(roc_auc(&scores, &truth).is_nan());
+        let neg_nan = f64::NAN.copysign(-1.0);
+        assert!(roc_auc(&[neg_nan, 0.5, f64::NAN], &[true, false, true]).is_nan());
+        // Finite inputs are unaffected.
+        assert_eq!(roc_auc(&[0.1, 0.2, 0.9], &[false, false, true]), 1.0);
     }
 
     #[test]

@@ -22,11 +22,14 @@ fn main() {
             "{:>4} {:>7} {:>8} {:>7} {:>7} {:>7} {:>8} {:>6}",
             "snap", "nodes", "edges", "deg", "clust", "APL", "assort", "λ₂"
         );
-        for i in 0..seq.len() {
-            let snap = seq.snapshot(i);
-            let p = stats::snapshot_properties(&snap, 25);
+        // `snapshots()` walks the whole sequence through one incremental
+        // arena — the cheap way to monitor every boundary in order.
+        let mut sweep = seq.snapshots();
+        let mut i = 0;
+        while let Some(snap) = sweep.next() {
+            let p = stats::snapshot_properties(snap, 25);
             let lambda2 = if i + 1 < seq.len() {
-                stats::two_hop_edge_ratio(&snap, &seq.new_edges(i + 1))
+                stats::two_hop_edge_ratio(snap, &seq.new_edges(i + 1))
             } else {
                 f64::NAN
             };
@@ -41,6 +44,7 @@ fn main() {
                 p.assortativity,
                 lambda2
             );
+            i += 1;
         }
 
         // Supernode concentration (the YouTube-vs-friendship discriminator).

@@ -24,6 +24,10 @@ use linklens::trace::GrowthTrace;
 use std::fs::File;
 use std::process::exit;
 
+/// Whether `--cache` was passed: trace loads go through the binary
+/// sidecar cache (`FILE.llc`) when set.
+static USE_CACHE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `--threads N` is a global flag: strip it wherever it appears and
@@ -40,6 +44,12 @@ fn main() {
         }
         linklens::graph::par::set_thread_override(Some(n));
         args.drain(i..i + 2);
+    }
+    // `--cache` is also global: reuse (or create) a binary sidecar next to
+    // the trace so repeat runs skip text parsing entirely.
+    if let Some(i) = args.iter().position(|a| a == "--cache") {
+        USE_CACHE.store(true, std::sync::atomic::Ordering::Relaxed);
+        args.remove(i);
     }
     let Some(command) = args.first() else { usage() };
     let rest = &args[1..];
@@ -69,6 +79,9 @@ fn usage() -> ! {
          global flags:\n\
            --threads N   scoring-engine worker count (default: all cores;\n\
                          also settable via LINKLENS_THREADS)\n\
+           --cache       keep a binary sidecar (FILE.llc) so repeat runs\n\
+                         skip text parsing; stale/corrupt sidecars are\n\
+                         re-derived from the text automatically\n\
          \n\
          FILE is a linklens v1 trace or a bare 'u v timestamp' edge list."
     );
@@ -88,12 +101,23 @@ fn parse_or_exit<T: std::str::FromStr>(value: &str, what: &str) -> T {
 }
 
 fn load_trace(path: &str) -> GrowthTrace {
+    let cache_path = format!("{path}.llc");
+    if USE_CACHE.load(std::sync::atomic::Ordering::Relaxed) {
+        // A valid sidecar newer than the text wins; anything else (missing,
+        // corrupt, version-skewed, stale) falls through to a text parse.
+        if sidecar_fresh(path, &cache_path) {
+            match io::read_cache_file(&cache_path) {
+                Ok(t) => return t,
+                Err(e) => eprintln!("note: ignoring cache {cache_path}: {e}"),
+            }
+        }
+    }
     let file = File::open(path).unwrap_or_else(|e| {
         eprintln!("cannot open {path}: {e}");
         exit(1)
     });
     // Try the native format first, fall back to a bare edge list.
-    match io::read_trace(file) {
+    let trace = match io::read_trace(file) {
         Ok(t) => t,
         Err(_) => {
             let file = File::open(path).expect("reopen");
@@ -102,6 +126,23 @@ fn load_trace(path: &str) -> GrowthTrace {
                 exit(1)
             })
         }
+    };
+    if USE_CACHE.load(std::sync::atomic::Ordering::Relaxed) {
+        match io::write_cache_file(&trace, &cache_path) {
+            Ok(()) => eprintln!("cached binary trace at {cache_path}"),
+            Err(e) => eprintln!("note: could not write cache {cache_path}: {e}"),
+        }
+    }
+    trace
+}
+
+/// True when the sidecar exists and is at least as new as the text trace.
+fn sidecar_fresh(path: &str, cache_path: &str) -> bool {
+    let mtime = |p: &str| std::fs::metadata(p).and_then(|m| m.modified()).ok();
+    match (mtime(path), mtime(cache_path)) {
+        (Some(text), Some(cache)) => cache >= text,
+        (None, Some(_)) => true, // no text to compare against; trust the cache
+        _ => false,
     }
 }
 
@@ -154,13 +195,17 @@ fn stats_cmd(args: &[String]) {
         "{:>4} {:>8} {:>9} {:>8} {:>8} {:>8} {:>9}",
         "snap", "nodes", "edges", "deg", "clust", "APL", "assort"
     );
-    for i in 0..seq.len() {
-        let snap = seq.snapshot(i);
-        let p = stats::snapshot_properties(&snap, 30);
+    // Incremental sweep: one arena walks every boundary instead of
+    // rebuilding the CSR per snapshot.
+    let mut sweep = seq.snapshots();
+    let mut i = 0;
+    while let Some(snap) = sweep.next() {
+        let p = stats::snapshot_properties(snap, 30);
         println!(
             "{:>4} {:>8} {:>9} {:>8.2} {:>8.3} {:>8.2} {:>9.3}",
             i, p.nodes, p.edges, p.degree.mean, p.clustering, p.avg_path_length, p.assortativity
         );
+        i += 1;
     }
 }
 
