@@ -11,6 +11,8 @@
 //!    absolute accuracy — recovering hidden edges is dramatically easier
 //!    than predicting future ones.
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{results_path, ExperimentContext};
 use linklens_core::altmetrics::{auc_of_metric, MissingLinkEval};
 use linklens_core::framework::SequenceEvaluator;

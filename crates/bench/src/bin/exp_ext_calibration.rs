@@ -7,6 +7,8 @@
 //! probability bins against the empirical connection frequency inside each
 //! bin. Well-calibrated bins sit near the diagonal.
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{results_path, ExperimentContext};
 use linklens_core::report::{fnum, write_json, Table};
 use linklens_core::temporal::positive_negative_pairs;

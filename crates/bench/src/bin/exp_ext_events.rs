@@ -5,6 +5,8 @@
 //! depends on: λ₂ craters at the merge transition, prediction accuracy
 //! collapses there, and the growth curves show the artifacts.
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{results_path, ExperimentContext};
 use linklens_core::framework::SequenceEvaluator;
 use linklens_core::report::{fnum, write_json, Table};

@@ -8,6 +8,8 @@
 //! implementation; this is the end-to-end validity check behind every
 //! other experiment's numbers.
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{results_path, ExperimentContext};
 use linklens_core::framework::SequenceEvaluator;
 use linklens_core::report::{fnum, write_json, Table};

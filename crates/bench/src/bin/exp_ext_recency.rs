@@ -6,6 +6,8 @@
 //! triangle: static metric vs recency-weighted metric vs static+filter vs
 //! recency+filter, for the CN/AA/RA family.
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{results_path, ExperimentContext};
 use linklens_core::filters::{FilterThresholds, TemporalFilter};
 use linklens_core::framework::SequenceEvaluator;

@@ -4,6 +4,8 @@
 //! over the trace; the renren-like network grows fastest (it is the
 //! non-sampled one).
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{results_path, ExperimentContext};
 use linklens_core::report::{write_json, Table};
 

@@ -6,6 +6,8 @@
 //! ratio *improves* as θ moves from 1:1 toward the true class ratio —
 //! conventional balanced sampling loses up to ~5× accuracy.
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{classification_config, results_path, ExperimentContext};
 use linklens_core::classify::{ClassificationPipeline, ClassifierKind};
 use linklens_core::report::{fnum, write_json, Table};

@@ -5,6 +5,8 @@
 //! the best metric on every network; RA/BRA are consistently near the top
 //! among metrics; the best metric differs per network.
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{classification_config, results_path, ExperimentContext};
 use linklens_core::classify::{ClassificationPipeline, ClassifierKind};
 use linklens_core::report::{fnum, write_json, Table};

@@ -6,6 +6,8 @@
 //! smoothly (metrics contribute comparably, top-6 slightly heavier); good
 //! similarity metrics are also heavy SVM features.
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{classification_config, results_path, ExperimentContext};
 use linklens_core::classify::{ClassificationPipeline, ClassifierKind};
 use linklens_core::report::{fnum, write_json, Table};

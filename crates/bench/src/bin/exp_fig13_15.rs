@@ -9,6 +9,8 @@
 //! ≥ 3 recent edges versus ~20% of negatives, and >60% of positives gained
 //! a common neighbor within 10 days versus ~20% of negatives.
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{results_path, ExperimentContext};
 use linklens_core::report::{fnum, write_json, Table};
 use linklens_core::temporal::{fraction_below, pair_features, positive_negative_pairs_on};

@@ -6,6 +6,8 @@
 //! time-series model does, and the two compose — Time-Model+Filter ≥
 //! Time-Model.
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{results_path, ExperimentContext};
 use linklens_core::filters::{FilterThresholds, TemporalFilter};
 use linklens_core::framework::{unconnected_pair_count, SequenceEvaluator};

@@ -6,6 +6,8 @@
 //! youtube-like; average path length shrinks as networks densify; the
 //! youtube-like network has the largest path length (it is the sparsest).
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{results_path, ExperimentContext};
 use linklens_core::report::{fnum, write_json, Table};
 use osn_graph::stats;

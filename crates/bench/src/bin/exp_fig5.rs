@@ -11,6 +11,8 @@
 //! * accuracy ratio correlates with λ₂ across snapshots (§4.2 reports
 //!   Pearson 0.95 / 0.83 / 0.81 for the top-6 metrics).
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{results_path, run_or_load_metric_sweep, ExperimentContext};
 use linklens_core::framework::{finite_mean, pearson};
 use linklens_core::report::{fnum, write_json, Table};

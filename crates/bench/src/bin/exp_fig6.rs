@@ -11,6 +11,8 @@
 //! median degree → BRA/RA-family. The per-algorithm binary rules should
 //! mention the same features.
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{results_path, run_or_load_metric_sweep, ExperimentContext};
 use linklens_core::report::write_json;
 use linklens_core::selection::{analyze, NetworkFeatures, SelectionSample};

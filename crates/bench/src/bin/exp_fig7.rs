@@ -6,6 +6,8 @@
 //! BCN/BAA/LP/Katz/Rescal skew toward high-degree nodes; ground truth sits
 //! in between.
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{results_path, ExperimentContext};
 use linklens_core::framework::SequenceEvaluator;
 use linklens_core::report::{fnum, write_json, Table};

@@ -5,6 +5,8 @@
 //! dormant than ground truth — the predicted idle-time CDF sits to the
 //! right of (below) the ground-truth CDF.
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{results_path, ExperimentContext};
 use linklens_core::framework::SequenceEvaluator;
 use linklens_core::report::{fnum, write_json, Table};

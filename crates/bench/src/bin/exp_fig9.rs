@@ -4,6 +4,8 @@
 //! Paper shape to reproduce: RF and NB poor; LR roughly on par with SVM;
 //! SVM best, and 1:50 beats 1:1 for the margin-based models.
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{classification_config, results_path, ExperimentContext};
 use linklens_core::classify::{ClassificationPipeline, ClassifierKind};
 use linklens_core::report::{fnum, write_json, Table};

@@ -5,6 +5,8 @@
 //! (facebook < youtube < renren in edges), all with > 15 snapshots and a
 //! constant per-snapshot edge delta.
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{results_path, ExperimentContext};
 use linklens_core::report::{write_json, Table};
 use osn_graph::snapshot::Snapshot;

@@ -6,6 +6,8 @@
 //! facebook-like network (smallest) gets the highest numbers; SP and PA
 //! lowest on friendship networks.
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{results_path, run_or_load_metric_sweep, ExperimentContext};
 use linklens_core::framework::best_absolute_accuracy;
 use linklens_core::report::{write_json, Table};

@@ -6,6 +6,8 @@
 //! heavily over-predicts a small group of nodes — predicted share far above
 //! the real share — except BRA, which is nearly unbiased.
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{results_path, ExperimentContext};
 use linklens_core::framework::SequenceEvaluator;
 use linklens_core::report::{write_json, Table};

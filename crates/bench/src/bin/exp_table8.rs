@@ -10,6 +10,8 @@
 //! Pass `--sweep` (after the common flags) to also print a sensitivity
 //! sweep over scaled threshold variants — the DESIGN.md ablation.
 
+#![forbid(unsafe_code)]
+
 use linklens_bench::{classification_config, results_path, ExperimentContext};
 use linklens_core::classify::{ClassificationPipeline, ClassifierKind};
 use linklens_core::filters::{FilterThresholds, TemporalFilter};

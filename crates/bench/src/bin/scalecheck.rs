@@ -5,8 +5,14 @@
 //! snapshot-sequence sweeps into `BENCH_snapshot_build.json`.
 //!
 //! ```text
-//! scalecheck [SCALE] [DAYS] [--sweep-only | --snapshot-build-only]
+//! scalecheck [SCALE] [DAYS] [--sweep-only | --snapshot-build-only] [--paranoid]
 //! ```
+//!
+//! `--paranoid` turns the runtime invariant audits on in this release
+//! binary: every incremental snapshot advance re-validates the full CSR
+//! and the scoring engine checks every metric's score contract.
+
+#![forbid(unsafe_code)]
 
 use osn_graph::sequence::SnapshotSequence;
 use osn_graph::snapshot::Snapshot;
@@ -18,6 +24,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sweep_only = args.iter().any(|a| a == "--sweep-only");
     let snapshot_build_only = args.iter().any(|a| a == "--snapshot-build-only");
+    if args.iter().any(|a| a == "--paranoid") {
+        osn_graph::audit::set_paranoid(true);
+        println!("paranoid mode: CSR + score-contract audits enabled");
+    }
     let pos: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let scale: f64 = pos.first().and_then(|s| s.parse().ok()).unwrap_or(0.35);
     let days: u32 = pos.get(1).and_then(|s| s.parse().ok()).unwrap_or(90);

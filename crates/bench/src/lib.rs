@@ -143,6 +143,7 @@ pub fn run_or_load_metric_sweep(ctx: &ExperimentContext) -> Vec<NetworkSweep> {
     ));
     if let Ok(body) = std::fs::read_to_string(&cache) {
         if let Ok(sweeps) = serde_json::from_str::<Vec<NetworkSweep>>(&body) {
+            // linklens-allow(print-in-lib): harness progress logging for long experiment runs goes to stderr by design
             eprintln!("[sweep] loaded cached sweep from {}", cache.display());
             return sweeps;
         }
@@ -151,6 +152,7 @@ pub fn run_or_load_metric_sweep(ctx: &ExperimentContext) -> Vec<NetworkSweep> {
     let refs: Vec<&dyn osn_metrics::traits::Metric> = metrics.iter().map(|m| m.as_ref()).collect();
     let mut sweeps = Vec::new();
     for (cfg, trace) in ctx.traces() {
+        // linklens-allow(print-in-lib): harness progress logging for long experiment runs goes to stderr by design
         eprintln!(
             "[sweep] {}: {} nodes, {} edges",
             cfg.name,
@@ -171,6 +173,7 @@ pub fn run_or_load_metric_sweep(ctx: &ExperimentContext) -> Vec<NetworkSweep> {
             lambda2.push(osn_graph::stats::two_hop_edge_ratio(prev, &seq.new_edges(t)));
             properties.push(osn_graph::stats::snapshot_properties(prev, 30));
         }
+        // linklens-allow(print-in-lib): harness progress logging for long experiment runs goes to stderr by design
         eprintln!("[sweep] {} done in {:?}", cfg.name, started.elapsed());
         sweeps.push(NetworkSweep {
             network: cfg.name.clone(),
@@ -226,8 +229,10 @@ pub fn classification_config(
 
 fn usage_exit(msg: &str) -> ! {
     if !msg.is_empty() {
+        // linklens-allow(print-in-lib): harness progress logging for long experiment runs goes to stderr by design
         eprintln!("error: {msg}");
     }
+    // linklens-allow(print-in-lib): harness progress logging for long experiment runs goes to stderr by design
     eprintln!(
         "usage: exp_* [--scale F] [--days N] [--seed N] [--snapshots N] [--quick]\n\
          Reproduces one table/figure of Liu et al. (IMC 2016); see DESIGN.md §5."

@@ -1,0 +1,507 @@
+//! A hand-rolled Rust lexer sized for lint rules.
+//!
+//! The rules in [`crate::rules`] only need a token stream that is *safe
+//! against false positives*: string literals, character literals, and
+//! comments must never leak their contents into the identifier stream
+//! (`"partial_cmp(x).unwrap()"` inside a string is data, not code). The
+//! lexer therefore handles the full literal surface the workspace uses —
+//! line and nested block comments, plain/raw/byte strings, char literals
+//! vs. lifetimes, numeric literals with fractional parts — while reducing
+//! everything it tokenizes to five coarse kinds. It does **not** parse:
+//! rules pattern-match the token stream directly, which keeps the crate
+//! dependency-light (no `syn`, no new shims).
+
+/// Coarse token kinds; literal *contents* are deliberately dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (including `as`, `fn`, …).
+    Ident(String),
+    /// Single punctuation character (`.`, `(`, `#`, …).
+    Punct(char),
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (integer or float, any base/suffix).
+    Num,
+}
+
+/// One token plus the 1-indexed line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// One comment (line or block), with its text and line span. Comments are
+/// kept out of the token stream but retained for `linklens-allow`
+/// directive parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Line the comment ends on (equal to `line` for line comments).
+    pub end_line: u32,
+    /// Comment text without the `//` / `/*` framing.
+    pub text: String,
+}
+
+/// The lexer's full output for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes one source file. Never fails: unterminated literals consume
+/// the rest of the file, which is the forgiving behavior a linter wants.
+pub fn lex(src: &str) -> Lexed {
+    let c: Vec<char> = src.chars().collect();
+    let n = c.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < n {
+        let ch = c[i];
+        if ch == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if ch.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (covers `///` and `//!` doc comments too).
+        if ch == '/' && i + 1 < n && c[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && c[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment { line, end_line: line, text: c[start..j].iter().collect() });
+            i = j;
+            continue;
+        }
+        // Block comment, nested per Rust's rules.
+        if ch == '/' && i + 1 < n && c[i + 1] == '*' {
+            let start_line = line;
+            let text_start = i + 2;
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if c[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if c[j] == '/' && j + 1 < n && c[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if c[j] == '*' && j + 1 < n && c[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let text_end = if depth == 0 { j - 2 } else { j }.max(text_start);
+            out.comments.push(Comment {
+                line: start_line,
+                end_line: line,
+                text: c[text_start..text_end].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+        // Plain string literal.
+        if ch == '"' {
+            let start_line = line;
+            i = skip_string(&c, i, &mut line);
+            out.tokens.push(Token { tok: Tok::Str, line: start_line });
+            continue;
+        }
+        // Raw strings (`r"…"`, `r#"…"#`), byte strings (`b"…"`, `br#"…"#`),
+        // byte chars (`b'x'`), and raw identifiers (`r#match`) all start
+        // with `r` or `b`; disambiguate before the generic ident path.
+        if ch == 'r' || ch == 'b' {
+            let mut j = i + 1;
+            if ch == 'b' && j < n && c[j] == 'r' {
+                j += 1;
+            }
+            let hashes_start = j;
+            while j < n && c[j] == '#' {
+                j += 1;
+            }
+            let hashes = j - hashes_start;
+            let has_r = ch == 'r' || (i + 1 < n && c[i + 1] == 'r');
+            if j < n && c[j] == '"' && (has_r || hashes == 0) {
+                let start_line = line;
+                if has_r {
+                    i = skip_raw_string(&c, j + 1, hashes, &mut line);
+                } else {
+                    i = skip_string(&c, j, &mut line);
+                }
+                out.tokens.push(Token { tok: Tok::Str, line: start_line });
+                continue;
+            }
+            if ch == 'b' && i + 1 < n && c[i + 1] == '\'' {
+                let start_line = line;
+                i = skip_char(&c, i + 1, &mut line);
+                out.tokens.push(Token { tok: Tok::Char, line: start_line });
+                continue;
+            }
+            if ch == 'r' && hashes == 1 && j < n && is_ident_start(c[j]) {
+                // Raw identifier: lex the ident part, drop the `r#`.
+                let mut k = j;
+                while k < n && is_ident_continue(c[k]) {
+                    k += 1;
+                }
+                out.tokens.push(Token { tok: Tok::Ident(c[j..k].iter().collect()), line });
+                i = k;
+                continue;
+            }
+            // Fall through: a plain identifier that merely starts with r/b.
+        }
+        // Char literal vs. lifetime.
+        if ch == '\'' {
+            let lifetime =
+                i + 1 < n && (is_ident_start(c[i + 1])) && !(i + 2 < n && c[i + 2] == '\'');
+            if lifetime {
+                let mut j = i + 1;
+                while j < n && is_ident_continue(c[j]) {
+                    j += 1;
+                }
+                i = j; // lifetimes carry no lint signal; drop them
+                continue;
+            }
+            let start_line = line;
+            i = skip_char(&c, i, &mut line);
+            out.tokens.push(Token { tok: Tok::Char, line: start_line });
+            continue;
+        }
+        // Numeric literal: consume alphanumerics plus one fractional part.
+        // Exponent signs (`1e-4`) split into Num Punct Num, which is fine —
+        // no rule interprets numbers.
+        if ch.is_ascii_digit() {
+            let start_line = line;
+            let mut j = i;
+            while j < n && (c[j].is_ascii_alphanumeric() || c[j] == '_') {
+                j += 1;
+            }
+            if j < n && c[j] == '.' && j + 1 < n && c[j + 1].is_ascii_digit() {
+                j += 1;
+                while j < n && (c[j].is_ascii_alphanumeric() || c[j] == '_') {
+                    j += 1;
+                }
+            }
+            out.tokens.push(Token { tok: Tok::Num, line: start_line });
+            i = j;
+            continue;
+        }
+        if is_ident_start(ch) {
+            let mut j = i;
+            while j < n && is_ident_continue(c[j]) {
+                j += 1;
+            }
+            out.tokens.push(Token { tok: Tok::Ident(c[i..j].iter().collect()), line });
+            i = j;
+            continue;
+        }
+        out.tokens.push(Token { tok: Tok::Punct(ch), line });
+        i += 1;
+    }
+    out
+}
+
+/// Skips a `"…"`-style string starting at the opening quote; returns the
+/// index past the closing quote. Backslash escapes are honored; embedded
+/// newlines advance `line`.
+fn skip_string(c: &[char], open: usize, line: &mut u32) -> usize {
+    let n = c.len();
+    let mut j = open + 1;
+    while j < n {
+        match c[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// Skips a raw string body starting just past the opening quote; the
+/// terminator is a quote followed by `hashes` `#` characters.
+fn skip_raw_string(c: &[char], body: usize, hashes: usize, line: &mut u32) -> usize {
+    let n = c.len();
+    let mut j = body;
+    while j < n {
+        if c[j] == '\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if c[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < n && seen < hashes && c[k] == '#' {
+                k += 1;
+                seen += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    n
+}
+
+/// Skips a char literal starting at the opening quote; returns the index
+/// past the closing quote. Handles `'\n'`, `'\''`, and `'\u{…}'`.
+fn skip_char(c: &[char], open: usize, line: &mut u32) -> usize {
+    let n = c.len();
+    let mut j = open + 1;
+    if j < n && c[j] == '\\' {
+        j += 1;
+        if j + 1 < n && c[j] == 'u' && c[j + 1] == '{' {
+            while j < n && c[j] != '}' {
+                j += 1;
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    } else if j < n {
+        if c[j] == '\n' {
+            *line += 1;
+        }
+        j += 1;
+    }
+    if j < n && c[j] == '\'' {
+        j + 1
+    } else {
+        j
+    }
+}
+
+/// Marks every token that belongs to test-only code: items annotated with
+/// an attribute whose token stream mentions `test` (so `#[test]`,
+/// `#[cfg(test)]`, and `#[cfg(any(test, …))]` all match) — unless the
+/// attribute also mentions `not` (`#[cfg(not(test))]` is live code and is
+/// conservatively kept in scope). The mask covers the attribute itself,
+/// any stacked attributes after it, and the annotated item through its
+/// closing brace or semicolon.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let at =
+        |i: usize, p: char| matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(q)) if *q == p);
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if at(i, '#') && at(i + 1, '[') {
+            let (attr_end, is_test) = scan_attr(tokens, i + 1);
+            if !is_test {
+                i = attr_end;
+                continue;
+            }
+            let mut j = attr_end;
+            while at(j, '#') && at(j + 1, '[') {
+                j = scan_attr(tokens, j + 1).0;
+            }
+            // Find the item body: the first `{` or `;` outside signature
+            // parentheses/brackets.
+            let mut nest = 0i32;
+            while j < tokens.len() {
+                match tokens[j].tok {
+                    Tok::Punct('(') | Tok::Punct('[') => nest += 1,
+                    Tok::Punct(')') | Tok::Punct(']') => nest -= 1,
+                    Tok::Punct('{') | Tok::Punct(';') if nest == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if at(j, '{') {
+                let mut depth = 0i32;
+                while j < tokens.len() {
+                    match tokens[j].tok {
+                        Tok::Punct('{') => depth += 1,
+                        Tok::Punct('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            } else if j < tokens.len() {
+                j += 1; // past the `;`
+            }
+            for m in &mut mask[i..j.min(tokens.len())] {
+                *m = true;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Scans an attribute whose `[` is at `open`; returns the index past the
+/// matching `]` and whether the attribute marks test-only code.
+fn scan_attr(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    let mut j = open;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, saw_test && !saw_not);
+                }
+            }
+            Tok::Ident(s) if s == "test" => saw_test = true,
+            Tok::Ident(s) if s == "not" => saw_not = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_do_not_leak_identifiers() {
+        let src = r##"let s = "partial_cmp(x).unwrap()"; let r = r#"println!("hi")"#;"##;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "let", "r"]);
+    }
+
+    #[test]
+    fn comments_do_not_leak_identifiers() {
+        let src = "// partial_cmp(a).unwrap()\n/* println! *//* nested /* unwrap() */ still */ let x = 1;";
+        assert_eq!(idents(src), vec!["let", "x"]);
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 3);
+        assert!(lexed.comments[0].text.contains("partial_cmp"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_are_distinguished() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let chars = lexed.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(chars, 1, "one char literal, lifetimes dropped");
+        assert!(idents(src).contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn escaped_chars_and_unicode() {
+        let src = r"let a = '\''; let b = '\u{1F600}'; let c = b'\n';";
+        let lexed = lex(src);
+        let chars = lexed.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(chars, 3);
+        assert_eq!(idents(src), vec!["let", "a", "let", "b", "let", "c"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain() {
+        assert_eq!(idents("r#match + rb_foo + break_even"), vec!["match", "rb_foo", "break_even"]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_literals() {
+        let src = "let a = \"two\nlines\";\nlet b = 1;";
+        let lexed = lex(src);
+        let b = lexed.tokens.iter().find(|t| t.tok == Tok::Ident("b".into())).expect("ident b");
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn float_method_calls_split_correctly() {
+        // `1.0.max(2.0)` must lex as Num . Ident ( Num ), not swallow `max`.
+        let src = "let x = 1.0.max(2.0); let y = 1e-4;";
+        assert_eq!(idents(src), vec!["let", "x", "max", "let", "y"]);
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules() {
+        let src = "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { b.unwrap(); } }";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let masked: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| m)
+            .filter_map(|(t, _)| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(masked.contains(&"tests"));
+        assert!(masked.contains(&"b"));
+        assert!(!masked.contains(&"live"));
+    }
+
+    #[test]
+    fn test_mask_covers_test_fns_and_stacked_attrs() {
+        let src =
+            "#[test]\n#[should_panic(expected = \"boom\")]\nfn t() { x.unwrap(); }\nfn live() {}";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let live = lexed
+            .tokens
+            .iter()
+            .zip(&mask)
+            .find(|(t, _)| t.tok == Tok::Ident("live".into()))
+            .expect("live fn");
+        assert!(!live.1, "code after the test fn is live again");
+        let x = lexed
+            .tokens
+            .iter()
+            .zip(&mask)
+            .find(|(t, _)| t.tok == Tok::Ident("x".into()))
+            .expect("x in test body");
+        assert!(x.1, "test body is masked");
+    }
+
+    #[test]
+    fn cfg_not_test_stays_live() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        assert!(mask.iter().all(|&m| !m), "cfg(not(test)) code is live");
+    }
+}

@@ -1,0 +1,58 @@
+//! # linklens-check
+//!
+//! Dependency-light static analysis for the LinkLens workspace. The
+//! paper's conclusions rest on correct ranking of real-valued scores and
+//! correct CSR snapshot construction; one NaN-unsafe comparator or one
+//! truncated offset silently reorders predictions. This crate turns those
+//! correctness conventions into machine-enforced rules:
+//!
+//! * `nan-unsafe-ordering` — `partial_cmp(..).unwrap()/expect()` on float
+//!   keys (require `f64::total_cmp`);
+//! * `truncating-cast` — `as`-casts to narrow integers in CSR/offset code;
+//! * `unwrap-in-lib` — `unwrap()/expect()` in library code of the scoring
+//!   substrate (`graph`, `metrics`, `linalg`, `core`);
+//! * `missing-forbid-unsafe` — every crate root keeps
+//!   `#![forbid(unsafe_code)]`;
+//! * `print-in-lib` — `println!`-family output in library crates.
+//!
+//! Violations are suppressed per line with
+//! `// linklens-allow(rule): justification`; a missing justification or an
+//! unknown rule name is itself a violation. The `linklens-check` binary
+//! exits nonzero on any active violation, speaks `--json` for CI, and
+//! `--fix-report` for a markdown delta summary.
+//!
+//! The lexer is hand-rolled (see [`lexer`]) so the shims directory stays
+//! small: no `syn`, no proc-macro machinery — tokens are enough for every
+//! rule above, and string/comment contents can never false-positive.
+//!
+//! The static rules point at a runtime audit layer in the scored crates:
+//! [`osn_graph::snapshot::Snapshot::validate`] enforces the CSR invariant
+//! contract after every incremental advance (under `debug_assertions`, or
+//! `--paranoid` in release), and the scoring engine checks every metric's
+//! score contract (finite; non-negative where promised) under the same
+//! gate.
+//!
+//! [`osn_graph::snapshot::Snapshot::validate`]:
+//!     ../osn_graph/snapshot/struct.Snapshot.html#method.validate
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+use report::RunSummary;
+use std::path::Path;
+
+/// Runs every rule over every classified `.rs` file under `root`.
+pub fn check_workspace(root: &Path) -> std::io::Result<RunSummary> {
+    let files = workspace::collect_files(root)?;
+    let mut diagnostics = Vec::new();
+    let files_checked = files.len();
+    for info in &files {
+        let src = std::fs::read_to_string(root.join(&info.path))?;
+        diagnostics.extend(rules::check_file(info, &src));
+    }
+    Ok(RunSummary { files_checked, diagnostics })
+}

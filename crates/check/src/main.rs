@@ -1,0 +1,69 @@
+//! `linklens-check` — the workspace lint pass.
+//!
+//! ```text
+//! linklens-check [ROOT] [--json] [--fix-report]
+//! ```
+//!
+//! Checks every `.rs` file under ROOT (default: the workspace root this
+//! binary was built from, else the current directory) against the
+//! repo-specific rules in [`linklens_check::rules`]. Exits 0 when clean,
+//! 1 on any active violation, 2 on usage or I/O errors.
+//!
+//! * `--json` — machine-readable report on stdout (for the CI lint job);
+//! * `--fix-report` — markdown summary of violations by rule and crate,
+//!   ready to paste into a PR description.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let fix_report = args.iter().any(|a| a == "--fix-report");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if let Some(bad) = args
+        .iter()
+        .find(|a| a.starts_with("--") && !matches!(a.as_str(), "--json" | "--fix-report"))
+    {
+        eprintln!("unknown flag {bad}\nusage: linklens-check [ROOT] [--json] [--fix-report]");
+        exit(2);
+    }
+    if positional.len() > 1 {
+        eprintln!(
+            "at most one ROOT argument\nusage: linklens-check [ROOT] [--json] [--fix-report]"
+        );
+        exit(2);
+    }
+
+    let root = positional.first().map_or_else(default_root, PathBuf::from);
+    let run = match linklens_check::check_workspace(&root) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("linklens-check: cannot scan {}: {e}", root.display());
+            exit(2);
+        }
+    };
+
+    if fix_report {
+        print!("{}", linklens_check::report::render_markdown(&run));
+    } else if json {
+        println!("{}", linklens_check::report::render_json(&run));
+    } else {
+        print!("{}", linklens_check::report::render_text(&run));
+    }
+    exit(i32::from(run.has_violations()));
+}
+
+/// The workspace this binary was compiled from (two levels above the
+/// crate's manifest), falling back to the current directory when that
+/// tree no longer exists (e.g. an installed binary).
+fn default_root() -> PathBuf {
+    let compiled_from = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if compiled_from.join("Cargo.toml").exists() {
+        compiled_from
+    } else {
+        PathBuf::from(".")
+    }
+}

@@ -1,0 +1,187 @@
+//! Rendering diagnostics: human text, machine `--json`, and the
+//! `--fix-report` markdown summary future PRs paste into descriptions.
+//! All renderers return strings; printing is the binary's job
+//! (`print-in-lib` applies to this crate too).
+
+use crate::rules::{Diagnostic, RULES};
+use std::collections::BTreeMap;
+
+/// Aggregated result of one checker run.
+#[derive(Debug)]
+pub struct RunSummary {
+    pub files_checked: usize,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl RunSummary {
+    /// Diagnostics that fail the run (not covered by an allow).
+    pub fn active(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| !d.suppressed)
+    }
+
+    /// Allow-covered findings, kept visible for reporting.
+    pub fn suppressed(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.suppressed)
+    }
+
+    pub fn has_violations(&self) -> bool {
+        self.active().next().is_some()
+    }
+}
+
+/// `path:line: [rule] message` lines plus a closing tally.
+pub fn render_text(run: &RunSummary) -> String {
+    let mut out = String::new();
+    for d in run.active() {
+        out.push_str(&format!("{}:{}: [{}] {}\n", d.path, d.line, d.rule, d.message));
+    }
+    let active = run.active().count();
+    let suppressed = run.suppressed().count();
+    out.push_str(&format!(
+        "linklens-check: {} file(s), {} violation(s), {} suppressed by linklens-allow\n",
+        run.files_checked, active, suppressed
+    ));
+    out
+}
+
+/// Stable JSON for CI and tooling.
+pub fn render_json(run: &RunSummary) -> String {
+    let entry = |d: &Diagnostic| {
+        serde_json::json!({
+            "rule": d.rule,
+            "path": d.path,
+            "line": d.line,
+            "message": d.message,
+        })
+    };
+    let violations: Vec<_> = run.active().map(entry).collect();
+    let suppressed: Vec<_> = run.suppressed().map(entry).collect();
+    let report = serde_json::json!({
+        "tool": "linklens-check",
+        "files_checked": run.files_checked,
+        "violation_count": violations.len(),
+        "suppressed_count": suppressed.len(),
+        "violations": violations,
+        "suppressed": suppressed,
+    });
+    serde_json::to_string_pretty(&report).unwrap_or_else(|_| "{}".to_string())
+}
+
+/// Crate a diagnostic path belongs to, for the per-crate breakdown.
+fn crate_of(path: &str) -> String {
+    crate::workspace::classify(path).map_or_else(|| "(other)".to_string(), |i| i.krate)
+}
+
+/// Markdown summary by rule and crate: the `--fix-report` payload.
+pub fn render_markdown(run: &RunSummary) -> String {
+    let mut out = String::new();
+    out.push_str("## linklens-check report\n\n");
+    let active = run.active().count();
+    let suppressed = run.suppressed().count();
+    out.push_str(&format!(
+        "{} file(s) checked — **{} violation(s)**, {} suppressed by `linklens-allow`.\n\n",
+        run.files_checked, active, suppressed
+    ));
+
+    // rule -> (active, suppressed)
+    let mut by_rule: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    // (crate, rule) -> count (active only)
+    let mut by_crate: BTreeMap<(String, &str), usize> = BTreeMap::new();
+    for d in &run.diagnostics {
+        let slot = by_rule.entry(d.rule).or_default();
+        if d.suppressed {
+            slot.1 += 1;
+        } else {
+            slot.0 += 1;
+            *by_crate.entry((crate_of(&d.path), d.rule)).or_default() += 1;
+        }
+    }
+
+    out.push_str("| rule | violations | suppressed |\n|---|---:|---:|\n");
+    for (rule, _) in RULES {
+        let (a, s) = by_rule.get(rule).copied().unwrap_or((0, 0));
+        out.push_str(&format!("| `{rule}` | {a} | {s} |\n"));
+    }
+    out.push('\n');
+
+    if by_crate.is_empty() {
+        out.push_str("No active violations — the workspace is clean.\n");
+    } else {
+        out.push_str(
+            "### Active violations by crate\n\n| crate | rule | count |\n|---|---|---:|\n",
+        );
+        for ((krate, rule), count) in &by_crate {
+            out.push_str(&format!("| `{krate}` | `{rule}` | {count} |\n"));
+        }
+        out.push('\n');
+        out.push_str("### Locations\n\n");
+        for d in run.active() {
+            out.push_str(&format!("- `{}:{}` — `{}`\n", d.path, d.line, d.rule));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunSummary {
+        RunSummary {
+            files_checked: 3,
+            diagnostics: vec![
+                Diagnostic {
+                    rule: "unwrap-in-lib",
+                    path: "crates/graph/src/io.rs".into(),
+                    line: 10,
+                    message: "boom".into(),
+                    suppressed: false,
+                },
+                Diagnostic {
+                    rule: "print-in-lib",
+                    path: "crates/core/src/report.rs".into(),
+                    line: 4,
+                    message: "print".into(),
+                    suppressed: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_report_lists_active_only() {
+        let text = render_text(&sample());
+        assert!(text.contains("crates/graph/src/io.rs:10: [unwrap-in-lib] boom"));
+        assert!(!text.contains("report.rs:4"));
+        assert!(text.contains("1 violation(s), 1 suppressed"));
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let json = render_json(&sample());
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        assert_eq!(v.get("violation_count"), Some(&serde_json::Value::Number(1.0)));
+        assert_eq!(v.get("suppressed_count"), Some(&serde_json::Value::Number(1.0)));
+        let first = match v.get("violations") {
+            Some(serde_json::Value::Array(items)) => &items[0],
+            other => panic!("violations should be an array, got {other:?}"),
+        };
+        assert_eq!(first.get("rule"), Some(&serde_json::Value::String("unwrap-in-lib".into())));
+    }
+
+    #[test]
+    fn markdown_report_breaks_down_by_rule_and_crate() {
+        let md = render_markdown(&sample());
+        assert!(md.contains("## linklens-check report"));
+        assert!(md.contains("| `unwrap-in-lib` | 1 | 0 |"));
+        assert!(md.contains("| `print-in-lib` | 0 | 1 |"));
+        assert!(md.contains("| `graph` | `unwrap-in-lib` | 1 |"));
+    }
+
+    #[test]
+    fn clean_run_reports_clean() {
+        let run = RunSummary { files_checked: 5, diagnostics: vec![] };
+        assert!(!run.has_violations());
+        assert!(render_markdown(&run).contains("workspace is clean"));
+    }
+}

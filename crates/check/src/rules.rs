@@ -1,0 +1,542 @@
+//! The repo-specific lint rules and the per-file checking engine.
+//!
+//! Every rule pattern-matches the token stream from [`crate::lexer`]; no
+//! rule ever sees string-literal or comment contents, so quoted code can
+//! never false-positive. Rules scope themselves by crate and
+//! [`FileKind`], and every token inside `#[test]` / `#[cfg(test)]` items
+//! is exempt (the paper's correctness argument is about *shipping* code
+//! paths — tests may unwrap freely).
+//!
+//! ## Suppressions
+//!
+//! A violation is suppressed by a `// linklens-allow(rule): justification`
+//! comment on the same line or the line directly above; the directive must
+//! start the comment (prose mentioning the syntax is not a directive). The
+//! justification after the colon is mandatory: an allow without one raises
+//! `unjustified-allow`, and an allow naming a rule that does not exist
+//! raises `unknown-rule` — so suppressions stay auditable instead of
+//! rotting into cargo-cult annotations.
+
+use crate::lexer::{self, Comment, Tok, Token};
+use crate::workspace::{FileInfo, FileKind};
+
+/// Crates whose library code the `unwrap-in-lib` and `truncating-cast`
+/// rules gate: the substrate every score and snapshot flows through.
+const GATED_CRATES: &[&str] = &["graph", "metrics", "linalg", "core"];
+
+/// Integer types an `as` cast may silently truncate into.
+const NARROW_INTS: &[&str] = &["u32", "u16", "u8", "i32", "i16", "i8"];
+
+/// Every rule the checker knows, with its one-line contract.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "nan-unsafe-ordering",
+        "`partial_cmp(..).unwrap()/expect()` on float keys panics (or, loosened, misorders) on NaN; use `f64::total_cmp`",
+    ),
+    (
+        "truncating-cast",
+        "`as`-cast to a narrow integer in CSR/offset code can silently truncate; use a checked conversion or justify",
+    ),
+    (
+        "unwrap-in-lib",
+        "`unwrap()/expect()` in library code of the scoring substrate; return Result/Option or justify the invariant",
+    ),
+    (
+        "missing-forbid-unsafe",
+        "every crate root must keep `#![forbid(unsafe_code)]`",
+    ),
+    (
+        "print-in-lib",
+        "`println!`-family output in library code; diagnostics must travel through return values",
+    ),
+    (
+        "unjustified-allow",
+        "a `linklens-allow(..)` without a `: justification` suffix",
+    ),
+    (
+        "unknown-rule",
+        "a `linklens-allow(..)` naming a rule the checker does not know",
+    ),
+];
+
+fn rule_exists(name: &str) -> bool {
+    RULES.iter().any(|(r, _)| *r == name)
+}
+
+/// One `file:line` finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+    /// True when a `linklens-allow` directive covers this finding; the
+    /// checker reports suppressed findings in `--fix-report` but they do
+    /// not fail the run.
+    pub suppressed: bool,
+}
+
+/// A parsed `linklens-allow(rule, …): justification` directive.
+#[derive(Debug)]
+struct Allow {
+    line: u32,
+    end_line: u32,
+    rules: Vec<String>,
+    justified: bool,
+}
+
+fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
+    const NEEDLE: &str = "linklens-allow(";
+    comments
+        .iter()
+        .filter_map(|cm| {
+            // A directive must *start* the comment (modulo whitespace and
+            // doc-comment `!`/`/` framing); prose that merely mentions the
+            // syntax — like this crate's own docs — is not a directive.
+            let trimmed = cm.text.trim_start_matches(['/', '!']).trim_start();
+            if !trimmed.starts_with(NEEDLE) {
+                return None;
+            }
+            let rest = &trimmed[NEEDLE.len()..];
+            let close = rest.find(')')?;
+            let rules: Vec<String> = rest[..close]
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            let after = rest[close + 1..].trim_start();
+            let justified = after.starts_with(':') && !after[1..].trim().is_empty();
+            Some(Allow { line: cm.line, end_line: cm.end_line, rules, justified })
+        })
+        .collect()
+}
+
+/// Checks one file, returning every diagnostic (suppressed ones flagged).
+pub fn check_file(info: &FileInfo, src: &str) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(src);
+    let mask = lexer::test_mask(&lexed.tokens);
+    let allows = parse_allows(&lexed.comments);
+    let mut diags = Vec::new();
+
+    let test_code = matches!(info.kind, FileKind::Test | FileKind::Bench);
+
+    if !test_code {
+        nan_unsafe_ordering(info, &lexed.tokens, &mask, &mut diags);
+        if !info.is_shim
+            && GATED_CRATES.contains(&info.krate.as_str())
+            && info.kind == FileKind::Lib
+        {
+            truncating_cast(info, &lexed.tokens, &mask, &mut diags);
+            unwrap_in_lib(info, &lexed.tokens, &mask, &mut diags);
+        }
+        if !info.is_shim && info.kind == FileKind::Lib {
+            print_in_lib(info, &lexed.tokens, &mask, &mut diags);
+        }
+    }
+    if info.is_crate_root {
+        missing_forbid_unsafe(info, &lexed.tokens, &mut diags);
+    }
+
+    // Apply suppressions: an allow on the violation's line or the line
+    // directly above it covers the violation.
+    for d in &mut diags {
+        d.suppressed = allows.iter().any(|a| {
+            a.rules.iter().any(|r| r == d.rule) && (a.line == d.line || a.end_line + 1 == d.line)
+        });
+    }
+
+    // Audit the directives themselves.
+    for a in &allows {
+        if !a.justified {
+            diags.push(Diagnostic {
+                rule: "unjustified-allow",
+                path: info.path.clone(),
+                line: a.line,
+                message: "linklens-allow without a `: justification`; say why the rule is safe to waive here"
+                    .to_string(),
+                suppressed: false,
+            });
+        }
+        for r in &a.rules {
+            if !rule_exists(r) {
+                diags.push(Diagnostic {
+                    rule: "unknown-rule",
+                    path: info.path.clone(),
+                    line: a.line,
+                    message: format!("linklens-allow names unknown rule `{r}`"),
+                    suppressed: false,
+                });
+            }
+        }
+    }
+
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Token], i: usize, p: char) -> bool {
+    matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(q)) if *q == p)
+}
+
+/// Index just past the `)` matching the `(` at `open`, or `tokens.len()`.
+fn past_matching_paren(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < tokens.len() {
+        match tokens[j].tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// `partial_cmp(..)` immediately chained into `.unwrap()` / `.expect(..)`.
+fn nan_unsafe_ordering(
+    info: &FileInfo,
+    tokens: &[Token],
+    mask: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    for i in 0..tokens.len() {
+        if mask[i] || ident_at(tokens, i) != Some("partial_cmp") || !punct_at(tokens, i + 1, '(') {
+            continue;
+        }
+        let after = past_matching_paren(tokens, i + 1);
+        if punct_at(tokens, after, '.')
+            && matches!(ident_at(tokens, after + 1), Some("unwrap") | Some("expect"))
+            && punct_at(tokens, after + 2, '(')
+        {
+            out.push(Diagnostic {
+                rule: "nan-unsafe-ordering",
+                path: info.path.clone(),
+                line: tokens[i].line,
+                message: "partial_cmp + unwrap/expect panics on NaN keys (and misorders if the expect is ever \
+                          loosened); sort with f64::total_cmp instead"
+                    .to_string(),
+                suppressed: false,
+            });
+        }
+    }
+}
+
+/// `as u32` (and friends) in CSR/offset-bearing library code.
+fn truncating_cast(info: &FileInfo, tokens: &[Token], mask: &[bool], out: &mut Vec<Diagnostic>) {
+    for i in 0..tokens.len() {
+        if mask[i] || ident_at(tokens, i) != Some("as") {
+            continue;
+        }
+        if let Some(ty) = ident_at(tokens, i + 1) {
+            if NARROW_INTS.contains(&ty) {
+                out.push(Diagnostic {
+                    rule: "truncating-cast",
+                    path: info.path.clone(),
+                    line: tokens[i].line,
+                    message: format!(
+                        "`as {ty}` silently truncates out-of-range values; use a checked conversion or \
+                         justify the bound with linklens-allow"
+                    ),
+                    suppressed: false,
+                });
+            }
+        }
+    }
+}
+
+/// `.unwrap()` / `.expect(..)` in gated library code.
+fn unwrap_in_lib(info: &FileInfo, tokens: &[Token], mask: &[bool], out: &mut Vec<Diagnostic>) {
+    for i in 0..tokens.len() {
+        if mask[i] || !punct_at(tokens, i, '.') {
+            continue;
+        }
+        let Some(name) = ident_at(tokens, i + 1) else { continue };
+        if (name == "unwrap" || name == "expect") && punct_at(tokens, i + 2, '(') {
+            out.push(Diagnostic {
+                rule: "unwrap-in-lib",
+                path: info.path.clone(),
+                line: tokens[i + 1].line,
+                message: format!(
+                    "`.{name}()` in `{}` library code; return a Result/Option or justify the invariant \
+                     with linklens-allow",
+                    info.krate
+                ),
+                suppressed: false,
+            });
+        }
+    }
+}
+
+/// `println!`-family macros in library code.
+fn print_in_lib(info: &FileInfo, tokens: &[Token], mask: &[bool], out: &mut Vec<Diagnostic>) {
+    const PRINTERS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+    for i in 0..tokens.len() {
+        if mask[i] {
+            continue;
+        }
+        let Some(name) = ident_at(tokens, i) else { continue };
+        if PRINTERS.contains(&name) && punct_at(tokens, i + 1, '!') {
+            // `macro_rules! println` shadowing or a `use` would still be a
+            // smell; only skip definitions (`macro_rules` directly before).
+            if i >= 1 && ident_at(tokens, i - 1) == Some("macro_rules") {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: "print-in-lib",
+                path: info.path.clone(),
+                line: tokens[i].line,
+                message: format!(
+                    "`{name}!` in `{}` library code; diagnostics must travel through return values",
+                    info.krate
+                ),
+                suppressed: false,
+            });
+        }
+    }
+}
+
+/// Crate roots must carry `#![forbid(unsafe_code)]`.
+fn missing_forbid_unsafe(info: &FileInfo, tokens: &[Token], out: &mut Vec<Diagnostic>) {
+    let found = tokens.windows(8).any(|w| {
+        matches!(&w[0].tok, Tok::Punct('#'))
+            && matches!(&w[1].tok, Tok::Punct('!'))
+            && matches!(&w[2].tok, Tok::Punct('['))
+            && matches!(&w[3].tok, Tok::Ident(s) if s == "forbid")
+            && matches!(&w[4].tok, Tok::Punct('('))
+            && matches!(&w[5].tok, Tok::Ident(s) if s == "unsafe_code")
+            && matches!(&w[6].tok, Tok::Punct(')'))
+            && matches!(&w[7].tok, Tok::Punct(']'))
+    });
+    if !found {
+        out.push(Diagnostic {
+            rule: "missing-forbid-unsafe",
+            path: info.path.clone(),
+            line: 1,
+            message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+            suppressed: false,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_info(krate: &str) -> FileInfo {
+        FileInfo {
+            path: format!("crates/{krate}/src/fixture.rs"),
+            krate: krate.to_string(),
+            kind: FileKind::Lib,
+            is_crate_root: false,
+            is_shim: false,
+        }
+    }
+
+    fn active(diags: &[Diagnostic], rule: &str) -> usize {
+        diags.iter().filter(|d| d.rule == rule && !d.suppressed).count()
+    }
+
+    // --- nan-unsafe-ordering -------------------------------------------
+
+    #[test]
+    fn nan_rule_fires_on_violation() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        let d = check_file(&lib_info("graph"), src);
+        assert_eq!(active(&d, "nan-unsafe-ordering"), 1);
+        assert_eq!(d.iter().find(|x| x.rule == "nan-unsafe-ordering").map(|x| x.line), Some(1));
+    }
+
+    #[test]
+    fn nan_rule_fires_on_expect_across_lines() {
+        let src = "fn f() {\n  order.sort_by(|&i, &j| {\n    v[j].abs().partial_cmp(&v[i].abs()).expect(\"finite\")\n  });\n}";
+        let d = check_file(&lib_info("linalg"), src);
+        assert_eq!(active(&d, "nan-unsafe-ordering"), 1);
+        assert_eq!(d.iter().find(|x| x.rule == "nan-unsafe-ordering").map(|x| x.line), Some(3));
+    }
+
+    #[test]
+    fn nan_rule_clean_on_total_cmp_and_bare_partial_cmp() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); let o = a.partial_cmp(&b); }";
+        let d = check_file(&lib_info("graph"), src);
+        assert_eq!(active(&d, "nan-unsafe-ordering"), 0);
+    }
+
+    #[test]
+    fn nan_rule_ignores_trait_impls() {
+        // A `fn partial_cmp(&self, other: &Self)` definition must not fire.
+        let src = "impl PartialOrd for S { fn partial_cmp(&self, other: &Self) -> Option<Ordering> { None } }";
+        let d = check_file(&lib_info("metrics"), src);
+        assert_eq!(active(&d, "nan-unsafe-ordering"), 0);
+    }
+
+    #[test]
+    fn nan_rule_suppressed_by_allow() {
+        let src = "fn f() {\n  // linklens-allow(nan-unsafe-ordering): keys proven finite two lines up\n  v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}";
+        let d = check_file(&lib_info("graph"), src);
+        assert_eq!(active(&d, "nan-unsafe-ordering"), 0);
+        assert_eq!(d.iter().filter(|x| x.rule == "nan-unsafe-ordering" && x.suppressed).count(), 1);
+    }
+
+    // --- truncating-cast -----------------------------------------------
+
+    #[test]
+    fn cast_rule_fires_in_gated_crates_only() {
+        let src = "fn f(x: usize) -> u32 { x as u32 }";
+        assert_eq!(active(&check_file(&lib_info("graph"), src), "truncating-cast"), 1);
+        assert_eq!(active(&check_file(&lib_info("trace"), src), "truncating-cast"), 0);
+    }
+
+    #[test]
+    fn cast_rule_clean_on_widening_and_float() {
+        let src = "fn f(x: u32) -> usize { let y = x as u64; let z = x as f64; x as usize }";
+        assert_eq!(active(&check_file(&lib_info("graph"), src), "truncating-cast"), 0);
+    }
+
+    #[test]
+    fn cast_rule_suppressed_same_line() {
+        let src = "fn f(n: usize) -> u32 { n as u32 } // linklens-allow(truncating-cast): n <= node count which is u32";
+        assert_eq!(active(&check_file(&lib_info("graph"), src), "truncating-cast"), 0);
+    }
+
+    // --- unwrap-in-lib -------------------------------------------------
+
+    #[test]
+    fn unwrap_rule_fires_on_unwrap_and_expect() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap() + o.expect(\"present\") }";
+        let d = check_file(&lib_info("core"), src);
+        assert_eq!(active(&d, "unwrap-in-lib"), 2);
+    }
+
+    #[test]
+    fn unwrap_rule_clean_on_unwrap_or_family_and_tests() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap_or(0) + o.unwrap_or_else(|| 1) + o.unwrap_or_default() }\n#[cfg(test)]\nmod tests { fn t() { None::<u32>.unwrap(); } }";
+        let d = check_file(&lib_info("metrics"), src);
+        assert_eq!(active(&d, "unwrap-in-lib"), 0);
+    }
+
+    #[test]
+    fn unwrap_rule_not_scoped_to_other_crates() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap() }";
+        assert_eq!(active(&check_file(&lib_info("ml"), src), "unwrap-in-lib"), 0);
+    }
+
+    #[test]
+    fn unwrap_rule_suppressed_by_allow_line_above() {
+        let src = "fn f(o: Option<u32>) -> u32 {\n  // linklens-allow(unwrap-in-lib): slice is non-empty, checked by caller assert\n  o.unwrap()\n}";
+        assert_eq!(active(&check_file(&lib_info("graph"), src), "unwrap-in-lib"), 0);
+    }
+
+    // --- print-in-lib --------------------------------------------------
+
+    #[test]
+    fn print_rule_fires_on_println_family() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); dbg!(1); }";
+        let d = check_file(&lib_info("ml"), src);
+        assert_eq!(active(&d, "print-in-lib"), 3);
+    }
+
+    #[test]
+    fn print_rule_clean_in_bins_and_tests() {
+        let src = "fn main() { println!(\"x\"); }";
+        let bin = FileInfo {
+            path: "src/bin/linklens.rs".into(),
+            krate: "linklens".into(),
+            kind: FileKind::Bin,
+            is_crate_root: false,
+            is_shim: false,
+        };
+        assert_eq!(active(&check_file(&bin, src), "print-in-lib"), 0);
+        let src_test = "#[test]\nfn t() { println!(\"x\"); }";
+        assert_eq!(active(&check_file(&lib_info("graph"), src_test), "print-in-lib"), 0);
+    }
+
+    #[test]
+    fn print_rule_clean_when_quoted() {
+        let src =
+            "fn f() -> &'static str { \"println!(..) is banned here\" } // println! in a comment";
+        assert_eq!(active(&check_file(&lib_info("graph"), src), "print-in-lib"), 0);
+    }
+
+    #[test]
+    fn print_rule_suppressed_by_allow() {
+        let src = "fn f() {\n  // linklens-allow(print-in-lib): one-time misconfiguration warning, no return channel\n  eprintln!(\"warning\");\n}";
+        assert_eq!(active(&check_file(&lib_info("graph"), src), "print-in-lib"), 0);
+    }
+
+    // --- missing-forbid-unsafe -----------------------------------------
+
+    #[test]
+    fn forbid_rule_fires_on_bare_crate_root() {
+        let mut info = lib_info("graph");
+        info.is_crate_root = true;
+        let d = check_file(&info, "//! Docs only.\npub mod snapshot;");
+        assert_eq!(active(&d, "missing-forbid-unsafe"), 1);
+    }
+
+    #[test]
+    fn forbid_rule_clean_when_present() {
+        let mut info = lib_info("graph");
+        info.is_crate_root = true;
+        let d = check_file(&info, "//! Docs.\n#![forbid(unsafe_code)]\npub mod snapshot;");
+        assert_eq!(active(&d, "missing-forbid-unsafe"), 0);
+    }
+
+    #[test]
+    fn forbid_rule_skips_non_roots() {
+        let d = check_file(&lib_info("graph"), "pub fn f() {}");
+        assert_eq!(active(&d, "missing-forbid-unsafe"), 0);
+    }
+
+    // --- directive auditing --------------------------------------------
+
+    #[test]
+    fn bare_allow_raises_unjustified() {
+        let src =
+            "fn f(o: Option<u32>) -> u32 {\n  // linklens-allow(unwrap-in-lib)\n  o.unwrap()\n}";
+        let d = check_file(&lib_info("graph"), src);
+        assert_eq!(active(&d, "unjustified-allow"), 1);
+        // The suppression itself still applies; only the justification is flagged.
+        assert_eq!(active(&d, "unwrap-in-lib"), 0);
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_flagged() {
+        let src = "// linklens-allow(no-such-rule): because\nfn f() {}";
+        let d = check_file(&lib_info("graph"), src);
+        assert_eq!(active(&d, "unknown-rule"), 1);
+    }
+
+    #[test]
+    fn multi_rule_allow_covers_both() {
+        let src = "fn f(n: usize, o: Option<u32>) -> u32 {\n  // linklens-allow(truncating-cast, unwrap-in-lib): n bounded by u32 node ids, option checked above\n  o.unwrap() + n as u32\n}";
+        let d = check_file(&lib_info("graph"), src);
+        assert_eq!(active(&d, "truncating-cast"), 0);
+        assert_eq!(active(&d, "unwrap-in-lib"), 0);
+    }
+
+    #[test]
+    fn string_and_comment_contents_never_fire_any_rule() {
+        let src = concat!(
+            "fn f() -> String {\n",
+            "  // a.partial_cmp(b).unwrap(); x as u32; println!(\"hi\")\n",
+            "  /* o.expect(\"msg\") */\n",
+            "  format!(\"{} {}\", \"v.partial_cmp(w).unwrap() as u32\", r#\"eprintln!(\"quoted\")\"#)\n",
+            "}\n"
+        );
+        let d = check_file(&lib_info("graph"), src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

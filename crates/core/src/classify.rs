@@ -228,6 +228,7 @@ impl<'a> ClassificationPipeline<'a> {
     ) -> ClassificationOutcome {
         self.sweep(&[kind], &[negatives_per_positive], t, filter)
             .pop()
+            // linklens-allow(unwrap-in-lib): sweep returns exactly one outcome per input cell
             .expect("one cell in, one out")
     }
 

@@ -161,6 +161,7 @@ impl<'a> SequenceEvaluator<'a> {
 
     /// Evaluates one metric on one transition.
     pub fn evaluate_metric(&self, metric: &dyn Metric, t: usize) -> PredictionOutcome {
+        // linklens-allow(unwrap-in-lib): evaluate_metrics_at returns one outcome per metric
         self.evaluate_metrics_at(&[metric], t, None).pop().expect("one metric in, one out")
     }
 
@@ -240,6 +241,7 @@ impl<'a> SequenceEvaluator<'a> {
                 ));
             }
         }
+        // linklens-allow(unwrap-in-lib): the loop above fills every metric's slot exactly once
         outcomes.into_iter().map(|o| o.expect("every metric evaluated")).collect()
     }
 
@@ -259,6 +261,7 @@ impl<'a> SequenceEvaluator<'a> {
         for t in 1..self.seq.len() {
             // Transition t observes snapshot t − 1; the final snapshot is
             // only ever ground truth, so the sweep never materializes it.
+            // linklens-allow(unwrap-in-lib): t < len(), and the sweep yields len() snapshots
             let prev = sweep.next().expect("sweep yields len() snapshots");
             for (mi, outcome) in
                 self.evaluate_metrics_on(metrics, prev, t, filter).into_iter().enumerate()

@@ -95,6 +95,7 @@ pub fn write_json<T: Serialize>(path: impl AsRef<Path>, value: &T) -> std::io::R
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
+    // linklens-allow(unwrap-in-lib): report payloads are plain data trees; serialization is total
     let json = serde_json::to_string_pretty(value).expect("serializable payload");
     std::fs::write(path, json)
 }

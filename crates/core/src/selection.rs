@@ -104,6 +104,7 @@ impl SelectionSample {
             .enumerate()
             .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
             .map(|(i, _)| i)
+            // linklens-allow(unwrap-in-lib): samples are built from a non-empty metric list
             .expect("at least one metric")
     }
 }
@@ -133,6 +134,7 @@ pub fn analyze(samples: &[SelectionSample], good_fraction: f64) -> SelectionAnal
     // Multi-class winner tree.
     let mut winner_data = Dataset::new(n_features);
     for s in samples {
+        // linklens-allow(truncating-cast): winner() indexes the metric list (≤ 15 entries)
         winner_data.push(&s.features.to_row(), s.winner() as u32);
     }
     let mut winner_tree =

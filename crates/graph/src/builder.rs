@@ -135,6 +135,11 @@ impl<'a> SnapshotBuilder<'a> {
         self.merge_delta(prefix_len);
         self.cur_prefix = prefix_len;
         self.started = true;
+        if crate::audit::audit_enabled() {
+            if let Err(e) = self.snap.validate() {
+                panic!("snapshot invariant violated after advance to prefix {prefix_len}: {e}");
+            }
+        }
         &self.snap
     }
 

@@ -256,10 +256,12 @@ pub fn read_cache<R: Read>(reader: R) -> Result<TemporalGraph, TraceIoError> {
         return Err(TraceIoError::Cache("file shorter than header".into()));
     }
     let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    // linklens-allow(unwrap-in-lib): split_at(len - 8) makes the tail exactly 8 bytes
     let stored = u64::from_le_bytes(tail.try_into().expect("8-byte checksum tail"));
     if payload[..4] != CACHE_MAGIC {
         return Err(TraceIoError::Cache("bad magic (not a linklens trace cache)".into()));
     }
+    // linklens-allow(unwrap-in-lib): a 4-byte range slice always converts to [u8; 4]
     let version = u32::from_le_bytes(payload[4..8].try_into().expect("4-byte version"));
     if version != CACHE_VERSION {
         return Err(TraceIoError::Cache(format!(
@@ -269,7 +271,9 @@ pub fn read_cache<R: Read>(reader: R) -> Result<TemporalGraph, TraceIoError> {
     if fnv1a64(payload) != stored {
         return Err(TraceIoError::Cache("checksum mismatch".into()));
     }
+    // linklens-allow(unwrap-in-lib): fixed-width ranges; callers bounds-check against payload.len()
     let read_u64 = |at: usize| u64::from_le_bytes(payload[at..at + 8].try_into().expect("u64"));
+    // linklens-allow(unwrap-in-lib): fixed-width ranges; callers bounds-check against payload.len()
     let read_u32 = |at: usize| u32::from_le_bytes(payload[at..at + 4].try_into().expect("u32"));
     let nodes = read_u64(8) as usize;
     let edges = read_u64(16) as usize;

@@ -18,6 +18,10 @@
 //!   ([`sequence::SnapshotSequence::snapshots`]) costs O(E) instead of
 //!   O(S·E). Bit-identical to [`snapshot::Snapshot::up_to`] at every
 //!   prefix.
+//! * [`audit`] — runtime invariant auditing: debug builds (and release
+//!   builds under `--paranoid`) run [`snapshot::Snapshot::validate`] after
+//!   every incremental builder advance, catching CSR corruption at the
+//!   advance that introduced it.
 //! * [`stats`] — the network properties used throughout the paper: degree
 //!   distribution moments and percentiles, clustering coefficient, average
 //!   path length, degree assortativity, per-node triangle counts, and the
@@ -41,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod builder;
 pub mod io;
 pub mod par;

@@ -53,6 +53,7 @@ pub fn max_threads() -> usize {
             _ => {
                 static WARNED: std::sync::Once = std::sync::Once::new();
                 WARNED.call_once(|| {
+                    // linklens-allow(print-in-lib): one-time env-var misconfiguration warning; the global thread resolver has no error channel
                     eprintln!(
                         "warning: ignoring LINKLENS_THREADS={value:?} \
                          (expected a positive integer); using auto resolution"
@@ -123,6 +124,7 @@ where
                         break;
                     }
                     let out = f(&mut state, i);
+                    // linklens-allow(unwrap-in-lib): a poisoned slot means a worker panicked; propagating is intended
                     *slots[i].lock().expect("result slot poisoned") = Some(out);
                 }
             });
@@ -131,6 +133,7 @@ where
     slots
         .into_iter()
         .map(|slot| {
+            // linklens-allow(unwrap-in-lib): poison propagates worker panics; every index is claimed exactly once
             slot.into_inner().expect("result slot poisoned").expect("task produced no result")
         })
         .collect()

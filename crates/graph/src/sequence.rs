@@ -39,6 +39,7 @@ impl<'a> SnapshotSequence<'a> {
         }
         let remainder = total - boundaries.last().copied().unwrap_or(0);
         if remainder < delta / 2 && boundaries.len() > 1 {
+            // linklens-allow(unwrap-in-lib): the while loop above pushed at least one boundary
             *boundaries.last_mut().expect("non-empty") = total;
         } else {
             boundaries.push(total);
@@ -53,6 +54,7 @@ impl<'a> SnapshotSequence<'a> {
         let delta = (trace.edge_count() / count).max(1);
         let mut seq = Self::by_edge_delta(trace, delta);
         seq.boundaries.truncate(count);
+        // linklens-allow(unwrap-in-lib): by_edge_delta always produces at least two boundaries
         *seq.boundaries.last_mut().expect("non-empty") = trace.edge_count();
         seq
     }

@@ -3,6 +3,144 @@
 use crate::temporal::TemporalGraph;
 use crate::{canonical, NodeId, Timestamp};
 
+/// A broken CSR invariant detected by [`Snapshot::validate`].
+///
+/// Every variant names the first offending location, so a failed audit in
+/// a long sweep points straight at the corrupt node or edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// `offsets` must hold exactly `node_count + 1` entries.
+    OffsetsLength {
+        /// `node_count + 1`.
+        expected: usize,
+        /// `offsets.len()` as found.
+        actual: usize,
+    },
+    /// `offsets[0]` must be zero.
+    OffsetsStart(usize),
+    /// `offsets` must be non-decreasing; `node` is the first index where
+    /// `offsets[node] > offsets[node + 1]`.
+    OffsetsNotMonotonic {
+        /// First node whose offset exceeds its successor's.
+        node: usize,
+    },
+    /// `offsets[node_count]` must equal `neighbors.len()`.
+    OffsetsEndMismatch {
+        /// `neighbors.len()`.
+        expected: usize,
+        /// `offsets[node_count]` as found.
+        actual: usize,
+    },
+    /// `neighbors` and `edge_times` must be parallel arrays.
+    TimesLengthMismatch {
+        /// `neighbors.len()`.
+        neighbors: usize,
+        /// `edge_times.len()`.
+        times: usize,
+    },
+    /// Each undirected edge contributes two adjacency entries, so
+    /// `neighbors.len()` must equal `2 × edge_count`.
+    EntryCountMismatch {
+        /// `neighbors.len()`.
+        entries: usize,
+        /// `edge_count` as recorded.
+        edge_count: usize,
+    },
+    /// An adjacency entry names a node outside `0..node_count`.
+    NeighborOutOfRange {
+        /// Node whose list holds the entry.
+        node: usize,
+        /// The out-of-range neighbor id.
+        neighbor: NodeId,
+    },
+    /// A node lists itself as a neighbor.
+    SelfLoop {
+        /// The offending node.
+        node: usize,
+    },
+    /// A neighbor list is not strictly ascending (unsorted or duplicated).
+    UnsortedNeighbors {
+        /// Node whose list breaks the order.
+        node: usize,
+        /// Index within the node's list where order first breaks.
+        position: usize,
+    },
+    /// Edge `(u, v)` appears in `u`'s list but `v`'s list has no `u`.
+    AsymmetricEdge {
+        /// Endpoint whose list holds the edge.
+        u: usize,
+        /// Endpoint missing the reverse entry.
+        v: NodeId,
+    },
+    /// The two directions of an edge record different creation times.
+    EdgeTimeMismatch {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: NodeId,
+        /// Time stored in `u`'s list.
+        forward: Timestamp,
+        /// Time stored in `v`'s list.
+        backward: Timestamp,
+    },
+    /// An edge's creation time is later than the snapshot time.
+    EdgeTimeAfterSnapshot {
+        /// Endpoint whose list holds the edge.
+        u: usize,
+        /// The other endpoint.
+        v: NodeId,
+        /// The offending creation time.
+        edge_time: Timestamp,
+        /// The snapshot time.
+        snapshot_time: Timestamp,
+    },
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use InvariantViolation::*;
+        match self {
+            OffsetsLength { expected, actual } => {
+                write!(f, "offsets has {actual} entries, expected node_count + 1 = {expected}")
+            }
+            OffsetsStart(first) => write!(f, "offsets[0] is {first}, expected 0"),
+            OffsetsNotMonotonic { node } => {
+                write!(f, "offsets decrease between node {node} and {}", node + 1)
+            }
+            OffsetsEndMismatch { expected, actual } => {
+                write!(f, "final offset is {actual}, expected neighbors.len() = {expected}")
+            }
+            TimesLengthMismatch { neighbors, times } => {
+                write!(f, "edge_times has {times} entries, neighbors has {neighbors}")
+            }
+            EntryCountMismatch { entries, edge_count } => {
+                write!(f, "{entries} adjacency entries for {edge_count} edges (expected 2x)")
+            }
+            NeighborOutOfRange { node, neighbor } => {
+                write!(f, "node {node} lists out-of-range neighbor {neighbor}")
+            }
+            SelfLoop { node } => write!(f, "node {node} lists itself as a neighbor"),
+            UnsortedNeighbors { node, position } => {
+                write!(f, "neighbor list of node {node} not strictly ascending at entry {position}")
+            }
+            AsymmetricEdge { u, v } => {
+                write!(f, "edge ({u}, {v}) has no reverse entry in node {v}'s list")
+            }
+            EdgeTimeMismatch { u, v, forward, backward } => {
+                write!(f, "edge ({u}, {v}) stored with times {forward} and {backward}")
+            }
+            EdgeTimeAfterSnapshot { u, v, edge_time, snapshot_time } => {
+                write!(
+                    f,
+                    "edge ({u}, {v}) created at {edge_time}, after snapshot time {snapshot_time}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
 /// An immutable undirected graph at one point in a trace.
 ///
 /// Built from the first `prefix_len` edges of a [`TemporalGraph`]. Stores
@@ -40,6 +178,7 @@ impl Snapshot {
         assert!(prefix_len > 0, "a snapshot needs at least one edge");
         assert!(prefix_len <= trace.edge_count(), "prefix exceeds trace length");
         let edges = &trace.edges()[..prefix_len];
+        // linklens-allow(unwrap-in-lib): prefix_len > 0 asserted above
         let time = edges.last().expect("non-empty prefix").t;
         let n = trace.nodes_at(time);
 
@@ -246,6 +385,102 @@ impl Snapshot {
         latest.map(|l| self.time - l)
     }
 
+    /// Checks every structural invariant of the CSR representation,
+    /// returning the first violation found.
+    ///
+    /// Invariants checked, in order:
+    ///
+    /// 1. `offsets.len() == node_count + 1`, starting at 0, non-decreasing,
+    ///    and ending at `neighbors.len()`.
+    /// 2. `neighbors` and `edge_times` are parallel arrays with exactly
+    ///    `2 × edge_count` entries.
+    /// 3. Every neighbor list is strictly ascending (sorted, no
+    ///    duplicates), references only nodes in `0..node_count`, and never
+    ///    the node itself (no self-loops).
+    /// 4. Adjacency is symmetric: `v ∈ N(u)` implies `u ∈ N(v)`, with both
+    ///    directions storing the same creation time.
+    /// 5. No edge was created after the snapshot time.
+    ///
+    /// Cost is O(V + E log d): the symmetry check binary-searches the
+    /// reverse entry. [`crate::builder::SnapshotBuilder`] runs this after
+    /// every incremental advance when [`crate::audit::audit_enabled`].
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        use InvariantViolation::*;
+        if self.offsets.len() != self.n + 1 {
+            return Err(OffsetsLength { expected: self.n + 1, actual: self.offsets.len() });
+        }
+        if self.offsets[0] != 0 {
+            return Err(OffsetsStart(self.offsets[0]));
+        }
+        if let Some(node) = (0..self.n).find(|&i| self.offsets[i] > self.offsets[i + 1]) {
+            return Err(OffsetsNotMonotonic { node });
+        }
+        if self.offsets[self.n] != self.neighbors.len() {
+            return Err(OffsetsEndMismatch {
+                expected: self.neighbors.len(),
+                actual: self.offsets[self.n],
+            });
+        }
+        if self.neighbors.len() != self.edge_times.len() {
+            return Err(TimesLengthMismatch {
+                neighbors: self.neighbors.len(),
+                times: self.edge_times.len(),
+            });
+        }
+        if self.neighbors.len() != 2 * self.edge_count {
+            return Err(EntryCountMismatch {
+                entries: self.neighbors.len(),
+                edge_count: self.edge_count,
+            });
+        }
+        // Pass 1: per-list checks. Runs over every list before any symmetry
+        // lookup, so pass 2 may binary-search lists known to be sorted.
+        for u in 0..self.n {
+            let span = self.offsets[u]..self.offsets[u + 1];
+            let (nbrs, times) = (&self.neighbors[span.clone()], &self.edge_times[span]);
+            for (k, (&v, &t)) in nbrs.iter().zip(times).enumerate() {
+                if (v as usize) >= self.n {
+                    return Err(NeighborOutOfRange { node: u, neighbor: v });
+                }
+                if v as usize == u {
+                    return Err(SelfLoop { node: u });
+                }
+                if k > 0 && nbrs[k - 1] >= v {
+                    return Err(UnsortedNeighbors { node: u, position: k });
+                }
+                if t > self.time {
+                    return Err(EdgeTimeAfterSnapshot {
+                        u,
+                        v,
+                        edge_time: t,
+                        snapshot_time: self.time,
+                    });
+                }
+            }
+        }
+        // Pass 2: symmetry, checked from both endpoints so an entry present
+        // in only one list is caught regardless of which one.
+        for u in 0..self.n {
+            let span = self.offsets[u]..self.offsets[u + 1];
+            let (nbrs, times) = (&self.neighbors[span.clone()], &self.edge_times[span]);
+            for (&v, &t) in nbrs.iter().zip(times) {
+                let back = self.offsets[v as usize]..self.offsets[v as usize + 1];
+                // linklens-allow(truncating-cast): u < n and node ids are u32
+                let u_id = u as NodeId;
+                match self.neighbors[back.clone()].binary_search(&u_id) {
+                    Err(_) => return Err(AsymmetricEdge { u, v }),
+                    Ok(pos) => {
+                        let bt = self.edge_times[back.start + pos];
+                        if bt != t {
+                            return Err(EdgeTimeMismatch { u, v, forward: t, backward: bt });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Convenience test constructor: an untimed static graph (all edges at
     /// t = 0, nodes `0..n`).
     pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Snapshot {
@@ -266,6 +501,7 @@ impl Snapshot {
         // already equals n, but keep the contract explicit.
         s.n = n;
         if s.offsets.len() < n + 1 {
+            // linklens-allow(unwrap-in-lib): offsets always holds at least the leading zero
             let last = *s.offsets.last().expect("non-empty offsets");
             s.offsets.resize(n + 1, last);
         }
@@ -425,5 +661,126 @@ mod tests {
         assert_eq!(s.node_count(), 4);
         assert_eq!(s.degree(3), 0);
         assert!(s.neighbors(2).is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_snapshots() {
+        let g = fixture();
+        for k in 1..=5 {
+            Snapshot::up_to(&g, k).validate().expect("fixture prefixes are valid");
+        }
+        let s = Snapshot::up_to(&g, 5);
+        s.induced(&[0, 1, 2, 3]).validate().expect("induced subgraph is valid");
+        Snapshot::from_edges(4, &[(0, 1), (2, 3)]).validate().expect("from_edges is valid");
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_neighbors() {
+        let mut s = Snapshot::up_to(&fixture(), 5);
+        // Node 2's list is [0, 1, 3]; swap the first two entries.
+        let base = s.offsets[2];
+        s.neighbors.swap(base, base + 1);
+        s.edge_times.swap(base, base + 1);
+        let err = s.validate().expect_err("unsorted list must be rejected");
+        assert_eq!(err, InvariantViolation::UnsortedNeighbors { node: 2, position: 1 });
+        assert!(err.to_string().contains("not strictly ascending"), "got: {err}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_offsets() {
+        let g = fixture();
+
+        let mut s = Snapshot::up_to(&g, 5);
+        s.offsets[0] = 1;
+        assert_eq!(s.validate().expect_err("shifted start"), InvariantViolation::OffsetsStart(1));
+
+        let mut s = Snapshot::up_to(&g, 5);
+        s.offsets[2] = s.offsets[3] + 1;
+        assert_eq!(
+            s.validate().expect_err("decreasing offsets"),
+            InvariantViolation::OffsetsNotMonotonic { node: 2 }
+        );
+
+        let mut s = Snapshot::up_to(&g, 5);
+        s.offsets.pop();
+        assert_eq!(
+            s.validate().expect_err("truncated offsets"),
+            InvariantViolation::OffsetsLength { expected: 6, actual: 5 }
+        );
+
+        let mut s = Snapshot::up_to(&g, 5);
+        let last = s.offsets.len() - 1;
+        s.offsets[last] -= 1;
+        assert_eq!(
+            s.validate().expect_err("short final offset"),
+            InvariantViolation::OffsetsEndMismatch { expected: 10, actual: 9 }
+        );
+    }
+
+    #[test]
+    fn validate_rejects_asymmetric_edge() {
+        let mut s = Snapshot::up_to(&fixture(), 5);
+        // Redirect node 4's single entry (3 → 0): node 0 lists no 4, and the
+        // forward direction 3 → 4 loses its reverse entry too.
+        let base = s.offsets[4];
+        s.neighbors[base] = 0;
+        let err = s.validate().expect_err("dangling entry must be rejected");
+        assert_eq!(err, InvariantViolation::AsymmetricEdge { u: 3, v: 4 });
+        assert!(err.to_string().contains("no reverse entry"), "got: {err}");
+    }
+
+    #[test]
+    fn validate_rejects_self_loop() {
+        let mut s = Snapshot::up_to(&fixture(), 5);
+        // Node 4's single neighbor (3) becomes itself.
+        let base = s.offsets[4];
+        s.neighbors[base] = 4;
+        assert_eq!(
+            s.validate().expect_err("self-loop must be rejected"),
+            InvariantViolation::SelfLoop { node: 4 }
+        );
+    }
+
+    #[test]
+    fn validate_rejects_count_and_time_corruption() {
+        let g = fixture();
+
+        let mut s = Snapshot::up_to(&g, 5);
+        s.edge_count = 4;
+        assert_eq!(
+            s.validate().expect_err("stale edge_count"),
+            InvariantViolation::EntryCountMismatch { entries: 10, edge_count: 4 }
+        );
+
+        let mut s = Snapshot::up_to(&g, 5);
+        s.edge_times.pop();
+        // Reported before the per-node scans: parallel arrays diverge first.
+        assert_eq!(
+            s.validate().expect_err("truncated edge_times"),
+            InvariantViolation::TimesLengthMismatch { neighbors: 10, times: 9 }
+        );
+
+        let mut s = Snapshot::up_to(&g, 5);
+        s.edge_times[0] = s.time + 1;
+        assert!(matches!(
+            s.validate().expect_err("future edge time"),
+            InvariantViolation::EdgeTimeAfterSnapshot { .. }
+        ));
+
+        let mut s = Snapshot::up_to(&g, 5);
+        s.edge_times[0] = 11; // forward (0,1) says 11, reverse still 10
+        assert_eq!(
+            s.validate().expect_err("time disagreement"),
+            InvariantViolation::EdgeTimeMismatch { u: 0, v: 1, forward: 11, backward: 10 }
+        );
+
+        let mut s = Snapshot::up_to(&g, 5);
+        // Corrupt node 0's first entry: the range check fires before any
+        // symmetry lookup can touch the bogus id.
+        s.neighbors[0] = 99;
+        assert_eq!(
+            s.validate().expect_err("out-of-range neighbor"),
+            InvariantViolation::NeighborOutOfRange { node: 0, neighbor: 99 }
+        );
     }
 }

@@ -42,6 +42,7 @@ pub fn degree_stats(snap: &Snapshot) -> DegreeStats {
         median: percentile_sorted(&degs, 0.50),
         p90: percentile_sorted(&degs, 0.90),
         p99: percentile_sorted(&degs, 0.99),
+        // linklens-allow(unwrap-in-lib): callers guard n > 0, so the sorted degree list is non-empty
         max: *degs.last().expect("n > 0"),
     }
 }

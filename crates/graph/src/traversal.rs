@@ -42,6 +42,7 @@ pub fn connected_components(snap: &Snapshot) -> (Vec<u32>, Vec<usize>) {
         if comp[start as usize] != u32::MAX {
             continue;
         }
+        // linklens-allow(truncating-cast): component count <= node count, and node ids are u32
         let id = sizes.len() as u32;
         let mut size = 0usize;
         let mut stack = vec![start];

@@ -90,7 +90,9 @@ pub fn jacobi_eigen(a: &Matrix) -> EigenPairs {
     }
 
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("finite eigenvalues"));
+    // NaN-safe descending order: total_cmp keeps the sort total even if an
+    // eigenvalue degenerates to NaN instead of panicking mid-sort.
+    order.sort_by(|&i, &j| m[(j, j)].total_cmp(&m[(i, i)]));
     let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
     let mut vectors = Matrix::zeros(n, n);
     for (new_col, &old_col) in order.iter().enumerate() {
@@ -189,9 +191,8 @@ pub fn lanczos_top_k(a: &SparseMatrix, k: usize, max_iter: usize, seed: u64) -> 
 
     // Pick the k largest-magnitude Ritz values and map vectors back.
     let mut order: Vec<usize> = (0..t_dim).collect();
-    order.sort_by(|&i, &j| {
-        tri.values[j].abs().partial_cmp(&tri.values[i].abs()).expect("finite ritz values")
-    });
+    // NaN-safe magnitude ordering (see jacobi_eigen above).
+    order.sort_by(|&i, &j| tri.values[j].abs().total_cmp(&tri.values[i].abs()));
     let kept = k.min(t_dim);
     let mut values = Vec::with_capacity(kept);
     let mut vectors = Matrix::zeros(n, kept);

@@ -39,8 +39,10 @@ impl SparseMatrix {
         let mut last: Option<(usize, usize)> = None;
         for (r, c, v) in sorted {
             if last == Some((r, c)) {
+                // linklens-allow(unwrap-in-lib): last == Some(..) proves a prior entry was pushed
                 *values.last_mut().expect("duplicate implies prior entry") += v;
             } else {
+                // linklens-allow(truncating-cast): column indices are bounded by the checked matrix dimension
                 col_idx.push(c as u32);
                 values.push(v);
                 row_ptr[r + 1] += 1; // per-row count, prefix-summed below
@@ -91,6 +93,7 @@ impl SparseMatrix {
     /// Looks up entry `(i, j)` (binary search within the row).
     pub fn get(&self, i: usize, j: usize) -> f64 {
         let (cols, vals) = self.row(i);
+        // linklens-allow(truncating-cast): j indexes a dimension already bounded by u32 column ids
         match cols.binary_search(&(j as u32)) {
             Ok(pos) => vals[pos],
             Err(_) => 0.0,

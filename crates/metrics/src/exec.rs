@@ -28,11 +28,35 @@
 
 use crate::candidates::CandidateSet;
 use crate::topk::{self, TopKAcc};
-use crate::traits::Metric;
+use crate::traits::{Metric, ScoreContract};
 use osn_graph::par;
 use osn_graph::snapshot::Snapshot;
 use osn_graph::NodeId;
 use std::ops::Range;
+
+/// Checks a scored slice against a metric's [`ScoreContract`], panicking
+/// with the metric name, global pair index, and offending value on the
+/// first violation. No-op unless [`osn_graph::audit::audit_enabled`] —
+/// debug builds always audit; release builds audit under `--paranoid`.
+///
+/// `base` is the slice's offset into the full candidate list, so the
+/// reported index is global even when a chunk tripped the check.
+pub fn audit_scores(name: &str, contract: ScoreContract, scores: &[f64], base: usize) {
+    if !osn_graph::audit::audit_enabled() {
+        return;
+    }
+    for (i, &s) in scores.iter().enumerate() {
+        if !s.is_finite() {
+            panic!("metric {name} produced non-finite score {s} at pair index {}", base + i);
+        }
+        if contract == ScoreContract::FiniteNonNegative && s < 0.0 {
+            panic!(
+                "metric {name} violates its non-negative contract: score {s} at pair index {}",
+                base + i
+            );
+        }
+    }
+}
 
 /// How the engine executes one metric over a pair batch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -105,15 +129,23 @@ pub fn score_pairs_t<M: Metric + ?Sized>(
     threads: usize,
 ) -> Vec<f64> {
     match m.exec_mode() {
-        ExecMode::WholeBatch => m.score_pairs_t(snap, pairs, threads),
+        ExecMode::WholeBatch => {
+            let scores = m.score_pairs_t(snap, pairs, threads);
+            audit_scores(m.name(), m.score_contract(), &scores, 0);
+            scores
+        }
         ExecMode::Chunked => {
             let scorer = m.prepare(snap);
             let chunks = source_aligned_chunks(pairs, threads);
             if threads <= 1 || chunks.len() <= 1 {
-                return scorer.score_chunk(snap, pairs);
+                let scores = scorer.score_chunk(snap, pairs);
+                audit_scores(m.name(), m.score_contract(), &scores, 0);
+                return scores;
             }
             let parts = par::run_indexed(chunks.len(), threads, |c| {
-                scorer.score_chunk(snap, &pairs[chunks[c].clone()])
+                let scores = scorer.score_chunk(snap, &pairs[chunks[c].clone()]);
+                audit_scores(m.name(), m.score_contract(), &scores, chunks[c].start);
+                scores
             });
             parts.concat()
         }
@@ -137,6 +169,7 @@ pub fn predict_top_k_t<M: Metric + ?Sized>(
     match m.exec_mode() {
         ExecMode::WholeBatch => {
             let scores = m.score_pairs_t(snap, pairs, threads);
+            audit_scores(m.name(), m.score_contract(), &scores, 0);
             topk::top_k_pairs(pairs, &scores, k, seed)
         }
         ExecMode::Chunked => {
@@ -146,6 +179,7 @@ pub fn predict_top_k_t<M: Metric + ?Sized>(
                 let range = chunks[c].clone();
                 let slice = &pairs[range.clone()];
                 let scores = scorer.score_chunk(snap, slice);
+                audit_scores(m.name(), m.score_contract(), &scores, range.start);
                 let mut acc = TopKAcc::new(k, seed);
                 for (off, (&pair, &score)) in slice.iter().zip(&scores).enumerate() {
                     acc.push(pair, score, range.start + off);
@@ -214,6 +248,8 @@ pub fn predict_top_k_many_t(
             let item = &items[w];
             let slice = &pairs[item.chunk.clone()];
             let scores = scorers[item.metric].score_chunk(snap, slice);
+            let m = metrics[chunked[item.metric]];
+            audit_scores(m.name(), m.score_contract(), &scores, item.chunk.start);
             let mut acc = TopKAcc::new(k, seed);
             for (off, (&pair, &score)) in slice.iter().zip(&scores).enumerate() {
                 acc.push(pair, score, item.chunk.start + off);
@@ -230,6 +266,7 @@ pub fn predict_top_k_many_t(
     }
     for &mi in &whole {
         let scores = metrics[mi].score_pairs_t(snap, pairs, threads);
+        audit_scores(metrics[mi].name(), metrics[mi].score_contract(), &scores, 0);
         out[mi] = topk::top_k_pairs(pairs, &scores, k, seed);
     }
     out
@@ -260,7 +297,10 @@ pub fn score_matrix_t(
             .collect();
         let parts = par::run_indexed(items.len(), threads, |w| {
             let item = &items[w];
-            scorers[item.metric].score_chunk(snap, &pairs[item.chunk.clone()])
+            let scores = scorers[item.metric].score_chunk(snap, &pairs[item.chunk.clone()]);
+            let m = metrics[chunked[item.metric]];
+            audit_scores(m.name(), m.score_contract(), &scores, item.chunk.start);
+            scores
         });
         let mut columns: Vec<Vec<f64>> =
             chunked.iter().map(|_| Vec::with_capacity(pairs.len())).collect();
@@ -273,7 +313,9 @@ pub fn score_matrix_t(
         }
     }
     for &mi in &whole {
-        out[mi] = metrics[mi].score_pairs_t(snap, pairs, threads);
+        let scores = metrics[mi].score_pairs_t(snap, pairs, threads);
+        audit_scores(metrics[mi].name(), metrics[mi].score_contract(), &scores, 0);
+        out[mi] = scores;
     }
     out
 }
@@ -335,6 +377,50 @@ mod tests {
             let single = predict_top_k_t(*m, &snap, &cands, 4, 0x11A5, 1);
             assert_eq!(many[i], single, "{}", m.name());
         }
+    }
+
+    /// A metric that lies about its output, for audit-layer tests.
+    struct Broken {
+        value: f64,
+        contract: ScoreContract,
+    }
+
+    impl Metric for Broken {
+        fn name(&self) -> &'static str {
+            "Broken"
+        }
+        fn candidate_policy(&self) -> CandidatePolicy {
+            CandidatePolicy::TwoHop
+        }
+        fn score_contract(&self) -> ScoreContract {
+            self.contract
+        }
+        fn score_pairs(&self, _snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+            vec![self.value; pairs.len()]
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite score")]
+    fn audit_catches_non_finite_scores() {
+        let snap = fixture();
+        let bad = Broken { value: f64::NAN, contract: ScoreContract::Finite };
+        score_pairs_t(&bad, &snap, &[(0, 4), (1, 5)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative contract")]
+    fn audit_catches_contract_violation() {
+        let snap = fixture();
+        let bad = Broken { value: -1.0, contract: ScoreContract::FiniteNonNegative };
+        score_pairs_t(&bad, &snap, &[(0, 4), (1, 5)], 1);
+    }
+
+    #[test]
+    fn audit_accepts_negative_scores_under_finite_contract() {
+        let snap = fixture();
+        let ok = Broken { value: -1.0, contract: ScoreContract::Finite };
+        assert_eq!(score_pairs_t(&ok, &snap, &[(0, 4)], 1), vec![-1.0]);
     }
 
     #[test]

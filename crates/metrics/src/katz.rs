@@ -105,9 +105,9 @@ impl Metric for KatzLr {
             let mut full = osn_linalg::lanczos::jacobi_eigen(&a.to_dense());
             let keep = self.rank.min(full.values.len());
             let mut order: Vec<usize> = (0..full.values.len()).collect();
-            order.sort_by(|&i, &j| {
-                full.values[j].abs().partial_cmp(&full.values[i].abs()).expect("finite")
-            });
+            // NaN-safe magnitude ordering: total_cmp sorts any NaN
+            // deterministically instead of panicking mid-sort.
+            order.sort_by(|&i, &j| full.values[j].abs().total_cmp(&full.values[i].abs()));
             let mut vectors = Matrix::zeros(snap.node_count(), keep);
             let mut values = Vec::with_capacity(keep);
             for (out, &col) in order.iter().take(keep).enumerate() {

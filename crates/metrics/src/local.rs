@@ -1,6 +1,6 @@
 //! Neighborhood heuristics: CN, JC, AA, RA, PA (Table 3 rows 1–4 and 13).
 
-use crate::traits::{CandidatePolicy, Metric};
+use crate::traits::{CandidatePolicy, Metric, ScoreContract};
 use osn_graph::snapshot::Snapshot;
 use osn_graph::NodeId;
 
@@ -14,6 +14,10 @@ impl Metric for CommonNeighbors {
 
     fn candidate_policy(&self) -> CandidatePolicy {
         CandidatePolicy::TwoHop
+    }
+
+    fn score_contract(&self) -> ScoreContract {
+        ScoreContract::FiniteNonNegative
     }
 
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
@@ -32,6 +36,10 @@ impl Metric for JaccardCoefficient {
 
     fn candidate_policy(&self) -> CandidatePolicy {
         CandidatePolicy::TwoHop
+    }
+
+    fn score_contract(&self) -> ScoreContract {
+        ScoreContract::FiniteNonNegative
     }
 
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
@@ -63,6 +71,10 @@ impl Metric for AdamicAdar {
         CandidatePolicy::TwoHop
     }
 
+    fn score_contract(&self) -> ScoreContract {
+        ScoreContract::FiniteNonNegative
+    }
+
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
         pairs
             .iter()
@@ -85,6 +97,10 @@ impl Metric for ResourceAllocation {
         CandidatePolicy::TwoHop
     }
 
+    fn score_contract(&self) -> ScoreContract {
+        ScoreContract::FiniteNonNegative
+    }
+
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
         pairs
             .iter()
@@ -104,6 +120,10 @@ impl Metric for PreferentialAttachment {
 
     fn candidate_policy(&self) -> CandidatePolicy {
         CandidatePolicy::Global
+    }
+
+    fn score_contract(&self) -> ScoreContract {
+        ScoreContract::FiniteNonNegative
     }
 
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {

@@ -1,6 +1,6 @@
 //! Path-based metrics: Shortest Path (SP) and Local Path (LP).
 
-use crate::traits::{CandidatePolicy, Metric};
+use crate::traits::{CandidatePolicy, Metric, ScoreContract};
 use osn_graph::snapshot::Snapshot;
 use osn_graph::{traversal, NodeId};
 
@@ -79,6 +79,10 @@ impl Metric for LocalPath {
 
     fn candidate_policy(&self) -> CandidatePolicy {
         CandidatePolicy::ThreeHop
+    }
+
+    fn score_contract(&self) -> ScoreContract {
+        ScoreContract::FiniteNonNegative
     }
 
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {

@@ -13,7 +13,7 @@
 //! the cited alternative temporal approach, and an ablation point between
 //! "static metric" and "static metric + temporal filter".
 
-use crate::traits::{CandidatePolicy, Metric};
+use crate::traits::{CandidatePolicy, Metric, ScoreContract};
 use osn_graph::snapshot::Snapshot;
 use osn_graph::{NodeId, Timestamp, DAY};
 
@@ -76,6 +76,10 @@ impl Metric for RecencyCommonNeighbors {
         CandidatePolicy::TwoHop
     }
 
+    fn score_contract(&self) -> ScoreContract {
+        ScoreContract::FiniteNonNegative
+    }
+
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
         pairs.iter().map(|&(u, v)| weighted_cn_sum(snap, u, v, self.tau_days, |_, w| w)).collect()
     }
@@ -101,6 +105,10 @@ impl Metric for RecencyAdamicAdar {
 
     fn candidate_policy(&self) -> CandidatePolicy {
         CandidatePolicy::TwoHop
+    }
+
+    fn score_contract(&self) -> ScoreContract {
+        ScoreContract::FiniteNonNegative
     }
 
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
@@ -135,6 +143,10 @@ impl Metric for RecencyResourceAllocation {
 
     fn candidate_policy(&self) -> CandidatePolicy {
         CandidatePolicy::TwoHop
+    }
+
+    fn score_contract(&self) -> ScoreContract {
+        ScoreContract::FiniteNonNegative
     }
 
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {

@@ -19,6 +19,21 @@ pub enum CandidatePolicy {
     Global,
 }
 
+/// What the engine may assume about every score a metric emits. Checked by
+/// the runtime audit layer ([`osn_graph::audit`]) on every engine scoring
+/// path when audits are enabled (debug builds, or `--paranoid` in release).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScoreContract {
+    /// Scores are finite (no NaN/±∞) but may be negative: negated
+    /// distances (SP), log-odds (the Bayes metrics), and factorization
+    /// reconstructions (Katz-lr, Rescal) all go below zero.
+    Finite,
+    /// Scores are finite and never negative: counting and normalized-
+    /// counting metrics (CN, JC, AA, RA, PA, Local Path) and walk
+    /// probabilities (LRW, PPR).
+    FiniteNonNegative,
+}
+
 /// One link-prediction similarity metric (Table 3 of the paper).
 ///
 /// Implementations are stateless configuration objects: all per-snapshot
@@ -32,6 +47,14 @@ pub trait Metric: Sync {
 
     /// Candidate policy (see [`CandidatePolicy`]).
     fn candidate_policy(&self) -> CandidatePolicy;
+
+    /// Score contract the audit layer enforces (see [`ScoreContract`]).
+    /// Defaults to [`ScoreContract::Finite`]; metrics whose scores are
+    /// counts, normalized counts, or probabilities tighten this to
+    /// [`ScoreContract::FiniteNonNegative`].
+    fn score_contract(&self) -> ScoreContract {
+        ScoreContract::Finite
+    }
 
     /// Scores a batch of (unconnected) pairs against a snapshot. Returns
     /// one finite score per pair, higher = more likely to connect.

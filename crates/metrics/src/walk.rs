@@ -2,7 +2,7 @@
 //! (PPR).
 
 use crate::exec::ExecMode;
-use crate::traits::{CandidatePolicy, Metric};
+use crate::traits::{CandidatePolicy, Metric, ScoreContract};
 use osn_graph::par;
 use osn_graph::snapshot::Snapshot;
 use osn_graph::NodeId;
@@ -187,6 +187,10 @@ impl Metric for LocalRandomWalk {
         CandidatePolicy::ThreeHop
     }
 
+    fn score_contract(&self) -> ScoreContract {
+        ScoreContract::FiniteNonNegative
+    }
+
     fn exec_mode(&self) -> ExecMode {
         ExecMode::WholeBatch
     }
@@ -268,6 +272,10 @@ impl Metric for PersonalizedPageRank {
 
     fn candidate_policy(&self) -> CandidatePolicy {
         CandidatePolicy::ThreeHop
+    }
+
+    fn score_contract(&self) -> ScoreContract {
+        ScoreContract::FiniteNonNegative
     }
 
     fn exec_mode(&self) -> ExecMode {

@@ -119,8 +119,8 @@ proptest! {
         // Relative order along each feature is preserved.
         for f in 0..2 {
             for i in 1..d.len() {
-                let before = d.row(i)[f].partial_cmp(&d.row(i - 1)[f]).unwrap();
-                let after = s.row(i)[f].partial_cmp(&s.row(i - 1)[f]).unwrap();
+                let before = d.row(i)[f].total_cmp(&d.row(i - 1)[f]);
+                let after = s.row(i)[f].total_cmp(&s.row(i - 1)[f]);
                 prop_assert_eq!(before, after);
             }
         }

@@ -6,6 +6,8 @@
 //! are unit or struct-like. Tokens are parsed directly — the container has
 //! no crates.io access, so `syn`/`quote` are unavailable.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// A parsed `struct`/`enum` item, reduced to what codegen needs.

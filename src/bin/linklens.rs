@@ -13,6 +13,8 @@
 //! last snapshot transition with one metric; `recommend` prints link
 //! suggestions for one user.
 
+#![forbid(unsafe_code)]
+
 use linklens::core::filters::{FilterThresholds, TemporalFilter};
 use linklens::core::framework::SequenceEvaluator;
 use linklens::graph::io;
@@ -51,6 +53,13 @@ fn main() {
         USE_CACHE.store(true, std::sync::atomic::Ordering::Relaxed);
         args.remove(i);
     }
+    // `--paranoid` turns the runtime invariant audits on in release
+    // builds: CSR validation after every snapshot advance plus score-
+    // contract checks in the engine (debug builds always audit).
+    if let Some(i) = args.iter().position(|a| a == "--paranoid") {
+        linklens::graph::audit::set_paranoid(true);
+        args.remove(i);
+    }
     let Some(command) = args.first() else { usage() };
     let rest = &args[1..];
     match command.as_str() {
@@ -82,6 +91,10 @@ fn usage() -> ! {
            --cache       keep a binary sidecar (FILE.llc) so repeat runs\n\
                          skip text parsing; stale/corrupt sidecars are\n\
                          re-derived from the text automatically\n\
+           --paranoid    audit invariants at runtime: validate the CSR\n\
+                         after every snapshot advance and check every\n\
+                         metric's score contract (always on in debug\n\
+                         builds)\n\
          \n\
          FILE is a linklens v1 trace or a bare 'u v timestamp' edge list."
     );

@@ -32,6 +32,8 @@
 //! assert!(outcome.accuracy_ratio >= 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use linklens_core as core;
 pub use osn_graph as graph;
 pub use osn_linalg as linalg;
