@@ -1,11 +1,13 @@
 //! Internal calibration probe (not a paper experiment): times one full
 //! metric evaluation per network at the given scale, sweeps the
-//! scoring-engine worker count over {1, 2, 4, max} into
-//! `BENCH_parallel_scaling.json`, and compares from-scratch vs incremental
-//! snapshot-sequence sweeps into `BENCH_snapshot_build.json`.
+//! scoring-engine worker count (1, 2, 4, … clamped at the detected host
+//! cores) into `BENCH_parallel_scaling.json`, compares from-scratch vs
+//! incremental snapshot-sequence sweeps into `BENCH_snapshot_build.json`,
+//! and compares the source-batched fused local-metric kernel against the
+//! per-pair scoring path into `BENCH_fused_scoring.json`.
 //!
 //! ```text
-//! scalecheck [SCALE] [DAYS] [--sweep-only | --snapshot-build-only] [--paranoid]
+//! scalecheck [SCALE] [DAYS] [--sweep-only | --snapshot-build-only | --fused-scoring-only] [--paranoid]
 //! ```
 //!
 //! `--paranoid` turns the runtime invariant audits on in this release
@@ -24,6 +26,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sweep_only = args.iter().any(|a| a == "--sweep-only");
     let snapshot_build_only = args.iter().any(|a| a == "--snapshot-build-only");
+    let fused_scoring_only = args.iter().any(|a| a == "--fused-scoring-only");
     if args.iter().any(|a| a == "--paranoid") {
         osn_graph::audit::set_paranoid(true);
         println!("paranoid mode: CSR + score-contract audits enabled");
@@ -36,11 +39,16 @@ fn main() {
         snapshot_build(scale, days);
         return;
     }
+    if fused_scoring_only {
+        fused_scoring(scale, days);
+        return;
+    }
     if !sweep_only {
         calibration(scale, days);
     }
     sweep(scale, days);
     snapshot_build(scale, days);
+    fused_scoring(scale, days);
 }
 
 /// The original probe: one full evaluation transition per preset.
@@ -85,8 +93,20 @@ fn rate(pairs: usize, secs: f64) -> f64 {
     }
 }
 
+/// The worker counts a sweep probes: {1, 2, 4} clamped at the detected
+/// host cores, plus the host count itself. Oversubscribed settings prove
+/// nothing about scaling (a 1-core host would sweep 1→4 workers timing
+/// pure contention), so they are skipped.
+fn sweep_thread_counts(host: usize) -> Vec<usize> {
+    let mut counts: Vec<usize> = [1usize, 2, 4].into_iter().filter(|&t| t <= host).collect();
+    if !counts.contains(&host) {
+        counts.push(host);
+    }
+    counts
+}
+
 /// Worker-count sweep on the renren-like preset (the densest candidate
-/// sets): per-stage pairs/sec at 1, 2, 4, and all-cores workers.
+/// sets): per-stage pairs/sec at each probed worker count.
 fn sweep(scale: f64, days: u32) {
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     let cfg = osn_trace::presets::TraceConfig::renren_like().scaled(scale).with_days(days);
@@ -96,10 +116,7 @@ fn sweep(scale: f64, days: u32) {
     let metrics = osn_metrics::all_metrics();
     let refs: Vec<&dyn Metric> = metrics.iter().map(|m| m.as_ref()).collect();
 
-    let mut thread_counts = vec![1usize, 2, 4];
-    if !thread_counts.contains(&host) {
-        thread_counts.push(host);
-    }
+    let thread_counts = sweep_thread_counts(host);
 
     let mut rows = Vec::new();
     let mut cands_len = 0usize;
@@ -256,6 +273,96 @@ fn snapshot_build(scale: f64, days: u32) {
         "presets": rows,
     });
     let path = "BENCH_snapshot_build.json";
+    let text = serde_json::to_string_pretty(&report).expect("serialize bench json");
+    std::fs::write(path, text).expect("write bench json");
+    println!("wrote {path}");
+}
+
+/// Fused local-metric kernel vs the per-pair scoring path on the
+/// renren-like preset: all 8 local metrics (CN, JC, AA, RA, PA and the
+/// naive-Bayes BCN, BAA, BRA) over the shared `TwoHop` candidate set —
+/// the benchmark behind `BENCH_fused_scoring.json`. Three stages per
+/// worker count:
+///
+/// 1. per-pair baseline: `score_matrix_per_pair_t` (one sorted-merge
+///    intersection per metric per pair);
+/// 2. fused: `score_matrix_t` (one witness walk per source per chunk
+///    produces every column);
+/// 3. enumerate+score: `fused::enumerate_and_score_t` (candidate
+///    enumeration fused into the same walk — no pre-built pair list).
+///
+/// Every stage's output is asserted equal to the baseline bit for bit
+/// before anything is timed, so a reported speedup can never come from
+/// computing something different.
+fn fused_scoring(scale: f64, days: u32) {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cfg = osn_trace::presets::TraceConfig::renren_like().scaled(scale).with_days(days);
+    let trace = cfg.generate(42);
+    let seq = osn_graph::sequence::SnapshotSequence::with_count(&trace, 12);
+    let snap = seq.snapshot(9);
+
+    let names = ["CN", "JC", "AA", "RA", "PA", "BCN", "BAA", "BRA"];
+    let metrics: Vec<Box<dyn Metric>> =
+        names.iter().map(|n| osn_metrics::metric_by_name(n).expect("local metric")).collect();
+    let refs: Vec<&dyn Metric> = metrics.iter().map(|m| m.as_ref()).collect();
+    let kinds: Vec<osn_metrics::fused::LocalKind> =
+        refs.iter().map(|m| m.fused_kind().expect("local metrics are fused")).collect();
+
+    let cands = CandidateSet::build(&snap, CandidatePolicy::TwoHop, 0);
+    let scored_pairs = cands.len() * refs.len();
+
+    let mut rows = Vec::new();
+    for &t in &sweep_thread_counts(host) {
+        // Untimed equality witness first: all three paths must agree.
+        let baseline = osn_metrics::exec::score_matrix_per_pair_t(&refs, &snap, cands.pairs(), t);
+        let fused = osn_metrics::exec::score_matrix_t(&refs, &snap, cands.pairs(), t);
+        assert_eq!(baseline, fused, "fused matrix diverged from per-pair at {t} threads");
+        let (enum_pairs, enum_cols) = osn_metrics::fused::enumerate_and_score_t(&snap, &kinds, t);
+        assert_eq!(enum_pairs, cands.pairs(), "fused enumeration drifted at {t} threads");
+        assert_eq!(baseline, enum_cols, "enumerate+score diverged from per-pair at {t} threads");
+
+        let (per_pair_secs, _) =
+            timed(|| osn_metrics::exec::score_matrix_per_pair_t(&refs, &snap, cands.pairs(), t));
+        let (fused_secs, _) =
+            timed(|| osn_metrics::exec::score_matrix_t(&refs, &snap, cands.pairs(), t));
+        let (enum_score_secs, _) =
+            timed(|| osn_metrics::fused::enumerate_and_score_t(&snap, &kinds, t));
+
+        let speedup = per_pair_secs / fused_secs.max(1e-12);
+        println!(
+            "threads={t}: per-pair {per_pair_secs:.3}s ({:.0} pairs/s), fused {fused_secs:.3}s \
+             ({:.0} pairs/s, {speedup:.1}x), enumerate+score {enum_score_secs:.3}s ({:.0} pairs/s)",
+            rate(scored_pairs, per_pair_secs),
+            rate(scored_pairs, fused_secs),
+            rate(scored_pairs, enum_score_secs),
+        );
+        rows.push(serde_json::json!({
+            "threads": t,
+            "per_pair_secs": per_pair_secs,
+            "per_pair_pairs_per_sec": rate(scored_pairs, per_pair_secs),
+            "fused_secs": fused_secs,
+            "fused_pairs_per_sec": rate(scored_pairs, fused_secs),
+            "enumerate_and_score_secs": enum_score_secs,
+            "enumerate_and_score_pairs_per_sec": rate(scored_pairs, enum_score_secs),
+            "fused_speedup": speedup,
+            "outputs_bit_identical": true,
+        }));
+    }
+
+    let report = serde_json::json!({
+        "bench": "fused_scoring",
+        "network": "renren-like",
+        "scale": scale,
+        "days": days,
+        "host_cores": host,
+        "nodes": snap.node_count(),
+        "edges": snap.edge_count(),
+        "candidate_pairs": cands.len(),
+        "metrics": names.to_vec(),
+        "note": "pairs/sec counts candidate_pairs x metrics; all paths asserted bit-identical before timing; enumerate_and_score additionally re-enumerates the candidate set inside the timed region",
+        "sweep": rows,
+    });
+    let path = "BENCH_fused_scoring.json";
     let text = serde_json::to_string_pretty(&report).expect("serialize bench json");
     std::fs::write(path, text).expect("write bench json");
     println!("wrote {path}");

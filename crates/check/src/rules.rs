@@ -50,6 +50,10 @@ pub const RULES: &[(&str, &str)] = &[
         "`println!`-family output in library code; diagnostics must travel through return values",
     ),
     (
+        "per-pair-intersection",
+        "a fresh `common_neighbors`/`common_neighbor_count` merge per pair inside a `score_pairs` impl; route local metrics through the fused kernel or justify the slow path",
+    ),
+    (
         "unjustified-allow",
         "a `linklens-allow(..)` without a `: justification` suffix",
     ),
@@ -131,6 +135,7 @@ pub fn check_file(info: &FileInfo, src: &str) -> Vec<Diagnostic> {
         }
         if !info.is_shim && info.kind == FileKind::Lib {
             print_in_lib(info, &lexed.tokens, &mask, &mut diags);
+            per_pair_intersection(info, &lexed.tokens, &mask, &mut diags);
         }
     }
     if info.is_crate_root {
@@ -203,6 +208,90 @@ fn past_matching_paren(tokens: &[Token], open: usize) -> usize {
         j += 1;
     }
     j
+}
+
+/// Index just past the `}` matching the `{` at `open`, or `tokens.len()`.
+fn past_matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < tokens.len() {
+        match tokens[j].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// `.common_neighbors(..)` / `.common_neighbor_count(..)` inside the body
+/// of a `score_pairs` / `score_pairs_t` implementation: a fresh sorted-
+/// merge intersection per pair per metric is exactly the cost the fused
+/// source-batched kernel exists to remove. Reference implementations keep
+/// the slow path on purpose and suppress with a justification.
+fn per_pair_intersection(
+    info: &FileInfo,
+    tokens: &[Token],
+    mask: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    const MERGES: &[&str] = &["common_neighbors", "common_neighbor_count"];
+    let mut i = 0;
+    while i < tokens.len() {
+        if mask[i]
+            || ident_at(tokens, i) != Some("fn")
+            || !matches!(ident_at(tokens, i + 1), Some("score_pairs") | Some("score_pairs_t"))
+        {
+            i += 1;
+            continue;
+        }
+        // Find the body's `{`; hitting `;` first means a bodyless trait
+        // declaration, which has nothing to flag.
+        let mut j = i + 2;
+        let mut open = None;
+        while j < tokens.len() {
+            match tokens[j].tok {
+                Tok::Punct('{') => {
+                    open = Some(j);
+                    break;
+                }
+                Tok::Punct(';') => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+        let end = past_matching_brace(tokens, open);
+        for t in open..end.min(tokens.len()) {
+            if mask[t] || !punct_at(tokens, t, '.') {
+                continue;
+            }
+            let Some(name) = ident_at(tokens, t + 1) else { continue };
+            if MERGES.contains(&name) && punct_at(tokens, t + 2, '(') {
+                out.push(Diagnostic {
+                    rule: "per-pair-intersection",
+                    path: info.path.clone(),
+                    line: tokens[t + 1].line,
+                    message: format!(
+                        "`.{name}()` inside a score_pairs impl pays one sorted-merge intersection per pair; \
+                         advertise a fused_kind so the engine batches by source, or justify the slow path \
+                         with linklens-allow"
+                    ),
+                    suppressed: false,
+                });
+            }
+        }
+        i = end;
+    }
 }
 
 /// `partial_cmp(..)` immediately chained into `.unwrap()` / `.expect(..)`.
@@ -474,6 +563,45 @@ mod tests {
     fn print_rule_suppressed_by_allow() {
         let src = "fn f() {\n  // linklens-allow(print-in-lib): one-time misconfiguration warning, no return channel\n  eprintln!(\"warning\");\n}";
         assert_eq!(active(&check_file(&lib_info("graph"), src), "print-in-lib"), 0);
+    }
+
+    // --- per-pair-intersection -----------------------------------------
+
+    #[test]
+    fn intersection_rule_fires_inside_score_pairs_bodies() {
+        let src = "impl Metric for Cn {\n  fn score_pairs(&self, snap: &Snapshot, pairs: &[(u32, u32)]) -> Vec<f64> {\n    pairs.iter().map(|&(u, v)| snap.common_neighbor_count(u, v) as f64).collect()\n  }\n}";
+        let d = check_file(&lib_info("metrics"), src);
+        assert_eq!(active(&d, "per-pair-intersection"), 1);
+        assert_eq!(d.iter().find(|x| x.rule == "per-pair-intersection").map(|x| x.line), Some(3));
+    }
+
+    #[test]
+    fn intersection_rule_fires_in_score_pairs_t_too() {
+        let src = "fn score_pairs_t(&self, snap: &S, pairs: &[(u32, u32)], threads: usize) -> Vec<f64> {\n  pairs.iter().map(|&(u, v)| snap.common_neighbors(u, v).count() as f64).collect()\n}";
+        assert_eq!(active(&check_file(&lib_info("metrics"), src), "per-pair-intersection"), 1);
+    }
+
+    #[test]
+    fn intersection_rule_skips_bodyless_trait_decls_and_other_fns() {
+        let src = "trait Metric {\n  fn score_pairs(&self, snap: &S, pairs: &[(u32, u32)]) -> Vec<f64>;\n}\nfn stats(snap: &S) -> usize { snap.common_neighbor_count(0, 1) }";
+        assert_eq!(active(&check_file(&lib_info("metrics"), src), "per-pair-intersection"), 0);
+    }
+
+    #[test]
+    fn intersection_rule_suppressed_by_allow() {
+        let src = "fn score_pairs(&self, snap: &S, pairs: &[(u32, u32)]) -> Vec<f64> {\n  // linklens-allow(per-pair-intersection): reference implementation, engine uses the fused kernel\n  pairs.iter().map(|&(u, v)| snap.common_neighbor_count(u, v) as f64).collect()\n}";
+        let d = check_file(&lib_info("metrics"), src);
+        assert_eq!(active(&d, "per-pair-intersection"), 0);
+        assert_eq!(
+            d.iter().filter(|x| x.rule == "per-pair-intersection" && x.suppressed).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn intersection_rule_exempt_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn score_pairs(snap: &S) -> f64 { snap.common_neighbor_count(0, 1) as f64 }\n}";
+        assert_eq!(active(&check_file(&lib_info("metrics"), src), "per-pair-intersection"), 0);
     }
 
     // --- missing-forbid-unsafe -----------------------------------------

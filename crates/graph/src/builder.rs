@@ -80,6 +80,7 @@ impl<'a> SnapshotBuilder<'a> {
                 time: 0,
                 edge_count: 0,
                 prefix_len: 0,
+                tables: std::sync::OnceLock::new(),
             },
             off2: Vec::with_capacity(n + 1),
             nbr2: Vec::with_capacity(entries),
@@ -249,6 +250,9 @@ impl<'a> SnapshotBuilder<'a> {
         snap.time = time;
         snap.edge_count = prefix_len;
         snap.prefix_len = prefix_len;
+        // The CSR just changed under the snapshot; any degree tables built
+        // against the previous prefix are stale.
+        snap.tables.take();
     }
 }
 
@@ -298,6 +302,26 @@ mod tests {
                     "step {step} prefix {prefix}"
                 );
                 prefix += step;
+            }
+        }
+    }
+
+    #[test]
+    fn advance_invalidates_degree_tables() {
+        let g = staggered(10);
+        let mut b = SnapshotBuilder::new(&g);
+        for prefix in [3usize, 6, g.edge_count()] {
+            let snap = b.advance_to(prefix);
+            // Populate the cache at this prefix, then check it against the
+            // live degrees: a stale table from the previous prefix would
+            // disagree the moment any node gained an edge.
+            let tables = snap.degree_tables();
+            for u in 0..snap.node_count() as NodeId {
+                assert_eq!(
+                    tables.inv_deg(u),
+                    1.0 / snap.degree(u) as f64,
+                    "prefix {prefix} node {u}"
+                );
             }
         }
     }

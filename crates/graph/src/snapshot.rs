@@ -2,6 +2,7 @@
 
 use crate::temporal::TemporalGraph;
 use crate::{canonical, NodeId, Timestamp};
+use std::sync::OnceLock;
 
 /// A broken CSR invariant detected by [`Snapshot::validate`].
 ///
@@ -141,6 +142,63 @@ impl std::fmt::Display for InvariantViolation {
 
 impl std::error::Error for InvariantViolation {}
 
+/// Degree-derived lookup tables for one snapshot, built once and cached on
+/// the [`Snapshot`] (see [`Snapshot::degree_tables`]).
+///
+/// The local-information metrics weight every common-neighbor witness `w`
+/// by `1 / deg(w)` (RA) or `1 / ln(deg w)` (AA) — recomputing the division
+/// and logarithm per (pair, witness) is pure waste, since the values only
+/// depend on the snapshot. The fused scoring kernel
+/// (`osn_metrics::fused`) reads these tables instead.
+///
+/// Entries are exactly the expressions the per-pair formulas evaluate
+/// (`(deg as f64).ln()`, `1.0 / ln`, `1.0 / deg as f64`), so sums built
+/// from table lookups are bit-identical to sums built from inline
+/// recomputation. Entries for degree 0 and 1 hold the raw IEEE results
+/// (infinities / negative zero); they are never consulted, because a
+/// common-neighbor witness always has degree ≥ 2.
+#[derive(Clone, Debug)]
+pub struct DegreeTables {
+    ln_deg: Vec<f64>,
+    inv_ln_deg: Vec<f64>,
+    inv_deg: Vec<f64>,
+}
+
+impl DegreeTables {
+    fn build(snap: &Snapshot) -> Self {
+        let n = snap.node_count();
+        let mut ln_deg = Vec::with_capacity(n);
+        let mut inv_ln_deg = Vec::with_capacity(n);
+        let mut inv_deg = Vec::with_capacity(n);
+        for u in 0..n {
+            let d = snap.degree(u as NodeId) as f64;
+            let ln = d.ln();
+            ln_deg.push(ln);
+            inv_ln_deg.push(1.0 / ln);
+            inv_deg.push(1.0 / d);
+        }
+        DegreeTables { ln_deg, inv_ln_deg, inv_deg }
+    }
+
+    /// `(deg(u) as f64).ln()` per node.
+    #[inline]
+    pub fn ln_deg(&self, u: NodeId) -> f64 {
+        self.ln_deg[u as usize]
+    }
+
+    /// `1.0 / (deg(u) as f64).ln()` per node — AA's witness weight.
+    #[inline]
+    pub fn inv_ln_deg(&self, u: NodeId) -> f64 {
+        self.inv_ln_deg[u as usize]
+    }
+
+    /// `1.0 / deg(u) as f64` per node — RA's witness weight.
+    #[inline]
+    pub fn inv_deg(&self, u: NodeId) -> f64 {
+        self.inv_deg[u as usize]
+    }
+}
+
 /// An immutable undirected graph at one point in a trace.
 ///
 /// Built from the first `prefix_len` edges of a [`TemporalGraph`]. Stores
@@ -152,11 +210,13 @@ impl std::error::Error for InvariantViolation {}
 /// The node universe is `0..node_count()`: every node whose arrival time is
 /// at or before the snapshot time, whether or not it has edges yet.
 ///
-/// `PartialEq`/`Eq` compare the full representation (offsets, neighbor and
-/// edge-time arrays, counters), which is what lets the property tests assert
-/// that incrementally advanced snapshots ([`crate::builder::SnapshotBuilder`])
-/// are bit-identical to from-scratch [`Snapshot::up_to`] builds.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// `PartialEq`/`Eq` compare the full structural representation (offsets,
+/// neighbor and edge-time arrays, counters) and deliberately ignore the
+/// lazily built [`DegreeTables`] cache, which is what lets the property
+/// tests assert that incrementally advanced snapshots
+/// ([`crate::builder::SnapshotBuilder`]) are bit-identical to from-scratch
+/// [`Snapshot::up_to`] builds.
+#[derive(Clone, Debug)]
 pub struct Snapshot {
     pub(crate) n: usize,
     pub(crate) offsets: Vec<usize>,
@@ -165,7 +225,25 @@ pub struct Snapshot {
     pub(crate) time: Timestamp,
     pub(crate) edge_count: usize,
     pub(crate) prefix_len: usize,
+    /// Lazily built degree tables; invalidated whenever the CSR mutates
+    /// (the [`crate::builder::SnapshotBuilder`] advance path and the
+    /// [`Snapshot::from_edges`] node-count fixup).
+    pub(crate) tables: OnceLock<DegreeTables>,
 }
+
+impl PartialEq for Snapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+            && self.offsets == other.offsets
+            && self.neighbors == other.neighbors
+            && self.edge_times == other.edge_times
+            && self.time == other.time
+            && self.edge_count == other.edge_count
+            && self.prefix_len == other.prefix_len
+    }
+}
+
+impl Eq for Snapshot {}
 
 impl Snapshot {
     /// Builds the snapshot containing the first `prefix_len` edges of
@@ -216,7 +294,16 @@ impl Snapshot {
                 edge_times[offsets[u] + k] = t;
             }
         }
-        Snapshot { n, offsets, neighbors, edge_times, time, edge_count: prefix_len, prefix_len }
+        Snapshot {
+            n,
+            offsets,
+            neighbors,
+            edge_times,
+            time,
+            edge_count: prefix_len,
+            prefix_len,
+            tables: OnceLock::new(),
+        }
     }
 
     /// Builds a snapshot restricted to a node subset (used by the snowball-
@@ -272,6 +359,7 @@ impl Snapshot {
             time: self.time,
             edge_count: kept_edges,
             prefix_len: self.prefix_len,
+            tables: OnceLock::new(),
         }
     }
 
@@ -305,6 +393,13 @@ impl Snapshot {
     #[inline]
     pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
         &self.neighbors[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// The per-snapshot [`DegreeTables`], built on first use and cached for
+    /// the snapshot's lifetime. Thread-safe: concurrent first callers race
+    /// on one `OnceLock` initialization and then share the same tables.
+    pub fn degree_tables(&self) -> &DegreeTables {
+        self.tables.get_or_init(|| DegreeTables::build(self))
     }
 
     /// Creation times parallel to [`neighbors`](Self::neighbors).
@@ -498,8 +593,10 @@ impl Snapshot {
         assert!(added > 0, "from_edges needs at least one edge");
         let mut s = Snapshot::up_to(&g, added);
         // `up_to` sizes the node set by arrival; with all arrivals at 0 it
-        // already equals n, but keep the contract explicit.
+        // already equals n, but keep the contract explicit. The degree
+        // tables (if any were built) are invalidated by the resize.
         s.n = n;
+        s.tables.take();
         if s.offsets.len() < n + 1 {
             // linklens-allow(unwrap-in-lib): offsets always holds at least the leading zero
             let last = *s.offsets.last().expect("non-empty offsets");
@@ -653,6 +750,30 @@ mod tests {
         assert!(!sub.has_edge(3, 4));
         assert_eq!(sub.degree(4), 0);
         assert_eq!(sub.neighbor_times(2), &[30, 20, 40]);
+    }
+
+    #[test]
+    fn degree_tables_match_inline_formulas() {
+        let g = fixture();
+        let s = Snapshot::up_to(&g, 5);
+        let t = s.degree_tables();
+        for u in 0..s.node_count() as NodeId {
+            let d = s.degree(u) as f64;
+            assert_eq!(t.ln_deg(u), d.ln(), "ln_deg node {u}");
+            assert_eq!(t.inv_ln_deg(u), 1.0 / d.ln(), "inv_ln_deg node {u}");
+            assert_eq!(t.inv_deg(u), 1.0 / d, "inv_deg node {u}");
+        }
+        // Cached: a second call returns the same allocation.
+        assert!(std::ptr::eq(s.degree_tables(), t));
+    }
+
+    #[test]
+    fn equality_ignores_degree_table_cache() {
+        let g = fixture();
+        let a = Snapshot::up_to(&g, 5);
+        let b = Snapshot::up_to(&g, 5);
+        let _ = a.degree_tables(); // a has the cache populated, b does not
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -104,30 +104,116 @@ pub fn two_hop_pairs_t(snap: &Snapshot, threads: usize) -> Vec<(NodeId, NodeId)>
     parts.concat()
 }
 
-/// Serial 2-hop enumeration restricted to sources in `sources`.
-fn two_hop_block(snap: &Snapshot, sources: std::ops::Range<usize>) -> Vec<(NodeId, NodeId)> {
-    let n = snap.node_count();
-    let mut out = Vec::new();
-    let mut mark = vec![false; n];
-    let mut touched: Vec<NodeId> = Vec::new();
-    for u in sources {
-        let u = u as NodeId;
-        // Collect distinct 2-hop endpoints v > u not adjacent to u.
+/// The canonical per-source two-hop frontier walk, shared by the candidate
+/// enumerators here and the fused scoring kernel (`osn_metrics::fused`).
+///
+/// For a source `u`, the scan stamps `Γ(u)` into an epoch-stamped
+/// adjacency-marker array, then walks every 2-path `u – w – v`, reporting
+/// each traversal hit with `v > u`, `v ∉ Γ(u)` to a caller callback. Each
+/// distinct `v` is assigned a dense *slot* (its index in witness-discovery
+/// order), which is exactly the order [`two_hop_pairs`] emits candidates
+/// in — sharing this walk is what guarantees the enumerate-only and
+/// enumerate+score paths can never drift apart.
+///
+/// Epochs make per-source reset O(1): bumping the epoch invalidates every
+/// stamp at once. On wraparound (the epoch counter returning to 0 after
+/// `u32::MAX` sources) both stamp arrays are cleared and the epoch
+/// restarts at 1, so a stale stamp from 2³² sources ago can never alias
+/// the current epoch.
+pub struct TwoHopScan {
+    epoch: u32,
+    /// `adj[x] == epoch` ⇔ `x ∈ Γ(u) ∪ {u}` for the current source.
+    adj: Vec<u32>,
+    /// `seen[x] == epoch` ⇔ `x` was already discovered as a candidate.
+    seen: Vec<u32>,
+    /// Valid iff `seen[x] == epoch`: the candidate's dense slot index.
+    slot: Vec<u32>,
+    cand: Vec<NodeId>,
+}
+
+impl TwoHopScan {
+    /// A scan over a graph of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        TwoHopScan {
+            epoch: 0,
+            adj: vec![0; n],
+            seen: vec![0; n],
+            slot: vec![0; n],
+            cand: Vec::new(),
+        }
+    }
+
+    /// Starts a new source: bumps the epoch (clearing all stamps in O(1))
+    /// and handles counter wraparound by hard-resetting the arrays.
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.adj.fill(0);
+            self.seen.fill(0);
+            self.epoch = 1;
+        }
+        self.cand.clear();
+    }
+
+    /// Walks the two-hop frontier of `u` once, invoking
+    /// `hit(w, v, slot, first)` for every 2-path `u – w – v` whose endpoint
+    /// qualifies as a candidate (`v > u`, unconnected to `u`). `slot` is
+    /// the candidate's discovery index; `first` is true on the hit that
+    /// discovered it. Hits arrive in ascending-`w` order — the same witness
+    /// order as a sorted-merge intersection of `Γ(u)` and `Γ(v)`, which is
+    /// what lets fused accumulators stay bit-identical to per-pair sums.
+    pub fn scan(
+        &mut self,
+        snap: &Snapshot,
+        u: NodeId,
+        mut hit: impl FnMut(NodeId, NodeId, usize, bool),
+    ) {
+        self.begin();
+        let e = self.epoch;
+        self.adj[u as usize] = e;
+        for &w in snap.neighbors(u) {
+            self.adj[w as usize] = e;
+        }
         for &w in snap.neighbors(u) {
             for &v in snap.neighbors(w) {
-                if v > u && !mark[v as usize] {
-                    mark[v as usize] = true;
-                    touched.push(v);
+                if v <= u || self.adj[v as usize] == e {
+                    continue;
                 }
+                let vi = v as usize;
+                let first = self.seen[vi] != e;
+                if first {
+                    self.seen[vi] = e;
+                    // linklens-allow(truncating-cast): candidate count is bounded by the node count, and node ids are u32
+                    self.slot[vi] = self.cand.len() as u32;
+                    self.cand.push(v);
+                }
+                hit(w, v, self.slot[vi] as usize, first);
             }
         }
-        for &v in &touched {
-            mark[v as usize] = false;
-            if !snap.has_edge(u, v) {
-                out.push((u, v));
-            }
+    }
+
+    /// The candidates of `u` in discovery order: distinct unconnected nodes
+    /// `v > u` at distance exactly 2. Borrow is valid until the next scan.
+    pub fn candidates(&mut self, snap: &Snapshot, u: NodeId) -> &[NodeId] {
+        self.scan(snap, u, |_, _, _, _| {});
+        &self.cand
+    }
+
+    /// The candidates discovered by the most recent [`scan`](Self::scan).
+    pub fn last_candidates(&self) -> &[NodeId] {
+        &self.cand
+    }
+}
+
+/// Serial 2-hop enumeration restricted to sources in `sources`.
+fn two_hop_block(snap: &Snapshot, sources: std::ops::Range<usize>) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    let mut scan = TwoHopScan::new(snap.node_count());
+    for u in sources {
+        let u = u as NodeId;
+        for &v in scan.candidates(snap, u) {
+            out.push((u, v));
         }
-        touched.clear();
     }
     out
 }
@@ -336,6 +422,57 @@ mod tests {
             assert_eq!(two_hop_pairs_t(&s, threads), two1, "two_hop threads={threads}");
             assert_eq!(pairs_within_t(&s, 3, threads), within1, "within threads={threads}");
         }
+    }
+
+    #[test]
+    fn scan_hits_are_witness_ordered_and_slots_dense() {
+        // 0–1, 0–2, 1–3, 2–3, 1–4: candidates of 0 are 3 (witnesses 1, 2)
+        // then 4 (witness 1).
+        let s = Snapshot::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (1, 4)]);
+        let mut scan = TwoHopScan::new(5);
+        let mut hits = Vec::new();
+        scan.scan(&s, 0, |w, v, slot, first| hits.push((w, v, slot, first)));
+        assert_eq!(hits, vec![(1, 3, 0, true), (1, 4, 1, true), (2, 3, 0, false)]);
+        assert_eq!(scan.last_candidates(), &[3, 4]);
+    }
+
+    #[test]
+    fn scan_candidates_match_two_hop_pairs() {
+        let n = 40u32;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, (i + 1) % n));
+            if i % 3 == 0 {
+                edges.push((i, (i + 7) % n));
+            }
+        }
+        let canon: Vec<(NodeId, NodeId)> =
+            edges.iter().map(|&(a, b)| crate::canonical(a, b)).collect();
+        let s = Snapshot::from_edges(n as usize, &canon);
+        let mut scan = TwoHopScan::new(n as usize);
+        let mut via_scan = Vec::new();
+        for u in 0..n {
+            for &v in scan.candidates(&s, u) {
+                via_scan.push((u, v));
+            }
+        }
+        assert_eq!(via_scan, two_hop_pairs_t(&s, 1), "shared walk must match the enumerator");
+    }
+
+    #[test]
+    fn scan_epoch_wraparound_resets_stamps() {
+        let s = Snapshot::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (1, 4)]);
+        let mut scan = TwoHopScan::new(5);
+        let baseline: Vec<NodeId> = scan.candidates(&s, 0).to_vec();
+        // Leave stale stamps from a normal scan, then force the counter to
+        // the brink so the next two scans cross the wraparound boundary.
+        scan.epoch = u32::MAX - 1;
+        assert_eq!(scan.candidates(&s, 0), &baseline[..], "epoch == u32::MAX");
+        assert_eq!(scan.epoch, u32::MAX);
+        assert_eq!(scan.candidates(&s, 0), &baseline[..], "wrapped scan");
+        assert_eq!(scan.epoch, 1, "wraparound restarts the epoch at 1");
+        assert!(scan.adj.iter().all(|&e| e <= 1), "stamps hard-reset on wrap");
+        assert_eq!(scan.candidates(&s, 0), &baseline[..], "post-wrap scan");
     }
 
     #[test]

@@ -11,19 +11,21 @@
 //!
 //! Scores can be negative (they are log-odds); only the ranking matters.
 
+use crate::fused::LocalKind;
 use crate::traits::{CandidatePolicy, Metric};
 use osn_graph::snapshot::Snapshot;
 use osn_graph::{stats, NodeId};
 
-/// Precomputed per-snapshot naive-Bayes quantities.
-struct BayesContext {
-    log_s: f64,
+/// Precomputed per-snapshot naive-Bayes quantities. Shared with the fused
+/// kernel (`crate::fused`), which builds its BAA/BRA weight tables on top.
+pub(crate) struct BayesContext {
+    pub(crate) log_s: f64,
     /// `log R_w` per node.
-    log_r: Vec<f64>,
+    pub(crate) log_r: Vec<f64>,
 }
 
 impl BayesContext {
-    fn build(snap: &Snapshot) -> Self {
+    pub(crate) fn build(snap: &Snapshot) -> Self {
         let n = snap.node_count() as f64;
         let e = snap.edge_count() as f64;
         // Guard tiny graphs: s must stay positive for the log.
@@ -53,6 +55,10 @@ impl Metric for BayesCommonNeighbors {
         CandidatePolicy::TwoHop
     }
 
+    fn fused_kind(&self) -> Option<LocalKind> {
+        Some(LocalKind::Bcn)
+    }
+
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
         let ctx = BayesContext::build(snap);
         pairs
@@ -60,6 +66,7 @@ impl Metric for BayesCommonNeighbors {
             .map(|&(u, v)| {
                 let mut cn = 0usize;
                 let mut acc = 0.0;
+                // linklens-allow(per-pair-intersection): reference implementation; the engine routes batches through the fused kernel
                 for w in snap.common_neighbors(u, v) {
                     cn += 1;
                     acc += ctx.log_r[w as usize];
@@ -82,11 +89,16 @@ impl Metric for BayesAdamicAdar {
         CandidatePolicy::TwoHop
     }
 
+    fn fused_kind(&self) -> Option<LocalKind> {
+        Some(LocalKind::Baa)
+    }
+
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
         let ctx = BayesContext::build(snap);
         pairs
             .iter()
             .map(|&(u, v)| {
+                // linklens-allow(per-pair-intersection): reference implementation; the engine routes batches through the fused kernel
                 snap.common_neighbors(u, v)
                     .map(|w| (ctx.log_s + ctx.log_r[w as usize]) / (snap.degree(w) as f64).ln())
                     .sum()
@@ -108,11 +120,16 @@ impl Metric for BayesResourceAllocation {
         CandidatePolicy::TwoHop
     }
 
+    fn fused_kind(&self) -> Option<LocalKind> {
+        Some(LocalKind::Bra)
+    }
+
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
         let ctx = BayesContext::build(snap);
         pairs
             .iter()
             .map(|&(u, v)| {
+                // linklens-allow(per-pair-intersection): reference implementation; the engine routes batches through the fused kernel
                 snap.common_neighbors(u, v)
                     .map(|w| (ctx.log_s + ctx.log_r[w as usize]) / snap.degree(w) as f64)
                     .sum()

@@ -35,6 +35,11 @@ impl CandidateSet {
     /// * `ThreeHop` — unconnected pairs at distance 2 or 3.
     /// * `Global` — `ThreeHop` plus all unconnected pairs touching the
     ///   `top_degree` highest-degree nodes.
+    ///
+    /// `TwoHop` enumeration and the fused scoring kernel's
+    /// enumerate-and-score pass ([`crate::fused::enumerate_and_score_t`])
+    /// both walk [`osn_graph::traversal::TwoHopScan`], so the two pair
+    /// sets are the same list by construction, not by coincidence.
     pub fn build(snap: &Snapshot, policy: CandidatePolicy, top_degree: usize) -> Self {
         let mut pairs = match policy {
             CandidatePolicy::TwoHop => traversal::two_hop_pairs(snap),
@@ -164,6 +169,26 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), g.len(), "duplicates survived");
         assert!(g.pairs().iter().all(|&(u, v)| u < v));
+    }
+
+    #[test]
+    fn fused_enumeration_cannot_drift_from_two_hop_build() {
+        // Ring + chords: enough structure for multi-witness candidates.
+        let n = 30u32;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push(osn_graph::canonical(i, (i + 1) % n));
+            if i % 4 == 0 {
+                edges.push(osn_graph::canonical(i, (i + 9) % n));
+            }
+        }
+        let s = Snapshot::from_edges(n as usize, &edges);
+        let built = CandidateSet::build(&s, CandidatePolicy::TwoHop, 0);
+        for threads in [1, 3] {
+            let (pairs, _) =
+                crate::fused::enumerate_and_score_t(&s, &[crate::fused::LocalKind::Cn], threads);
+            assert_eq!(pairs, built.pairs(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! receive the worker budget through [`Metric::score_pairs_t`].
 
 use crate::candidates::CandidateSet;
+use crate::fused::{self, FusedScratch, LocalKind};
 use crate::topk::{self, TopKAcc};
 use crate::traits::{Metric, ScoreContract};
 use osn_graph::par;
@@ -119,10 +120,29 @@ pub fn source_aligned_chunks(pairs: &[(NodeId, NodeId)], threads: usize) -> Vec<
     out
 }
 
-/// Scores `pairs` with the engine: prepared once, chunked across `threads`
-/// workers (or delegated whole with the worker budget for
-/// [`ExecMode::WholeBatch`] metrics). Bit-identical for every `threads`.
+/// Scores `pairs` with the engine: metrics advertising a
+/// [`Metric::fused_kind`] go through the source-batched fused kernel
+/// ([`crate::fused`], one witness walk per source); everything else is
+/// prepared once and chunked across `threads` workers (or delegated whole
+/// with the worker budget for [`ExecMode::WholeBatch`] metrics). Every
+/// path is bit-identical to every other for every `threads` value.
 pub fn score_pairs_t<M: Metric + ?Sized>(
+    m: &M,
+    snap: &Snapshot,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+) -> Vec<f64> {
+    if let Some(kind) = m.fused_kind() {
+        return fused_single_scores(m, kind, snap, pairs, threads);
+    }
+    score_pairs_per_pair_t(m, snap, pairs, threads)
+}
+
+/// The pre-fusion scoring path: chunked through the metric's own
+/// [`Metric::score_pairs`], ignoring any [`Metric::fused_kind`]. Kept
+/// public as the equivalence baseline for the fused kernel's property
+/// tests and the `scalecheck` fused-scoring benchmark.
+pub fn score_pairs_per_pair_t<M: Metric + ?Sized>(
     m: &M,
     snap: &Snapshot,
     pairs: &[(NodeId, NodeId)],
@@ -152,12 +172,89 @@ pub fn score_pairs_t<M: Metric + ?Sized>(
     }
 }
 
-/// Engine-backed top-k prediction with an explicit worker count: chunked
-/// metrics stream each chunk's scores into a per-chunk [`TopKAcc`] (global
+/// Scores one fused-kernel metric over source-aligned chunks with
+/// per-worker scratch reuse.
+fn fused_single_scores<M: Metric + ?Sized>(
+    m: &M,
+    kind: LocalKind,
+    snap: &Snapshot,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+) -> Vec<f64> {
+    let kinds = [kind];
+    let ctx = fused::FusedCtx::build(snap, &kinds);
+    let chunks = source_aligned_chunks(pairs, threads);
+    if threads <= 1 || chunks.len() <= 1 {
+        let mut scratch = FusedScratch::new(snap.node_count());
+        let scores =
+            fused::score_columns(&ctx, &mut scratch, pairs, &kinds).pop().unwrap_or_default();
+        audit_scores(m.name(), m.score_contract(), &scores, 0);
+        return scores;
+    }
+    let parts = par::run_indexed_init(
+        chunks.len(),
+        threads,
+        || FusedScratch::new(snap.node_count()),
+        |scratch, c| {
+            let scores = fused::score_columns(&ctx, scratch, &pairs[chunks[c].clone()], &kinds)
+                .pop()
+                .unwrap_or_default();
+            audit_scores(m.name(), m.score_contract(), &scores, chunks[c].start);
+            scores
+        },
+    );
+    parts.concat()
+}
+
+/// Engine-backed top-k prediction with an explicit worker count: fused
+/// metrics score through the source-batched kernel, chunked metrics
+/// stream each chunk's scores into a per-chunk [`TopKAcc`] (global
 /// indices) and merge; whole-batch metrics score once and select serially.
 /// The returned pairs — including tie-break ordering — are identical for
-/// every `threads` value.
+/// every `threads` value and every path.
 pub fn predict_top_k_t<M: Metric + ?Sized>(
+    m: &M,
+    snap: &Snapshot,
+    cands: &CandidateSet,
+    k: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<(NodeId, NodeId)> {
+    if let Some(kind) = m.fused_kind() {
+        let pairs = cands.pairs();
+        let kinds = [kind];
+        let ctx = fused::FusedCtx::build(snap, &kinds);
+        let chunks = source_aligned_chunks(pairs, threads);
+        let accs = par::run_indexed_init(
+            chunks.len(),
+            threads.max(1),
+            || FusedScratch::new(snap.node_count()),
+            |scratch, c| {
+                let range = chunks[c].clone();
+                let slice = &pairs[range.clone()];
+                let scores =
+                    fused::score_columns(&ctx, scratch, slice, &kinds).pop().unwrap_or_default();
+                audit_scores(m.name(), m.score_contract(), &scores, range.start);
+                let mut acc = TopKAcc::new(k, seed);
+                for (off, (&pair, &score)) in slice.iter().zip(&scores).enumerate() {
+                    acc.push(pair, score, range.start + off);
+                }
+                acc
+            },
+        );
+        let mut merged = TopKAcc::new(k, seed);
+        for acc in accs {
+            merged.merge(acc);
+        }
+        return merged.finish();
+    }
+    predict_top_k_per_pair_t(m, snap, cands, k, seed, threads)
+}
+
+/// The pre-fusion top-k path (chunked through [`Metric::score_pairs`],
+/// ignoring [`Metric::fused_kind`]) — the equivalence baseline for the
+/// fused kernel's tests and benchmarks.
+pub fn predict_top_k_per_pair_t<M: Metric + ?Sized>(
     m: &M,
     snap: &Snapshot,
     cands: &CandidateSet,
@@ -201,6 +298,24 @@ struct Item {
     chunk: Range<usize>,
 }
 
+/// Splits metric indices into the fused-kernel group (with their kinds,
+/// parallel-indexed) and everything else.
+fn fused_partition(metrics: &[&dyn Metric]) -> (Vec<usize>, Vec<LocalKind>, Vec<usize>) {
+    let mut fused_idx = Vec::new();
+    let mut kinds = Vec::new();
+    let mut rest = Vec::new();
+    for (i, m) in metrics.iter().enumerate() {
+        match m.fused_kind() {
+            Some(k) => {
+                fused_idx.push(i);
+                kinds.push(k);
+            }
+            None => rest.push(i),
+        }
+    }
+    (fused_idx, kinds, rest)
+}
+
 /// Splits metric indices by execution mode.
 fn by_mode(metrics: &[&dyn Metric]) -> (Vec<usize>, Vec<usize>) {
     let mut chunked = Vec::new();
@@ -216,13 +331,76 @@ fn by_mode(metrics: &[&dyn Metric]) -> (Vec<usize>, Vec<usize>) {
 
 /// Top-k predictions for several metrics over one shared candidate set.
 ///
-/// All chunked metrics are prepared in parallel, then their (metric ×
-/// chunk) items are scheduled over one `threads`-wide pool — a slow metric
-/// no longer serializes the transition the way one-thread-per-metric did.
-/// Whole-batch metrics run afterwards, each using the full worker budget
-/// internally. Results are in input metric order and bit-identical to
-/// `threads = 1`.
+/// Metrics advertising a [`Metric::fused_kind`] are scored together by the
+/// source-batched kernel — one witness walk per source produces every
+/// fused column at once, with one shared kernel context (degree + Bayes
+/// tables built once, not per metric). All remaining chunked metrics are
+/// prepared in parallel, then their (metric × chunk) items are scheduled
+/// over one `threads`-wide pool — a slow metric no longer serializes the
+/// transition the way one-thread-per-metric did. Whole-batch metrics run
+/// afterwards, each using the full worker budget internally. Results are
+/// in input metric order and bit-identical to `threads = 1`.
 pub fn predict_top_k_many_t(
+    metrics: &[&dyn Metric],
+    snap: &Snapshot,
+    cands: &CandidateSet,
+    k: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<Vec<(NodeId, NodeId)>> {
+    let pairs = cands.pairs();
+    let threads = threads.max(1);
+    let (fused_idx, kinds, rest) = fused_partition(metrics);
+    if fused_idx.is_empty() {
+        return predict_top_k_many_per_pair_t(metrics, snap, cands, k, seed, threads);
+    }
+    let mut out: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); metrics.len()];
+
+    let ctx = fused::FusedCtx::build(snap, &kinds);
+    let chunks = source_aligned_chunks(pairs, threads);
+    let chunk_accs = par::run_indexed_init(
+        chunks.len(),
+        threads,
+        || FusedScratch::new(snap.node_count()),
+        |scratch, c| {
+            let range = chunks[c].clone();
+            let slice = &pairs[range.clone()];
+            let cols = fused::score_columns(&ctx, scratch, slice, &kinds);
+            let mut accs: Vec<TopKAcc> = kinds.iter().map(|_| TopKAcc::new(k, seed)).collect();
+            for (ki, col) in cols.iter().enumerate() {
+                let m = metrics[fused_idx[ki]];
+                audit_scores(m.name(), m.score_contract(), col, range.start);
+                for (off, (&pair, &score)) in slice.iter().zip(col).enumerate() {
+                    accs[ki].push(pair, score, range.start + off);
+                }
+            }
+            accs
+        },
+    );
+    let mut merged: Vec<TopKAcc> = kinds.iter().map(|_| TopKAcc::new(k, seed)).collect();
+    for accs in chunk_accs {
+        for (ki, acc) in accs.into_iter().enumerate() {
+            merged[ki].merge(acc);
+        }
+    }
+    for (ki, acc) in merged.into_iter().enumerate() {
+        out[fused_idx[ki]] = acc.finish();
+    }
+
+    if !rest.is_empty() {
+        let rm: Vec<&dyn Metric> = rest.iter().map(|&i| metrics[i]).collect();
+        let preds = predict_top_k_many_per_pair_t(&rm, snap, cands, k, seed, threads);
+        for (j, p) in preds.into_iter().enumerate() {
+            out[rest[j]] = p;
+        }
+    }
+    out
+}
+
+/// The pre-fusion multi-metric top-k path ((metric × chunk) scheduling
+/// through each metric's own scorer, ignoring [`Metric::fused_kind`]) —
+/// the equivalence baseline for the fused kernel's tests and benchmarks.
+pub fn predict_top_k_many_per_pair_t(
     metrics: &[&dyn Metric],
     snap: &Snapshot,
     cands: &CandidateSet,
@@ -273,10 +451,65 @@ pub fn predict_top_k_many_t(
 }
 
 /// Score columns (one `Vec<f64>` per metric, aligned with `pairs`) for
-/// several metrics, scheduled as (metric × chunk) items over one pool —
-/// the classification pipeline's feature-matrix backend. Column contents
-/// are bit-identical for every `threads` value.
+/// several metrics — the classification pipeline's feature-matrix
+/// backend. Fused-kernel metrics are produced together, one witness walk
+/// per source per chunk yielding every fused column at once; the rest is
+/// scheduled as (metric × chunk) items over one pool. Column contents are
+/// bit-identical for every `threads` value.
 pub fn score_matrix_t(
+    metrics: &[&dyn Metric],
+    snap: &Snapshot,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+) -> Vec<Vec<f64>> {
+    let threads = threads.max(1);
+    let (fused_idx, kinds, rest) = fused_partition(metrics);
+    if fused_idx.is_empty() {
+        return score_matrix_per_pair_t(metrics, snap, pairs, threads);
+    }
+    let mut out: Vec<Vec<f64>> = vec![Vec::new(); metrics.len()];
+
+    let ctx = fused::FusedCtx::build(snap, &kinds);
+    let chunks = source_aligned_chunks(pairs, threads);
+    let parts = par::run_indexed_init(
+        chunks.len(),
+        threads,
+        || FusedScratch::new(snap.node_count()),
+        |scratch, c| {
+            let cols = fused::score_columns(&ctx, scratch, &pairs[chunks[c].clone()], &kinds);
+            for (ki, col) in cols.iter().enumerate() {
+                let m = metrics[fused_idx[ki]];
+                audit_scores(m.name(), m.score_contract(), col, chunks[c].start);
+            }
+            cols
+        },
+    );
+    let mut columns: Vec<Vec<f64>> =
+        kinds.iter().map(|_| Vec::with_capacity(pairs.len())).collect();
+    for part in parts {
+        for (ki, col) in part.into_iter().enumerate() {
+            columns[ki].extend(col);
+        }
+    }
+    for (ki, col) in columns.into_iter().enumerate() {
+        out[fused_idx[ki]] = col;
+    }
+
+    if !rest.is_empty() {
+        let rm: Vec<&dyn Metric> = rest.iter().map(|&i| metrics[i]).collect();
+        let cols = score_matrix_per_pair_t(&rm, snap, pairs, threads);
+        for (j, col) in cols.into_iter().enumerate() {
+            out[rest[j]] = col;
+        }
+    }
+    out
+}
+
+/// The pre-fusion feature-matrix path ((metric × chunk) scheduling through
+/// each metric's own scorer, ignoring [`Metric::fused_kind`]) — the
+/// equivalence baseline for the fused kernel's tests and the `scalecheck`
+/// fused-scoring benchmark.
+pub fn score_matrix_per_pair_t(
     metrics: &[&dyn Metric],
     snap: &Snapshot,
     pairs: &[(NodeId, NodeId)],

@@ -39,7 +39,9 @@
 //! "random choice among ties" for SP — is in [`topk`]. Parallel execution
 //! (chunked candidate scoring, (metric × chunk) scheduling, fused
 //! streaming top-k) is in [`exec`]; predictions are bit-identical across
-//! worker counts.
+//! worker counts. The local and Bayes metrics are scored through the
+//! source-batched fused kernel in [`fused`] — one witness walk per source
+//! instead of per-pair intersections — with bit-identical results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +49,7 @@
 pub mod bayes;
 pub mod candidates;
 pub mod exec;
+pub mod fused;
 pub mod katz;
 pub mod local;
 pub mod path;

@@ -1,5 +1,6 @@
 //! Neighborhood heuristics: CN, JC, AA, RA, PA (Table 3 rows 1–4 and 13).
 
+use crate::fused::LocalKind;
 use crate::traits::{CandidatePolicy, Metric, ScoreContract};
 use osn_graph::snapshot::Snapshot;
 use osn_graph::NodeId;
@@ -20,7 +21,12 @@ impl Metric for CommonNeighbors {
         ScoreContract::FiniteNonNegative
     }
 
+    fn fused_kind(&self) -> Option<LocalKind> {
+        Some(LocalKind::Cn)
+    }
+
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        // linklens-allow(per-pair-intersection): reference implementation; the engine routes batches through the fused kernel
         pairs.iter().map(|&(u, v)| snap.common_neighbor_count(u, v) as f64).collect()
     }
 }
@@ -42,10 +48,15 @@ impl Metric for JaccardCoefficient {
         ScoreContract::FiniteNonNegative
     }
 
+    fn fused_kind(&self) -> Option<LocalKind> {
+        Some(LocalKind::Jc)
+    }
+
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
         pairs
             .iter()
             .map(|&(u, v)| {
+                // linklens-allow(per-pair-intersection): reference implementation; the engine routes batches through the fused kernel
                 let inter = snap.common_neighbor_count(u, v);
                 let union = snap.degree(u) + snap.degree(v) - inter;
                 if union == 0 {
@@ -75,10 +86,15 @@ impl Metric for AdamicAdar {
         ScoreContract::FiniteNonNegative
     }
 
+    fn fused_kind(&self) -> Option<LocalKind> {
+        Some(LocalKind::Aa)
+    }
+
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
         pairs
             .iter()
             .map(|&(u, v)| {
+                // linklens-allow(per-pair-intersection): reference implementation; the engine routes batches through the fused kernel
                 snap.common_neighbors(u, v).map(|w| 1.0 / (snap.degree(w) as f64).ln()).sum()
             })
             .collect()
@@ -101,9 +117,14 @@ impl Metric for ResourceAllocation {
         ScoreContract::FiniteNonNegative
     }
 
+    fn fused_kind(&self) -> Option<LocalKind> {
+        Some(LocalKind::Ra)
+    }
+
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
         pairs
             .iter()
+            // linklens-allow(per-pair-intersection): reference implementation; the engine routes batches through the fused kernel
             .map(|&(u, v)| snap.common_neighbors(u, v).map(|w| 1.0 / snap.degree(w) as f64).sum())
             .collect()
     }
@@ -124,6 +145,10 @@ impl Metric for PreferentialAttachment {
 
     fn score_contract(&self) -> ScoreContract {
         ScoreContract::FiniteNonNegative
+    }
+
+    fn fused_kind(&self) -> Option<LocalKind> {
+        Some(LocalKind::Pa)
     }
 
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {

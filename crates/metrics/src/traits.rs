@@ -67,6 +67,17 @@ pub trait Metric: Sync {
         ExecMode::Chunked
     }
 
+    /// The fused-kernel column this metric maps to, when it is one of the
+    /// local metrics the source-batched kernel ([`crate::fused`]) can
+    /// absorb. `None` (the default) keeps the metric on its own
+    /// [`score_pairs`](Metric::score_pairs) path; the local and Bayes
+    /// metrics override this, and the engine then scores them through one
+    /// shared witness walk per source instead of per-pair intersections —
+    /// bit-identical to the per-pair path.
+    fn fused_kind(&self) -> Option<crate::fused::LocalKind> {
+        None
+    }
+
     /// Hoists per-snapshot work (factorizations, landmark solves) out of
     /// the chunk loop, returning a read-only scorer the engine calls once
     /// per chunk. The default wraps [`score_pairs`](Metric::score_pairs),
