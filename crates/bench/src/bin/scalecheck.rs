@@ -3,11 +3,14 @@
 //! scoring-engine worker count (1, 2, 4, … clamped at the detected host
 //! cores) into `BENCH_parallel_scaling.json`, compares from-scratch vs
 //! incremental snapshot-sequence sweeps into `BENCH_snapshot_build.json`,
-//! and compares the source-batched fused local-metric kernel against the
-//! per-pair scoring path into `BENCH_fused_scoring.json`.
+//! compares the source-batched fused local-metric kernel against the
+//! per-pair scoring path into `BENCH_fused_scoring.json`, and compares the
+//! batched frontier/SpMV global-metric engine against its per-source
+//! reference oracles (plus warm vs cold snapshot sweeps) into
+//! `BENCH_global_scoring.json`.
 //!
 //! ```text
-//! scalecheck [SCALE] [DAYS] [--sweep-only | --snapshot-build-only | --fused-scoring-only] [--paranoid]
+//! scalecheck [SCALE] [DAYS] [--sweep-only | --snapshot-build-only | --fused-scoring-only | --global-scoring-only] [--paranoid]
 //! ```
 //!
 //! `--paranoid` turns the runtime invariant audits on in this release
@@ -27,6 +30,7 @@ fn main() {
     let sweep_only = args.iter().any(|a| a == "--sweep-only");
     let snapshot_build_only = args.iter().any(|a| a == "--snapshot-build-only");
     let fused_scoring_only = args.iter().any(|a| a == "--fused-scoring-only");
+    let global_scoring_only = args.iter().any(|a| a == "--global-scoring-only");
     if args.iter().any(|a| a == "--paranoid") {
         osn_graph::audit::set_paranoid(true);
         println!("paranoid mode: CSR + score-contract audits enabled");
@@ -43,12 +47,17 @@ fn main() {
         fused_scoring(scale, days);
         return;
     }
+    if global_scoring_only {
+        global_scoring(scale, days);
+        return;
+    }
     if !sweep_only {
         calibration(scale, days);
     }
     sweep(scale, days);
     snapshot_build(scale, days);
     fused_scoring(scale, days);
+    global_scoring(scale, days);
 }
 
 /// The original probe: one full evaluation transition per preset.
@@ -363,6 +372,220 @@ fn fused_scoring(scale: f64, days: u32) {
         "sweep": rows,
     });
     let path = "BENCH_fused_scoring.json";
+    let text = serde_json::to_string_pretty(&report).expect("serialize bench json");
+    std::fs::write(path, text).expect("write bench json");
+    println!("wrote {path}");
+}
+
+/// Batched frontier/SpMV global-metric engine vs its retained per-source
+/// reference oracles on the renren-like preset over the shared `ThreeHop`
+/// candidate set — the benchmark behind `BENCH_global_scoring.json`.
+///
+/// Per metric (SP, LP, LRW, PPR, Katz-lr, Katz-sc) at one worker: the
+/// batched path and the per-source oracle are scored untimed first and
+/// asserted equal — bit for bit for the exact algorithms (SP, LP, both
+/// Katz), within the documented analytic tolerance for the iterative
+/// solvers (LRW, PPR) — then both are timed. The headline
+/// `group_speedup_threads1` is total reference time over total batched
+/// time for the solver group {LRW, PPR, Katz-lr, Katz-sc}. A worker-count
+/// sweep then times the batched paths alone, asserting each stays
+/// bit-identical to its one-worker output; finally a warm-vs-cold PPR
+/// sweep over late snapshots measures what the persistent
+/// [`osn_metrics::solver::SolverCache`] buys, with warm output asserted
+/// within `4·tol/α` of cold per pair.
+///
+/// Katz-lr carries no distinct per-source oracle (each Lanczos step is
+/// already one global matvec); its reference is the same serial path at
+/// one worker, so it dilutes the group speedup rather than inflating it.
+fn global_scoring(scale: f64, days: u32) {
+    use osn_graph::par;
+    use osn_metrics::exec;
+    use osn_metrics::katz::KatzSc;
+    use osn_metrics::path::{LocalPath, ShortestPath};
+    use osn_metrics::solver::SolverCache;
+    use osn_metrics::walk::{LocalRandomWalk, PersonalizedPageRank};
+
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cfg = osn_trace::presets::TraceConfig::renren_like().scaled(scale).with_days(days);
+    let trace = cfg.generate(42);
+    let seq = SnapshotSequence::with_count(&trace, 12);
+    let snap = seq.snapshot(9);
+    let cands = CandidateSet::build(&snap, CandidatePolicy::ThreeHop, 0);
+    let pairs = cands.pairs();
+
+    let names = ["SP", "LP", "LRW", "PPR", "Katz-lr", "Katz-sc"];
+    let metrics: Vec<Box<dyn Metric>> =
+        names.iter().map(|n| osn_metrics::metric_by_name(n).expect("global metric")).collect();
+
+    let sp = ShortestPath::default();
+    let lp = LocalPath::default();
+    let lrw = LocalRandomWalk::default();
+    let ppr = PersonalizedPageRank::default();
+    let katz_sc = KatzSc::default();
+
+    // The per-source oracle for each metric (serial for SP/LP/Katz whose
+    // references are single-threaded by construction).
+    let reference = |name: &str, threads: usize| -> Vec<f64> {
+        match name {
+            "SP" => sp.score_pairs_per_source(&snap, pairs),
+            "LP" => lp.score_pairs_per_source(&snap, pairs),
+            "LRW" => lrw.score_pairs_per_source_t(&snap, pairs, threads),
+            "PPR" => ppr.score_pairs_per_source_t(&snap, pairs, threads),
+            "Katz-lr" => {
+                let m = osn_metrics::metric_by_name("Katz-lr").expect("metric");
+                exec::score_pairs_t(m.as_ref(), &snap, pairs, 1)
+            }
+            "Katz-sc" => katz_sc.prepare_per_source(&snap).score_chunk(&snap, pairs),
+            _ => unreachable!("unknown global metric {name}"),
+        }
+    };
+
+    // --- Stage 1: batched vs reference at one worker, equality first ----
+    par::set_thread_override(Some(1));
+    let mut metric_rows = Vec::new();
+    let mut batched_at_one: Vec<Vec<f64>> = Vec::new();
+    let mut group_ref_secs = 0.0;
+    let mut group_batched_secs = 0.0;
+    for (name, m) in names.iter().zip(&metrics) {
+        let batched = exec::score_pairs_t(m.as_ref(), &snap, pairs, 1);
+        let oracle = reference(name, 1);
+        type PairBound<'a> = Box<dyn Fn((u32, u32)) -> f64 + 'a>;
+        let tolerance: Option<PairBound> = match *name {
+            // Exact algorithms: the batched walkers/SpMM must reproduce
+            // the oracle bit for bit.
+            "SP" | "LP" | "Katz-lr" | "Katz-sc" => None,
+            // Both paths compute the exact truncated walk distribution;
+            // only summation order differs.
+            "LRW" => Some(Box::new(|_| 1e-12)),
+            // Chebyshev certifies ‖p-p̂‖₁ ≤ tol/α per solve; forward-push
+            // has per-entry error ≤ ε·deg; a pair combines two of each.
+            "PPR" => Some(Box::new(|(u, v)| {
+                ppr.epsilon * (snap.degree(u) + snap.degree(v)) as f64
+                    + 2.0 * ppr.solver_tol() / ppr.alpha
+            })),
+            _ => unreachable!(),
+        };
+        match tolerance {
+            None => assert_eq!(batched, oracle, "{name}: batched diverged from per-source oracle"),
+            Some(bound) => {
+                for (i, &p) in pairs.iter().enumerate() {
+                    let dev = (batched[i] - oracle[i]).abs();
+                    assert!(
+                        dev <= bound(p),
+                        "{name}: pair {p:?} deviates {dev:e} beyond tolerance {:e}",
+                        bound(p)
+                    );
+                }
+            }
+        }
+
+        let (ref_secs, _) = timed(|| reference(name, 1));
+        let (batched_secs, _) = timed(|| exec::score_pairs_t(m.as_ref(), &snap, pairs, 1));
+        let speedup = ref_secs / batched_secs.max(1e-12);
+        if *name != "SP" && *name != "LP" {
+            group_ref_secs += ref_secs;
+            group_batched_secs += batched_secs;
+        }
+        println!(
+            "{name}: reference {ref_secs:.3}s ({:.0} pairs/s), batched {batched_secs:.3}s \
+             ({:.0} pairs/s, {speedup:.1}x)",
+            rate(pairs.len(), ref_secs),
+            rate(pairs.len(), batched_secs),
+        );
+        metric_rows.push(serde_json::json!({
+            "metric": name,
+            "reference_secs": ref_secs,
+            "reference_pairs_per_sec": rate(pairs.len(), ref_secs),
+            "batched_secs": batched_secs,
+            "batched_pairs_per_sec": rate(pairs.len(), batched_secs),
+            "speedup": speedup,
+            "equality": if *name == "LRW" || *name == "PPR" { "within-tolerance" } else { "bit-identical" },
+        }));
+        batched_at_one.push(batched);
+    }
+    let group_speedup = group_ref_secs / group_batched_secs.max(1e-12);
+    println!(
+        "solver group (LRW/PPR/Katz): reference {group_ref_secs:.3}s, batched \
+         {group_batched_secs:.3}s ({group_speedup:.1}x)"
+    );
+
+    // --- Stage 2: batched worker-count sweep ----------------------------
+    let mut sweep_rows = Vec::new();
+    for &t in &sweep_thread_counts(host) {
+        par::set_thread_override(Some(t));
+        let mut entries = Vec::new();
+        for ((name, m), base) in names.iter().zip(&metrics).zip(&batched_at_one) {
+            let scores = exec::score_pairs_t(m.as_ref(), &snap, pairs, t);
+            assert_eq!(&scores, base, "{name}: batched output drifted at {t} workers");
+            let (secs, _) = timed(|| exec::score_pairs_t(m.as_ref(), &snap, pairs, t));
+            entries.push(serde_json::json!({
+                "metric": name,
+                "batched_secs": secs,
+                "batched_pairs_per_sec": rate(pairs.len(), secs),
+            }));
+        }
+        println!("threads={t}: batched sweep row done (outputs bit-identical to one worker)");
+        sweep_rows.push(serde_json::json!({ "threads": t, "metrics": entries }));
+    }
+
+    // --- Stage 3: warm vs cold PPR across late snapshots ----------------
+    par::set_thread_override(Some(1));
+    let mut warm_cache = SolverCache::sweep();
+    let mut warm_rows = Vec::new();
+    let warm_bound = 4.0 * ppr.solver_tol() / ppr.alpha;
+    for si in 6..seq.len().min(11) {
+        let s = seq.snapshot(si);
+        let c = CandidateSet::build(&s, CandidatePolicy::ThreeHop, 0);
+        let iters_before = warm_cache.stats.ppr_iterations;
+        let warms_before = warm_cache.stats.ppr_warm_starts;
+        let (warm_secs, warm) =
+            timed(|| exec::score_pairs_cached_t(&ppr, &s, c.pairs(), 1, &mut warm_cache));
+        let mut cold_cache = SolverCache::transient();
+        let (cold_secs, cold) =
+            timed(|| exec::score_pairs_cached_t(&ppr, &s, c.pairs(), 1, &mut cold_cache));
+        for i in 0..c.len() {
+            let dev = (warm[i] - cold[i]).abs();
+            assert!(
+                dev <= warm_bound,
+                "snapshot {si}: warm/cold PPR diverged {dev:e} beyond {warm_bound:e}"
+            );
+        }
+        let warm_iters = warm_cache.stats.ppr_iterations - iters_before;
+        let warm_starts = warm_cache.stats.ppr_warm_starts - warms_before;
+        let cold_iters = cold_cache.stats.ppr_iterations;
+        println!(
+            "snapshot {si}: PPR warm {warm_secs:.3}s ({warm_iters} iters, {warm_starts} warm \
+             starts), cold {cold_secs:.3}s ({cold_iters} iters)"
+        );
+        warm_rows.push(serde_json::json!({
+            "snapshot": si,
+            "pairs": c.len(),
+            "warm_secs": warm_secs,
+            "warm_iterations": warm_iters,
+            "warm_starts": warm_starts,
+            "cold_secs": cold_secs,
+            "cold_iterations": cold_iters,
+        }));
+    }
+    par::set_thread_override(None);
+
+    let report = serde_json::json!({
+        "bench": "global_scoring",
+        "network": "renren-like",
+        "scale": scale,
+        "days": days,
+        "host_cores": host,
+        "nodes": snap.node_count(),
+        "edges": snap.edge_count(),
+        "candidate_pairs": pairs.len(),
+        "metrics": names.to_vec(),
+        "note": "batched vs per-source-oracle, equality asserted before timing (bit-identical for SP/LP/Katz, analytic tolerance for LRW/PPR); Katz-lr has no distinct per-source oracle so its reference is the same serial path; warm rows assert |warm-cold| <= 4·tol/α per pair",
+        "group_speedup_threads1": group_speedup,
+        "per_metric_threads1": metric_rows,
+        "batched_thread_sweep": sweep_rows,
+        "warm_vs_cold_ppr": warm_rows,
+    });
+    let path = "BENCH_global_scoring.json";
     let text = serde_json::to_string_pretty(&report).expect("serialize bench json");
     std::fs::write(path, text).expect("write bench json");
     println!("wrote {path}");

@@ -54,6 +54,10 @@ pub const RULES: &[(&str, &str)] = &[
         "a fresh `common_neighbors`/`common_neighbor_count` merge per pair inside a `score_pairs` impl; route local metrics through the fused kernel or justify the slow path",
     ),
     (
+        "per-source-power-iteration",
+        "a fresh per-source solve (`walk_distribution`/`forward_push`/`two_pass_scores`/`bfs_distances`) inside a `score_pairs` impl; route global metrics through the batched solver engine or justify the reference path",
+    ),
+    (
         "unjustified-allow",
         "a `linklens-allow(..)` without a `: justification` suffix",
     ),
@@ -136,6 +140,7 @@ pub fn check_file(info: &FileInfo, src: &str) -> Vec<Diagnostic> {
         if !info.is_shim && info.kind == FileKind::Lib {
             print_in_lib(info, &lexed.tokens, &mask, &mut diags);
             per_pair_intersection(info, &lexed.tokens, &mask, &mut diags);
+            per_source_power_iteration(info, &lexed.tokens, &mask, &mut diags);
         }
     }
     if info.is_crate_root {
@@ -285,6 +290,74 @@ fn per_pair_intersection(
                         "`.{name}()` inside a score_pairs impl pays one sorted-merge intersection per pair; \
                          advertise a fused_kind so the engine batches by source, or justify the slow path \
                          with linklens-allow"
+                    ),
+                    suppressed: false,
+                });
+            }
+        }
+        i = end;
+    }
+}
+
+/// A fresh per-source power-iteration or frontier solve
+/// (`walk_distribution`, `forward_push`, `two_pass_scores`,
+/// `bfs_distances`) inside the body of any `score_pairs*` implementation:
+/// one full solve per source per call is exactly the cost the batched
+/// solver engine ([`osn_metrics::solver`]) exists to remove. The retained
+/// per-source reference oracles keep the slow path on purpose and
+/// suppress with a justification. Matched by name prefix, so
+/// `score_pairs_per_source` and friends are gated too.
+fn per_source_power_iteration(
+    info: &FileInfo,
+    tokens: &[Token],
+    mask: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    const SOLVES: &[&str] =
+        &["walk_distribution", "forward_push", "two_pass_scores", "bfs_distances"];
+    let mut i = 0;
+    while i < tokens.len() {
+        if mask[i]
+            || ident_at(tokens, i) != Some("fn")
+            || !ident_at(tokens, i + 1).is_some_and(|n| n.starts_with("score_pairs"))
+        {
+            i += 1;
+            continue;
+        }
+        // Find the body's `{`; hitting `;` first means a bodyless trait
+        // declaration, which has nothing to flag.
+        let mut j = i + 2;
+        let mut open = None;
+        while j < tokens.len() {
+            match tokens[j].tok {
+                Tok::Punct('{') => {
+                    open = Some(j);
+                    break;
+                }
+                Tok::Punct(';') => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+        let end = past_matching_brace(tokens, open);
+        for t in open..end.min(tokens.len()) {
+            if mask[t] {
+                continue;
+            }
+            let Some(name) = ident_at(tokens, t) else { continue };
+            if SOLVES.contains(&name) && punct_at(tokens, t + 1, '(') {
+                out.push(Diagnostic {
+                    rule: "per-source-power-iteration",
+                    path: info.path.clone(),
+                    line: tokens[t].line,
+                    message: format!(
+                        "`{name}()` inside a score_pairs impl pays one full solve per source per call; \
+                         route the metric through the batched solver engine, or justify the reference \
+                         path with linklens-allow"
                     ),
                     suppressed: false,
                 });
@@ -602,6 +675,50 @@ mod tests {
     fn intersection_rule_exempt_in_tests() {
         let src = "#[cfg(test)]\nmod tests {\n  fn score_pairs(snap: &S) -> f64 { snap.common_neighbor_count(0, 1) as f64 }\n}";
         assert_eq!(active(&check_file(&lib_info("metrics"), src), "per-pair-intersection"), 0);
+    }
+
+    // --- per-source-power-iteration ------------------------------------
+
+    #[test]
+    fn power_iteration_rule_fires_inside_score_pairs_bodies() {
+        let src = "impl Metric for Ppr {\n  fn score_pairs(&self, snap: &Snapshot, pairs: &[(u32, u32)]) -> Vec<f64> {\n    for &(u, _) in pairs { forward_push(snap, u, self.alpha, self.epsilon, &mut scr); }\n    vec![]\n  }\n}";
+        let d = check_file(&lib_info("metrics"), src);
+        assert_eq!(active(&d, "per-source-power-iteration"), 1);
+        assert_eq!(
+            d.iter().find(|x| x.rule == "per-source-power-iteration").map(|x| x.line),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn power_iteration_rule_fires_on_per_source_references_too() {
+        // Prefix match: `score_pairs_per_source_t` is gated like
+        // `score_pairs`, so reference oracles must carry an allow.
+        let src = "fn score_pairs_per_source_t(&self, snap: &S, pairs: &[(u32, u32)], threads: usize) -> Vec<f64> {\n  two_pass_scores(snap, pairs, |s, src, scr| walk_distribution(s, src, 3, 0.0, scr), threads)\n}";
+        assert_eq!(active(&check_file(&lib_info("metrics"), src), "per-source-power-iteration"), 2);
+    }
+
+    #[test]
+    fn power_iteration_rule_fires_on_path_qualified_calls() {
+        let src = "fn score_pairs(&self, snap: &S, pairs: &[(u32, u32)]) -> Vec<f64> {\n  let dist = traversal::bfs_distances(snap, 0, 6);\n  vec![]\n}";
+        assert_eq!(active(&check_file(&lib_info("metrics"), src), "per-source-power-iteration"), 1);
+    }
+
+    #[test]
+    fn power_iteration_rule_skips_other_fns_and_bodyless_decls() {
+        let src = "trait Metric {\n  fn score_pairs(&self, snap: &S, pairs: &[(u32, u32)]) -> Vec<f64>;\n}\nfn helper(snap: &S) -> Vec<u32> { bfs_distances(snap, 0, 6) }";
+        assert_eq!(active(&check_file(&lib_info("metrics"), src), "per-source-power-iteration"), 0);
+    }
+
+    #[test]
+    fn power_iteration_rule_suppressed_by_allow() {
+        let src = "fn score_pairs_per_source(&self, snap: &S, pairs: &[(u32, u32)]) -> Vec<f64> {\n  // linklens-allow(per-source-power-iteration): reference oracle, engine uses the batched walker\n  let dist = bfs_distances(snap, 0, 6);\n  vec![]\n}";
+        let d = check_file(&lib_info("metrics"), src);
+        assert_eq!(active(&d, "per-source-power-iteration"), 0);
+        assert_eq!(
+            d.iter().filter(|x| x.rule == "per-source-power-iteration" && x.suppressed).count(),
+            1
+        );
     }
 
     // --- missing-forbid-unsafe -----------------------------------------

@@ -5,6 +5,7 @@ use osn_graph::snapshot::Snapshot;
 use osn_graph::NodeId;
 use osn_metrics::candidates::CandidateSet;
 use osn_metrics::exec;
+use osn_metrics::solver::SolverCache;
 use osn_metrics::traits::{CandidatePolicy, Metric};
 use serde::Serialize;
 use std::collections::HashSet;
@@ -191,6 +192,25 @@ impl<'a> SequenceEvaluator<'a> {
         t: usize,
         filter: Option<&TemporalFilter>,
     ) -> Vec<PredictionOutcome> {
+        let mut cache = SolverCache::transient();
+        self.evaluate_metrics_on_cached(metrics, prev, t, filter, &mut cache)
+    }
+
+    /// [`evaluate_metrics_on`](Self::evaluate_metrics_on) with a
+    /// caller-owned solver cache. [`evaluate_all`](Self::evaluate_all)
+    /// passes a persistent [`SolverCache::sweep`] so every snapshot shares
+    /// one transition view across its policy groups and PPR warm-starts
+    /// from the previous snapshot's converged vectors (fewer iterations;
+    /// outputs within the solver's documented fixed-point tolerance of a
+    /// cold run — see `osn_metrics::solver`).
+    pub fn evaluate_metrics_on_cached(
+        &self,
+        metrics: &[&dyn Metric],
+        prev: &Snapshot,
+        t: usize,
+        filter: Option<&TemporalFilter>,
+        cache: &mut SolverCache,
+    ) -> Vec<PredictionOutcome> {
         assert!(t >= 1 && t < self.seq.len(), "transition index out of range");
         debug_assert_eq!(
             prev.prefix_len(),
@@ -221,13 +241,14 @@ impl<'a> SequenceEvaluator<'a> {
             // one (metric × chunk) work pool over the candidate slice
             // instead of one thread per metric, so a single slow metric
             // no longer serializes the group.
-            let predictions = exec::predict_top_k_many_t(
+            let predictions = exec::predict_top_k_many_cached_t(
                 &group_metrics,
                 prev,
                 &cands,
                 k,
                 self.seed,
                 osn_graph::par::max_threads(),
+                cache,
             );
             for ((idx, m), predicted) in group.iter().zip(predictions) {
                 let correct = predicted.iter().filter(|p| truth.contains(p)).count();
@@ -258,13 +279,19 @@ impl<'a> SequenceEvaluator<'a> {
         let mut per_metric: Vec<Vec<PredictionOutcome>> =
             (0..metrics.len()).map(|_| Vec::new()).collect();
         let mut sweep = self.seq.snapshots();
+        // One persistent solver cache for the whole sweep: consecutive
+        // snapshots share grown transition structure, so PPR solves
+        // warm-start from the previous snapshot's converged vectors.
+        let mut cache = SolverCache::sweep();
         for t in 1..self.seq.len() {
             // Transition t observes snapshot t − 1; the final snapshot is
             // only ever ground truth, so the sweep never materializes it.
             // linklens-allow(unwrap-in-lib): t < len(), and the sweep yields len() snapshots
             let prev = sweep.next().expect("sweep yields len() snapshots");
-            for (mi, outcome) in
-                self.evaluate_metrics_on(metrics, prev, t, filter).into_iter().enumerate()
+            for (mi, outcome) in self
+                .evaluate_metrics_on_cached(metrics, prev, t, filter, &mut cache)
+                .into_iter()
+                .enumerate()
             {
                 per_metric[mi].push(outcome);
             }

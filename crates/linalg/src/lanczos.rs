@@ -117,6 +117,20 @@ pub fn jacobi_eigen(a: &Matrix) -> EigenPairs {
 /// # Panics
 /// Panics if `a` is not square or `k == 0`.
 pub fn lanczos_top_k(a: &SparseMatrix, k: usize, max_iter: usize, seed: u64) -> EigenPairs {
+    lanczos_top_k_t(a, k, max_iter, seed, 1)
+}
+
+/// Threaded variant of [`lanczos_top_k`]: each Lanczos matvec runs through
+/// the row-parallel [`SparseMatrix::matvec_into_t`] path, which is
+/// bit-identical to the serial fold for any thread count, so the returned
+/// eigenpairs do not depend on `threads`.
+pub fn lanczos_top_k_t(
+    a: &SparseMatrix,
+    k: usize,
+    max_iter: usize,
+    seed: u64,
+    threads: usize,
+) -> EigenPairs {
     assert_eq!(a.rows(), a.cols(), "lanczos requires a square matrix");
     assert!(k > 0, "k must be positive");
     let n = a.rows();
@@ -148,7 +162,7 @@ pub fn lanczos_top_k(a: &SparseMatrix, k: usize, max_iter: usize, seed: u64) -> 
     let mut w = vec![0.0; n];
 
     for j in 0..m {
-        a.matvec_into(&basis[j], &mut w);
+        a.matvec_into_t(&basis[j], &mut w, threads);
         let alpha = dot(&w, &basis[j]);
         alphas.push(alpha);
         // w ← w − α qⱼ − β qⱼ₋₁, then full reorthogonalization.
@@ -295,6 +309,18 @@ mod tests {
         let e2 = lanczos_top_k(&a, 2, 15, 99);
         assert_eq!(e1.values, e2.values);
         assert!(e1.vectors.max_abs_diff(&e2.vectors) == 0.0);
+    }
+
+    #[test]
+    fn lanczos_threaded_is_bit_identical() {
+        let edges = [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)];
+        let a = SparseMatrix::adjacency(6, &edges);
+        let serial = lanczos_top_k(&a, 3, 30, 7);
+        for threads in [2, 4, 8] {
+            let par = lanczos_top_k_t(&a, 3, 30, 7, threads);
+            assert_eq!(serial.values, par.values);
+            assert!(serial.vectors.max_abs_diff(&par.vectors) == 0.0);
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod lanczos;
 pub mod sparse;
 
 pub use dense::Matrix;
-pub use sparse::SparseMatrix;
+pub use sparse::{CsrError, SparseMatrix};
 
 /// Numerical tolerance used by the iterative routines in this crate when a
 /// caller does not supply one.

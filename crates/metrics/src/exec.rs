@@ -28,6 +28,7 @@
 
 use crate::candidates::CandidateSet;
 use crate::fused::{self, FusedScratch, LocalKind};
+use crate::solver::SolverCache;
 use crate::topk::{self, TopKAcc};
 use crate::traits::{Metric, ScoreContract};
 use osn_graph::par;
@@ -132,10 +133,25 @@ pub fn score_pairs_t<M: Metric + ?Sized>(
     pairs: &[(NodeId, NodeId)],
     threads: usize,
 ) -> Vec<f64> {
+    let mut cache = SolverCache::transient();
+    score_pairs_cached_t(m, snap, pairs, threads, &mut cache)
+}
+
+/// [`score_pairs_t`] with a caller-owned [`SolverCache`]: the walk metrics
+/// route their solves through it (sharing the snapshot's transition view
+/// and, on persistent caches, PPR warm-start vectors), and Katz prepares
+/// reuse its adjacency CSR. Other metrics ignore the cache.
+pub fn score_pairs_cached_t<M: Metric + ?Sized>(
+    m: &M,
+    snap: &Snapshot,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+    cache: &mut SolverCache,
+) -> Vec<f64> {
     if let Some(kind) = m.fused_kind() {
         return fused_single_scores(m, kind, snap, pairs, threads);
     }
-    score_pairs_per_pair_t(m, snap, pairs, threads)
+    score_pairs_per_pair_cached_t(m, snap, pairs, threads, cache)
 }
 
 /// The pre-fusion scoring path: chunked through the metric's own
@@ -148,14 +164,25 @@ pub fn score_pairs_per_pair_t<M: Metric + ?Sized>(
     pairs: &[(NodeId, NodeId)],
     threads: usize,
 ) -> Vec<f64> {
+    let mut cache = SolverCache::transient();
+    score_pairs_per_pair_cached_t(m, snap, pairs, threads, &mut cache)
+}
+
+fn score_pairs_per_pair_cached_t<M: Metric + ?Sized>(
+    m: &M,
+    snap: &Snapshot,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+    cache: &mut SolverCache,
+) -> Vec<f64> {
     match m.exec_mode() {
         ExecMode::WholeBatch => {
-            let scores = m.score_pairs_t(snap, pairs, threads);
+            let scores = m.score_pairs_cached(snap, pairs, threads, cache);
             audit_scores(m.name(), m.score_contract(), &scores, 0);
             scores
         }
         ExecMode::Chunked => {
-            let scorer = m.prepare(snap);
+            let scorer = m.prepare_cached(snap, cache);
             let chunks = source_aligned_chunks(pairs, threads);
             if threads <= 1 || chunks.len() <= 1 {
                 let scores = scorer.score_chunk(snap, pairs);
@@ -262,15 +289,29 @@ pub fn predict_top_k_per_pair_t<M: Metric + ?Sized>(
     seed: u64,
     threads: usize,
 ) -> Vec<(NodeId, NodeId)> {
+    let mut cache = SolverCache::transient();
+    predict_top_k_per_pair_cached_t(m, snap, cands, k, seed, threads, &mut cache)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn predict_top_k_per_pair_cached_t<M: Metric + ?Sized>(
+    m: &M,
+    snap: &Snapshot,
+    cands: &CandidateSet,
+    k: usize,
+    seed: u64,
+    threads: usize,
+    cache: &mut SolverCache,
+) -> Vec<(NodeId, NodeId)> {
     let pairs = cands.pairs();
     match m.exec_mode() {
         ExecMode::WholeBatch => {
-            let scores = m.score_pairs_t(snap, pairs, threads);
+            let scores = m.score_pairs_cached(snap, pairs, threads, cache);
             audit_scores(m.name(), m.score_contract(), &scores, 0);
             topk::top_k_pairs(pairs, &scores, k, seed)
         }
         ExecMode::Chunked => {
-            let scorer = m.prepare(snap);
+            let scorer = m.prepare_cached(snap, cache);
             let chunks = source_aligned_chunks(pairs, threads);
             let accs = par::run_indexed(chunks.len(), threads.max(1), |c| {
                 let range = chunks[c].clone();
@@ -348,11 +389,33 @@ pub fn predict_top_k_many_t(
     seed: u64,
     threads: usize,
 ) -> Vec<Vec<(NodeId, NodeId)>> {
+    let mut cache = SolverCache::transient();
+    predict_top_k_many_cached_t(metrics, snap, cands, k, seed, threads, &mut cache)
+}
+
+/// [`predict_top_k_many_t`] with a caller-owned [`SolverCache`]. The
+/// snapshot sweep passes a persistent cache so consecutive snapshots share
+/// warm-start vectors; the cache also fixes the redundant-recompute issue
+/// the one-cache-per-metric path had — every global metric in the group
+/// now reads one shared transition view per snapshot, and each distinct
+/// source endpoint's solve vector is computed once per (metric, snapshot)
+/// via the solver's source plan instead of once per scoring pass.
+#[allow(clippy::too_many_arguments)]
+pub fn predict_top_k_many_cached_t(
+    metrics: &[&dyn Metric],
+    snap: &Snapshot,
+    cands: &CandidateSet,
+    k: usize,
+    seed: u64,
+    threads: usize,
+    cache: &mut SolverCache,
+) -> Vec<Vec<(NodeId, NodeId)>> {
     let pairs = cands.pairs();
     let threads = threads.max(1);
+    cache.ensure_snapshot(snap);
     let (fused_idx, kinds, rest) = fused_partition(metrics);
     if fused_idx.is_empty() {
-        return predict_top_k_many_per_pair_t(metrics, snap, cands, k, seed, threads);
+        return predict_top_k_many_per_pair_cached_t(metrics, snap, cands, k, seed, threads, cache);
     }
     let mut out: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); metrics.len()];
 
@@ -389,7 +452,7 @@ pub fn predict_top_k_many_t(
 
     if !rest.is_empty() {
         let rm: Vec<&dyn Metric> = rest.iter().map(|&i| metrics[i]).collect();
-        let preds = predict_top_k_many_per_pair_t(&rm, snap, cands, k, seed, threads);
+        let preds = predict_top_k_many_per_pair_cached_t(&rm, snap, cands, k, seed, threads, cache);
         for (j, p) in preds.into_iter().enumerate() {
             out[rest[j]] = p;
         }
@@ -408,14 +471,32 @@ pub fn predict_top_k_many_per_pair_t(
     seed: u64,
     threads: usize,
 ) -> Vec<Vec<(NodeId, NodeId)>> {
+    let mut cache = SolverCache::transient();
+    predict_top_k_many_per_pair_cached_t(metrics, snap, cands, k, seed, threads, &mut cache)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn predict_top_k_many_per_pair_cached_t(
+    metrics: &[&dyn Metric],
+    snap: &Snapshot,
+    cands: &CandidateSet,
+    k: usize,
+    seed: u64,
+    threads: usize,
+    cache: &mut SolverCache,
+) -> Vec<Vec<(NodeId, NodeId)>> {
     let pairs = cands.pairs();
     let threads = threads.max(1);
     let (chunked, whole) = by_mode(metrics);
     let mut out: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); metrics.len()];
 
     if !chunked.is_empty() {
-        let scorers =
-            par::run_indexed(chunked.len(), threads, |i| metrics[chunked[i]].prepare(snap));
+        // Shared reborrow: prepares only read the cache (its transition
+        // view), so they can run in parallel across metrics.
+        let cache_ref: &SolverCache = cache;
+        let scorers = par::run_indexed(chunked.len(), threads, |i| {
+            metrics[chunked[i]].prepare_cached(snap, cache_ref)
+        });
         let chunks = source_aligned_chunks(pairs, threads);
         let items: Vec<Item> = chunked
             .iter()
@@ -443,7 +524,7 @@ pub fn predict_top_k_many_per_pair_t(
         }
     }
     for &mi in &whole {
-        let scores = metrics[mi].score_pairs_t(snap, pairs, threads);
+        let scores = metrics[mi].score_pairs_cached(snap, pairs, threads, cache);
         audit_scores(metrics[mi].name(), metrics[mi].score_contract(), &scores, 0);
         out[mi] = topk::top_k_pairs(pairs, &scores, k, seed);
     }
@@ -462,10 +543,24 @@ pub fn score_matrix_t(
     pairs: &[(NodeId, NodeId)],
     threads: usize,
 ) -> Vec<Vec<f64>> {
+    let mut cache = SolverCache::transient();
+    score_matrix_cached_t(metrics, snap, pairs, threads, &mut cache)
+}
+
+/// [`score_matrix_t`] with a caller-owned [`SolverCache`] (see
+/// [`predict_top_k_many_cached_t`] for the sharing/warm-start semantics).
+pub fn score_matrix_cached_t(
+    metrics: &[&dyn Metric],
+    snap: &Snapshot,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+    cache: &mut SolverCache,
+) -> Vec<Vec<f64>> {
     let threads = threads.max(1);
+    cache.ensure_snapshot(snap);
     let (fused_idx, kinds, rest) = fused_partition(metrics);
     if fused_idx.is_empty() {
-        return score_matrix_per_pair_t(metrics, snap, pairs, threads);
+        return score_matrix_per_pair_cached_t(metrics, snap, pairs, threads, cache);
     }
     let mut out: Vec<Vec<f64>> = vec![Vec::new(); metrics.len()];
 
@@ -497,7 +592,7 @@ pub fn score_matrix_t(
 
     if !rest.is_empty() {
         let rm: Vec<&dyn Metric> = rest.iter().map(|&i| metrics[i]).collect();
-        let cols = score_matrix_per_pair_t(&rm, snap, pairs, threads);
+        let cols = score_matrix_per_pair_cached_t(&rm, snap, pairs, threads, cache);
         for (j, col) in cols.into_iter().enumerate() {
             out[rest[j]] = col;
         }
@@ -515,13 +610,28 @@ pub fn score_matrix_per_pair_t(
     pairs: &[(NodeId, NodeId)],
     threads: usize,
 ) -> Vec<Vec<f64>> {
+    let mut cache = SolverCache::transient();
+    score_matrix_per_pair_cached_t(metrics, snap, pairs, threads, &mut cache)
+}
+
+fn score_matrix_per_pair_cached_t(
+    metrics: &[&dyn Metric],
+    snap: &Snapshot,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+    cache: &mut SolverCache,
+) -> Vec<Vec<f64>> {
     let threads = threads.max(1);
     let (chunked, whole) = by_mode(metrics);
     let mut out: Vec<Vec<f64>> = vec![Vec::new(); metrics.len()];
 
     if !chunked.is_empty() {
-        let scorers =
-            par::run_indexed(chunked.len(), threads, |i| metrics[chunked[i]].prepare(snap));
+        // Shared reborrow: prepares only read the cache (its transition
+        // view), so they can run in parallel across metrics.
+        let cache_ref: &SolverCache = cache;
+        let scorers = par::run_indexed(chunked.len(), threads, |i| {
+            metrics[chunked[i]].prepare_cached(snap, cache_ref)
+        });
         let chunks = source_aligned_chunks(pairs, threads);
         let items: Vec<Item> = chunked
             .iter()
@@ -546,7 +656,7 @@ pub fn score_matrix_per_pair_t(
         }
     }
     for &mi in &whole {
-        let scores = metrics[mi].score_pairs_t(snap, pairs, threads);
+        let scores = metrics[mi].score_pairs_cached(snap, pairs, threads, cache);
         audit_scores(metrics[mi].name(), metrics[mi].score_contract(), &scores, 0);
         out[mi] = scores;
     }

@@ -11,10 +11,11 @@
 //! a landmark set `L`) and `W = K[L, L]`, `K ≈ C W⁺ Cᵀ`.
 
 use crate::exec::PairScorer;
+use crate::solver::SolverCache;
 use crate::traits::{CandidatePolicy, Metric};
 use osn_graph::snapshot::Snapshot;
-use osn_graph::NodeId;
-use osn_linalg::lanczos::lanczos_top_k;
+use osn_graph::{par, NodeId};
+use osn_linalg::lanczos::lanczos_top_k_t;
 use osn_linalg::{Matrix, SparseMatrix};
 
 /// Shared Katz attenuation default (the paper uses β = 0.001 after \[1\]).
@@ -96,6 +97,32 @@ impl Metric for KatzLr {
             });
         }
         let a = adjacency(snap);
+        self.prepare_from(snap, &a)
+    }
+
+    fn prepare_cached<'a>(
+        &'a self,
+        snap: &Snapshot,
+        cache: &SolverCache,
+    ) -> Box<dyn PairScorer + 'a> {
+        if snap.edge_count() == 0 {
+            return self.prepare(snap);
+        }
+        // Reuse the snapshot's shared adjacency CSR instead of rebuilding
+        // it from triplets (the cache owner pointed it at `snap`).
+        match cache.transition() {
+            Some(tv) if tv.node_count() == snap.node_count() => {
+                self.prepare_from(snap, tv.adjacency())
+            }
+            _ => self.prepare(snap),
+        }
+    }
+}
+
+impl KatzLr {
+    /// Factorization stage shared by the cached and uncached prepare
+    /// paths; `a` is the snapshot's adjacency.
+    fn prepare_from<'a>(&'a self, snap: &Snapshot, a: &SparseMatrix) -> Box<dyn PairScorer + 'a> {
         // Single-start Lanczos recovers one Ritz vector per eigenvalue
         // cluster, so on small graphs (where exact is cheap and spectra are
         // often degenerate by symmetry) use the dense Jacobi solver; the
@@ -120,7 +147,16 @@ impl Metric for KatzLr {
             full.vectors = vectors;
             full
         } else {
-            lanczos_top_k(&a, self.rank.min(snap.node_count()), self.max_iter, self.seed)
+            // Threaded SpMV inside Lanczos is bit-identical for any worker
+            // count (see `lanczos_top_k_t`), so the factorization stays
+            // deterministic.
+            lanczos_top_k_t(
+                a,
+                self.rank.min(snap.node_count()),
+                self.max_iter,
+                self.seed,
+                par::max_threads(),
+            )
         };
         // f(λ) = 1/(1-βλ) - 1, clamped away from the pole.
         let factors: Vec<f64> = eig
@@ -161,7 +197,7 @@ impl KatzSc {
     /// Picks landmark node ids: the top half by degree plus an
     /// evenly-strided sweep over the rest (Song et al. pick high-degree
     /// landmarks; the strided half guards low-degree regions).
-    fn pick_landmarks(&self, snap: &Snapshot) -> Vec<NodeId> {
+    pub fn pick_landmarks(&self, snap: &Snapshot) -> Vec<NodeId> {
         let n = snap.node_count();
         let l = self.landmarks.min(n);
         let mut by_degree: Vec<NodeId> = (0..n as NodeId).collect();
@@ -250,10 +286,103 @@ impl Metric for KatzSc {
             return Box::new(KatzScScorer { c: Matrix::zeros(n.max(1), 0), m_rows: None });
         }
         let a = adjacency(snap);
-        let lm = self.pick_landmarks(snap);
-        let l = lm.len();
+        self.prepare_from(snap, &a)
+    }
 
-        // C[:, j] = Σ_{i=1..T} βⁱ Aⁱ e_{lm[j]}  (truncated Katz column).
+    fn prepare_cached<'a>(
+        &'a self,
+        snap: &Snapshot,
+        cache: &SolverCache,
+    ) -> Box<dyn PairScorer + 'a> {
+        if snap.edge_count() == 0 || snap.node_count() == 0 {
+            return self.prepare(snap);
+        }
+        // Reuse the snapshot's shared adjacency CSR instead of rebuilding
+        // it from triplets (the cache owner pointed it at `snap`).
+        match cache.transition() {
+            Some(tv) if tv.node_count() == snap.node_count() => {
+                self.prepare_from(snap, tv.adjacency())
+            }
+            _ => self.prepare(snap),
+        }
+    }
+}
+
+impl KatzSc {
+    /// Landmark stage shared by the cached and uncached prepare paths.
+    fn prepare_from<'a>(&'a self, snap: &Snapshot, a: &SparseMatrix) -> Box<dyn PairScorer + 'a> {
+        let lm = self.pick_landmarks(snap);
+        let c = self.landmark_columns(a, &lm, par::max_threads());
+        self.scorer_from_columns(&lm, c)
+    }
+
+    /// Per-source reference prepare: identical landmark/mixing stages but
+    /// columns built by [`landmark_columns_per_source`]
+    /// (Self::landmark_columns_per_source). The columns are bit-identical
+    /// to the batched SpMM build, so the returned scorer's output is too —
+    /// kept as the oracle the bench and equivalence tests pin against.
+    pub fn prepare_per_source<'a>(&'a self, snap: &Snapshot) -> Box<dyn PairScorer + 'a> {
+        let n = snap.node_count();
+        if snap.edge_count() == 0 || n == 0 {
+            return self.prepare(snap);
+        }
+        let a = adjacency(snap);
+        let lm = self.pick_landmarks(snap);
+        let c = self.landmark_columns_per_source(&a, &lm);
+        self.scorer_from_columns(&lm, c)
+    }
+
+    /// Mixing stage shared by every column-building path:
+    /// `W = C[lm, :]`, `M = C (W + δI)⁻¹`.
+    fn scorer_from_columns(&self, lm: &[NodeId], c: Matrix) -> Box<dyn PairScorer + 'static> {
+        let l = lm.len();
+        let mut w = Matrix::zeros(l, l);
+        for (r_out, &lr) in lm.iter().enumerate() {
+            for j in 0..l {
+                w[(r_out, j)] = c[(lr as usize, j)];
+            }
+            w[(r_out, r_out)] += self.ridge;
+        }
+        // Solve (W + δI) Y = Cᵀ column-block-wise: rhs per graph node.
+        let rhs: Vec<Vec<f64>> = (0..c.rows()).map(|i| c.row(i).to_vec()).collect();
+        let m_rows = w.solve_many(&rhs);
+        Box::new(KatzScScorer { c, m_rows })
+    }
+
+    /// Truncated Katz columns for all landmarks at once:
+    /// `C[:, j] = Σ_{i=1..T} βⁱ Aⁱ e_{lm[j]}`, each series term one SpMM
+    /// over the `n × l` block, so `A`'s CSR is swept `T` times total
+    /// instead of `T` times per landmark. Bit-identical per column to
+    /// [`landmark_columns_per_source`](Self::landmark_columns_per_source)
+    /// for every thread count (the row fold visits the same neighbors in
+    /// the same ascending order).
+    pub fn landmark_columns(&self, a: &SparseMatrix, lm: &[NodeId], threads: usize) -> Matrix {
+        let n = a.rows();
+        let l = lm.len();
+        let mut x = Matrix::zeros(n, l);
+        for (j, &src) in lm.iter().enumerate() {
+            x[(src as usize, j)] = 1.0;
+        }
+        let mut next = Matrix::zeros(n, l);
+        let mut c = Matrix::zeros(n, l);
+        let mut weight = 1.0;
+        for _ in 0..self.series_terms {
+            a.spmm_into_t(&x, &mut next, threads);
+            std::mem::swap(&mut x, &mut next);
+            weight *= self.beta;
+            for (av, &cv) in c.data_mut().iter_mut().zip(x.data()) {
+                *av += weight * cv;
+            }
+        }
+        c
+    }
+
+    /// Per-landmark reference for [`landmark_columns`](Self::landmark_columns):
+    /// the original one-SpMV-per-term-per-landmark loop, kept as the
+    /// oracle the batched SpMM path is pinned against.
+    pub fn landmark_columns_per_source(&self, a: &SparseMatrix, lm: &[NodeId]) -> Matrix {
+        let n = a.rows();
+        let l = lm.len();
         let mut c = Matrix::zeros(n, l);
         let mut col = vec![0.0; n];
         let mut next = vec![0.0; n];
@@ -274,19 +403,7 @@ impl Metric for KatzSc {
                 c[(i, j)] = v;
             }
         }
-
-        // W = C[lm, :] (the landmark block of K); M = C (W + δI)⁻¹.
-        let mut w = Matrix::zeros(l, l);
-        for (r_out, &lr) in lm.iter().enumerate() {
-            for j in 0..l {
-                w[(r_out, j)] = c[(lr as usize, j)];
-            }
-            w[(r_out, r_out)] += self.ridge;
-        }
-        // Solve (W + δI) Y = Cᵀ column-block-wise: rhs per graph node.
-        let rhs: Vec<Vec<f64>> = (0..n).map(|i| c.row(i).to_vec()).collect();
-        let m_rows = w.solve_many(&rhs);
-        Box::new(KatzScScorer { c, m_rows })
+        c
     }
 }
 
@@ -406,6 +523,53 @@ mod tests {
         let lr = KatzLr::default();
         let scores = lr.score_pairs(&s, &[(0, 2)]);
         assert!(scores[0].abs() < 1e-9, "no path 0→2 exists");
+    }
+
+    #[test]
+    fn landmark_columns_batched_matches_per_source_bitwise() {
+        let s = fixture();
+        let a = adjacency(&s);
+        let sc = KatzSc { landmarks: 4, ..Default::default() };
+        let lm = sc.pick_landmarks(&s);
+        let want = sc.landmark_columns_per_source(&a, &lm);
+        for threads in [1, 2, 4] {
+            let got = sc.landmark_columns(&a, &lm, threads);
+            assert_eq!(got.data(), want.data(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn transition_view_adjacency_matches_triplet_build() {
+        // prepare_cached swaps the triplet-built adjacency for the cache's
+        // shared TransitionView CSR; they must be structurally identical.
+        let s = fixture();
+        let a = adjacency(&s);
+        let mut cache = SolverCache::transient();
+        cache.ensure_snapshot(&s);
+        let tv = cache.transition().unwrap();
+        let b = tv.adjacency();
+        assert_eq!(a.rows(), b.rows());
+        for i in 0..a.rows() {
+            assert_eq!(a.row(i), b.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn prepare_cached_scores_match_uncached() {
+        let s = fixture();
+        let pairs = [(0u32, 3u32), (0, 4), (1, 5), (2, 4)];
+        let mut cache = SolverCache::transient();
+        cache.ensure_snapshot(&s);
+        let lr = KatzLr::default();
+        assert_eq!(
+            lr.prepare_cached(&s, &cache).score_chunk(&s, &pairs),
+            lr.prepare(&s).score_chunk(&s, &pairs),
+        );
+        let sc = KatzSc::default();
+        assert_eq!(
+            sc.prepare_cached(&s, &cache).score_chunk(&s, &pairs),
+            sc.prepare(&s).score_chunk(&s, &pairs),
+        );
     }
 
     #[test]

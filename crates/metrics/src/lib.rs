@@ -54,6 +54,7 @@ pub mod katz;
 pub mod local;
 pub mod path;
 pub mod rescal;
+pub mod solver;
 pub mod timeaware;
 pub mod topk;
 pub mod traits;

@@ -1,8 +1,35 @@
 //! Path-based metrics: Shortest Path (SP) and Local Path (LP).
+//!
+//! Production scoring batches sources: SP walks up to 64 BFS sources at
+//! once through [`traversal::MultiSourceBfs`] (one edge touch per combined
+//! frontier level instead of per source), and LP reads its 2-walk counts
+//! from the epoch-stamped [`traversal::Walk2Scan`] scatter core. Distances
+//! and counts are exact integers, so both paths are bit-identical to the
+//! retained per-source references ([`ShortestPath::score_pairs_per_source`],
+//! [`LocalPath::score_pairs_per_source`]).
 
 use crate::traits::{CandidatePolicy, Metric, ScoreContract};
 use osn_graph::snapshot::Snapshot;
 use osn_graph::{traversal, NodeId};
+
+/// Groups `pairs` by first endpoint: returns the index permutation sorted
+/// by source plus the contiguous range of each distinct source.
+fn source_groups(pairs: &[(NodeId, NodeId)]) -> (Vec<usize>, Vec<std::ops::Range<usize>>) {
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    order.sort_unstable_by_key(|&i| pairs[i].0);
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < order.len() {
+        let u = pairs[order[i]].0;
+        let mut j = i;
+        while j < order.len() && pairs[order[j]].0 == u {
+            j += 1;
+        }
+        groups.push(i..j);
+        i = j;
+    }
+    (order, groups)
+}
 
 /// Shortest Path: the score is the *negated* BFS hop count, so closer pairs
 /// rank higher. The paper notes SP effectively reduces to a random pick
@@ -30,25 +57,75 @@ impl Metric for ShortestPath {
     }
 
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
-        // Group pairs by source so each BFS is shared.
-        let mut order: Vec<usize> = (0..pairs.len()).collect();
-        order.sort_unstable_by_key(|&i| pairs[i].0);
-        let mut scores = vec![0.0; pairs.len()];
-        let mut i = 0;
-        while i < order.len() {
-            let u = pairs[order[i]].0;
-            let mut j = i;
-            while j < order.len() && pairs[order[j]].0 == u {
-                j += 1;
+        // Batch up to 64 distinct sources per multi-source BFS: one edge
+        // touch per combined frontier level instead of one BFS per source.
+        let n = snap.node_count();
+        let (order, groups) = source_groups(pairs);
+        let unreached = -f64::from(self.max_depth + 1);
+        let mut scores = vec![unreached; pairs.len()];
+        let mut bfs = traversal::MultiSourceBfs::new(n);
+        // qmask[v]: bits of the current batch's sources querying v,
+        // cleared between batches via the touched list.
+        let mut qmask = vec![0u64; n];
+        let mut qtouched: Vec<NodeId> = Vec::new();
+        // (partner, source bit, pair index), sorted so the visit callback
+        // can binary-search the partner's query span.
+        let mut queries: Vec<(NodeId, usize, usize)> = Vec::new();
+        for batch in groups.chunks(64) {
+            let sources: Vec<NodeId> = batch.iter().map(|g| pairs[order[g.start]].0).collect();
+            queries.clear();
+            for (s, g) in batch.iter().enumerate() {
+                for &idx in &order[g.clone()] {
+                    let v = pairs[idx].1;
+                    if qmask[v as usize] == 0 {
+                        qtouched.push(v);
+                    }
+                    qmask[v as usize] |= 1u64 << s;
+                    queries.push((v, s, idx));
+                }
             }
+            queries.sort_unstable();
+            bfs.run(snap, &sources, self.max_depth, |v, depth, new_bits| {
+                let hits = new_bits & qmask[v as usize];
+                if hits == 0 {
+                    return;
+                }
+                let start = queries.partition_point(|q| q.0 < v);
+                for &(qv, s, idx) in &queries[start..] {
+                    if qv != v {
+                        break;
+                    }
+                    if hits & (1u64 << s) != 0 {
+                        scores[idx] = -f64::from(depth);
+                    }
+                }
+            });
+            for &v in &qtouched {
+                qmask[v as usize] = 0;
+            }
+            qtouched.clear();
+        }
+        scores
+    }
+}
+
+impl ShortestPath {
+    /// Per-source reference path: one [`traversal::bfs_distances`] per
+    /// distinct source. Kept as the oracle the batched walker is tested
+    /// and benchmarked against; not used by the engine.
+    pub fn score_pairs_per_source(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        let (order, groups) = source_groups(pairs);
+        let mut scores = vec![0.0; pairs.len()];
+        for g in groups {
+            let u = pairs[order[g.start]].0;
+            // linklens-allow(per-source-power-iteration): reference oracle; the engine runs MS-BFS
             let dist = traversal::bfs_distances(snap, u, self.max_depth);
-            for &idx in &order[i..j] {
+            for &idx in &order[g] {
                 let v = pairs[idx].1;
                 let d = dist[v as usize];
                 scores[idx] =
                     if d == u32::MAX { -f64::from(self.max_depth + 1) } else { -f64::from(d) };
             }
-            i = j;
         }
         scores
     }
@@ -86,20 +163,43 @@ impl Metric for LocalPath {
     }
 
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        // The shared epoch-stamped scatter core: one 2-walk scan per
+        // distinct source, O(1) reset between sources.
+        let mut scan = traversal::Walk2Scan::new(snap.node_count());
+        let (order, groups) = source_groups(pairs);
+        let mut scores = vec![0.0; pairs.len()];
+        for g in groups {
+            let u = pairs[order[g.start]].0;
+            scan.scan(snap, u);
+            for &idx in &order[g] {
+                let v = pairs[idx].1;
+                // paths² = 2-step walks landing exactly on v.
+                let p2 = f64::from(scan.count(v));
+                // paths³ = Σ_{b ∈ Γ(v)} walk2[b], excluding walks whose
+                // middle edge is (u,b) with b = u … for unconnected (u,v)
+                // walks cannot revisit the endpoints, so A³ is exact.
+                let p3: u32 = snap.neighbors(v).iter().map(|&b| scan.count(b)).sum();
+                scores[idx] = p2 + self.epsilon * f64::from(p3);
+            }
+        }
+        scores
+    }
+}
+
+impl LocalPath {
+    /// Per-source reference path with a plain scatter buffer (the original
+    /// implementation, independent of [`traversal::Walk2Scan`]'s epoch
+    /// discipline). Kept as the oracle the production path is tested
+    /// against; not used by the engine.
+    pub fn score_pairs_per_source(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
         let n = snap.node_count();
-        let mut order: Vec<usize> = (0..pairs.len()).collect();
-        order.sort_unstable_by_key(|&i| pairs[i].0);
+        let (order, groups) = source_groups(pairs);
         let mut scores = vec![0.0; pairs.len()];
         // walk2[x] = number of 2-step walks u → x.
         let mut walk2 = vec![0u32; n];
         let mut touched: Vec<NodeId> = Vec::new();
-        let mut i = 0;
-        while i < order.len() {
-            let u = pairs[order[i]].0;
-            let mut j = i;
-            while j < order.len() && pairs[order[j]].0 == u {
-                j += 1;
-            }
+        for g in groups {
+            let u = pairs[order[g.start]].0;
             for &a in snap.neighbors(u) {
                 for &x in snap.neighbors(a) {
                     if walk2[x as usize] == 0 {
@@ -108,13 +208,9 @@ impl Metric for LocalPath {
                     walk2[x as usize] += 1;
                 }
             }
-            for &idx in &order[i..j] {
+            for &idx in &order[g] {
                 let v = pairs[idx].1;
-                // paths² = 2-step walks landing exactly on v.
                 let p2 = walk2[v as usize] as f64;
-                // paths³ = Σ_{b ∈ Γ(v)} walk2[b], excluding walks whose
-                // middle edge is (u,b) with b = u … for unconnected (u,v)
-                // walks cannot revisit the endpoints, so A³ is exact.
                 let p3: u32 = snap.neighbors(v).iter().map(|&b| walk2[b as usize]).sum();
                 scores[idx] = p2 + self.epsilon * f64::from(p3);
             }
@@ -122,7 +218,6 @@ impl Metric for LocalPath {
                 walk2[x as usize] = 0;
             }
             touched.clear();
-            i = j;
         }
         scores
     }

@@ -1,0 +1,990 @@
+//! Batched frontier/SpMV solver engine for the global walk metrics.
+//!
+//! The per-source reference implementations of LRW and PPR
+//! ([`crate::walk`]) advance one random-walk or push frontier at a time.
+//! This module replaces them on the production path with *blocked
+//! multi-source iteration*: `B` source columns advance through one sweep of
+//! the snapshot's transition structure per step, so the adjacency CSR is
+//! read once per iteration instead of once per source.
+//!
+//! Three pieces live here:
+//!
+//! * [`TransitionView`] — the degree-normalized transition view of a
+//!   snapshot, built once per snapshot (an unweighted adjacency CSR plus a
+//!   degree table; the 1/d(u) normalization is applied on the fly so the
+//!   view is exact, never a rounded matrix).
+//! * [`lrw_scores_t`] / [`ppr_scores_t`] — batched solvers producing one
+//!   score per candidate pair. LRW runs the exact `m`-step walk recursion
+//!   on a block of source columns; PPR solves `(I - (1-α)Pᵀ) p = α e_u`
+//!   with a Chebyshev semi-iteration (residual-based stopping, so the
+//!   answer is tolerance-certified regardless of the starting vector).
+//! * [`SolverCache`] — the per-snapshot cache carried across a
+//!   [`osn_graph::sequence::SnapshotSequence`] sweep: the shared
+//!   `TransitionView` plus converged PPR vectors from the previous
+//!   snapshot used to warm-start the next one.
+//!
+//! ## Warm-start fixed-point argument
+//!
+//! PPR's linear system `(I - M) p = α e_u` with `M = (1-α)Pᵀ` has
+//! `‖M‖₁ = 1-α < 1`, hence `‖(I-M)⁻¹‖₁ ≤ 1/α`. The solver stops a column
+//! when its *residual* satisfies `‖r‖₁ ≤ tol`, which certifies
+//! `‖p - p̂‖₁ ≤ tol/α` against the exact fixed point `p̂` — a bound that
+//! holds no matter where the iteration started. Warm-starting from the
+//! previous snapshot's converged vector therefore changes the iteration
+//! count (fewer steps when consecutive snapshots are similar) but never
+//! moves the converged output beyond the existing tolerance: warm and cold
+//! runs each land within `tol/α` of the same fixed point, so their scores
+//! differ by at most `4·tol/α` per pair (two endpoint vectors, two runs).
+//! Stale or wrong-sized cache entries are harmless for the same reason —
+//! a warm vector is only ever an initial guess.
+//!
+//! ## Determinism
+//!
+//! Both solvers are bit-identical across thread counts *and* block widths:
+//! every per-column update uses iteration-indexed scalars only (no
+//! cross-column reductions), gathers accumulate in ascending-neighbor
+//! order, and a column's result is snapshotted the first time its residual
+//! crosses the tolerance — exactly the value a width-1 run would have
+//! stopped at. Pair scores accumulate endpoint contributions in ascending
+//! source order, matching the reference `c_u·p_uv + c_v·p_vu` evaluation
+//! order.
+//!
+//! ## Nonfinite-accumulator guard
+//!
+//! Every iteration the solver folds column L1 norms anyway; a non-finite
+//! norm aborts with [`SolverError::NonFinite`] naming the metric and the
+//! iteration, instead of silently propagating NaN into scores (where the
+//! `score_contract()` audit would only catch it after a full scoring pass).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+use osn_graph::snapshot::Snapshot;
+use osn_graph::{par, NodeId};
+use osn_linalg::SparseMatrix;
+
+/// Hard ceiling on Chebyshev iterations before the solver gives up.
+pub const PPR_MAX_ITERS: usize = 1000;
+
+/// Total bytes of converged PPR vectors a persistent [`SolverCache`] will
+/// retain per snapshot for warm-starting the next one (64 MiB).
+const WARM_CAP_BYTES: usize = 64 << 20;
+
+/// Structured failure from the batched solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// The nonfinite-accumulator guard tripped: a column's L1 norm went
+    /// NaN/inf mid-iteration (bad parameters or corrupted input).
+    NonFinite {
+        /// Metric whose solve was running.
+        metric: &'static str,
+        /// Iteration (step) index at which the guard tripped.
+        iteration: usize,
+    },
+    /// The iteration failed to reach the residual tolerance within
+    /// [`PPR_MAX_ITERS`] steps.
+    NoConvergence {
+        /// Metric whose solve was running.
+        metric: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::NonFinite { metric, iteration } => write!(
+                f,
+                "metric {metric} hit a non-finite accumulator at solver iteration \
+                 {iteration} (nonfinite-accumulator guard)"
+            ),
+            SolverError::NoConvergence { metric, iterations } => {
+                write!(
+                    f,
+                    "metric {metric} failed to converge within {iterations} solver iterations"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// Degree-normalized transition-matrix view of one snapshot.
+///
+/// Holds the unweighted adjacency in CSR form plus the degree table; the
+/// column-stochastic transition matrix `P` (and its transpose) are applied
+/// on the fly as `(Pᵀ z)_v = Σ_{u∈Γ(v)} z_u / d(u)`, so no rounded matrix
+/// is ever materialized. Built once per snapshot and shared (via
+/// [`SolverCache`]) by every metric that needs it.
+pub struct TransitionView {
+    adj: SparseMatrix,
+    degree: Vec<u32>,
+}
+
+impl TransitionView {
+    /// Builds the view from a snapshot. O(n + 2E): the snapshot already
+    /// stores sorted deduplicated neighbor lists, so this is a straight
+    /// CSR concatenation.
+    pub fn build(snap: &Snapshot) -> Self {
+        let n = snap.node_count();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0usize);
+        let mut col_idx: Vec<u32> = Vec::with_capacity(2 * snap.edge_count());
+        let mut degree = Vec::with_capacity(n);
+        for u in 0..n {
+            // linklens-allow(truncating-cast): u < node_count and NodeId is u32, so the cast is lossless
+            let nb = snap.neighbors(u as NodeId);
+            col_idx.extend_from_slice(nb);
+            row_ptr.push(col_idx.len());
+            // linklens-allow(truncating-cast): degree < node_count ≤ u32::MAX
+            degree.push(nb.len() as u32);
+        }
+        let values = vec![1.0; col_idx.len()];
+        let adj = SparseMatrix::from_csr(n, n, row_ptr, col_idx, values)
+            // linklens-allow(unwrap-in-lib): Snapshot guarantees sorted, deduplicated, in-bounds adjacency
+            .expect("snapshot adjacency is sorted, deduplicated CSR");
+        TransitionView { adj, degree }
+    }
+
+    /// Number of nodes in the snapshot this view was built from.
+    pub fn node_count(&self) -> usize {
+        self.adj.rows()
+    }
+
+    /// The unweighted adjacency matrix (CSR, unit values).
+    pub fn adjacency(&self) -> &SparseMatrix {
+        &self.adj
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> u32 {
+        self.degree[u as usize]
+    }
+
+    /// The full degree table.
+    pub fn degrees(&self) -> &[u32] {
+        &self.degree
+    }
+
+    /// Sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[u32] {
+        self.adj.row(v as usize).0
+    }
+
+    /// Sum of degrees (= 2E).
+    pub fn volume(&self) -> usize {
+        self.adj.nnz()
+    }
+}
+
+/// Block width (number of source columns advanced per CSR sweep) for a
+/// snapshot of `n` nodes: sized so the ~5 working vectors of the PPR
+/// solver fit in about 8 MiB, clamped to `[1, 64]`. A function of `n`
+/// only — never the thread count — so results are machine-independent.
+pub fn block_width(n: usize) -> usize {
+    ((8usize << 20) / (40 * n.max(1))).clamp(1, 64)
+}
+
+/// Counters the batched solvers accumulate into their [`SolverCache`];
+/// the warm-vs-cold benchmark and the warm-start tests read these.
+#[derive(Debug, Clone, Default)]
+pub struct SolverStats {
+    /// Total Chebyshev iterations spent across all PPR source columns.
+    pub ppr_iterations: u64,
+    /// PPR source columns that started from a cached warm vector.
+    pub ppr_warm_starts: u64,
+    /// PPR source columns solved in total.
+    pub ppr_sources: u64,
+}
+
+/// Per-snapshot solver state carried across a snapshot sweep.
+///
+/// Holds the shared [`TransitionView`] for the current snapshot and (when
+/// persistent) converged PPR vectors from the current and previous
+/// snapshots, used purely as warm-start initial guesses — correctness
+/// never depends on their freshness (see the module docs). Transient
+/// caches (the default inside one-shot scoring entry points) never retain
+/// vectors, so single-snapshot callers keep bit-identical cold-start
+/// behavior.
+pub struct SolverCache {
+    persistent: bool,
+    key: Option<(usize, usize)>,
+    transition: Option<Arc<TransitionView>>,
+    ppr_prev: HashMap<NodeId, Vec<f64>>,
+    ppr_curr: HashMap<NodeId, Vec<f64>>,
+    /// Iteration counters accumulated by the solvers.
+    pub stats: SolverStats,
+}
+
+impl SolverCache {
+    /// A throwaway cache for a single scoring call: shares the
+    /// `TransitionView` within the call but never retains warm vectors,
+    /// so repeated calls stay bit-identical.
+    pub fn transient() -> Self {
+        SolverCache {
+            persistent: false,
+            key: None,
+            transition: None,
+            ppr_prev: HashMap::new(),
+            ppr_curr: HashMap::new(),
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// A cache meant to live across a snapshot sweep: retains converged
+    /// PPR vectors (up to [`WARM_CAP_BYTES`]) to warm-start the next
+    /// snapshot's solves.
+    pub fn sweep() -> Self {
+        SolverCache { persistent: true, ..SolverCache::transient() }
+    }
+
+    /// Whether this cache retains warm-start vectors across snapshots.
+    pub fn is_persistent(&self) -> bool {
+        self.persistent
+    }
+
+    /// Points the cache at `snap`, rebuilding the [`TransitionView`] and
+    /// rotating warm vectors (current → previous) when the snapshot
+    /// changed. Keyed on `(node_count, edge_count)` — cheap, and within
+    /// one monotone growth sweep each snapshot adds edges, so the key is
+    /// unique per snapshot.
+    pub fn ensure_snapshot(&mut self, snap: &Snapshot) {
+        let key = (snap.node_count(), snap.edge_count());
+        if self.key == Some(key) {
+            return;
+        }
+        self.key = Some(key);
+        self.ppr_prev = std::mem::take(&mut self.ppr_curr);
+        if !self.persistent {
+            self.ppr_prev.clear();
+        }
+        self.transition = Some(Arc::new(TransitionView::build(snap)));
+    }
+
+    /// The shared transition view for the snapshot last passed to
+    /// [`ensure_snapshot`](Self::ensure_snapshot), if any.
+    pub fn transition(&self) -> Option<Arc<TransitionView>> {
+        self.transition.clone()
+    }
+
+    /// How many converged PPR source vectors this cache will retain for a
+    /// snapshot of `n` nodes (0 for transient caches).
+    pub fn warm_budget_sources(&self, n: usize) -> usize {
+        if self.persistent {
+            WARM_CAP_BYTES / (8 * n.max(1))
+        } else {
+            0
+        }
+    }
+
+    /// Warm-start vector for `src`, preferring the current snapshot's
+    /// (re-scoring within a snapshot) over the previous one's.
+    fn ppr_warm(&self, src: NodeId) -> Option<&[f64]> {
+        self.ppr_curr.get(&src).or_else(|| self.ppr_prev.get(&src)).map(Vec::as_slice)
+    }
+
+    /// Retains a converged vector for warm-starting, respecting the
+    /// memory budget. No-op on transient caches.
+    fn store_ppr(&mut self, src: NodeId, vec: Vec<f64>, limit: usize) {
+        if self.persistent && self.ppr_curr.len() < limit {
+            self.ppr_curr.insert(src, vec);
+        }
+    }
+}
+
+/// Pair batch regrouped by source endpoint: each unique source carries the
+/// list of `(pair index, partner)` queries to resolve against its solved
+/// vector. Both endpoints of every pair appear as sources (the combines
+/// need `p_u[v]` and `p_v[u]`).
+struct SourcePlan {
+    sources: Vec<NodeId>,
+    offsets: Vec<usize>,
+    queries: Vec<(u32, NodeId)>,
+}
+
+impl SourcePlan {
+    fn build(pairs: &[(NodeId, NodeId)]) -> Self {
+        assert!(pairs.len() <= u32::MAX as usize, "pair batch exceeds u32 index range");
+        let mut items: Vec<(NodeId, u32, NodeId)> = Vec::with_capacity(pairs.len() * 2);
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            // linklens-allow(truncating-cast): guarded by the batch-size assert above
+            let idx = i as u32;
+            items.push((u, idx, v));
+            items.push((v, idx, u));
+        }
+        items.sort_unstable();
+        let mut sources = Vec::new();
+        let mut offsets = Vec::new();
+        let mut queries = Vec::with_capacity(items.len());
+        for (src, idx, partner) in items {
+            if sources.last() != Some(&src) {
+                sources.push(src);
+                offsets.push(queries.len());
+            }
+            queries.push((idx, partner));
+        }
+        offsets.push(queries.len());
+        SourcePlan { sources, offsets, queries }
+    }
+
+    fn queries(&self, si: usize) -> &[(u32, NodeId)] {
+        &self.queries[self.offsets[si]..self.offsets[si + 1]]
+    }
+}
+
+/// Per-worker LRW workspace: current distribution, next distribution, and
+/// the pruned per-node shares, each `n × width` row-major.
+struct LrwWs {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    s: Vec<f64>,
+}
+
+impl LrwWs {
+    fn new(n: usize, w: usize) -> Self {
+        LrwWs { x: vec![0.0; n * w], y: vec![0.0; n * w], s: vec![0.0; n * w] }
+    }
+}
+
+/// Batched LRW scores for `pairs`: identical recursion to
+/// [`crate::walk::walk_distribution`] (including the degree-share prune
+/// and dangling self-absorption), advanced over blocks of source columns
+/// in one CSR sweep per step. Per-node share sums gather in ascending
+/// neighbor order, which reassociates the reference's frontier-order
+/// additions — scores agree to float-reassociation tolerance (~1e-10 with
+/// `prune = 0`; pruning compares the same `share < prune` expression, so
+/// only knife-edge shares within one ulp of `prune` can differ).
+pub fn lrw_scores_t(
+    tv: &TransitionView,
+    pairs: &[(NodeId, NodeId)],
+    steps: usize,
+    prune: f64,
+    threads: usize,
+    metric: &'static str,
+) -> Result<Vec<f64>, SolverError> {
+    lrw_scores_with_width(tv, pairs, steps, prune, threads, block_width(tv.node_count()), metric)
+}
+
+/// [`lrw_scores_t`] with an explicit block width (results are
+/// bit-identical for every width ≥ 1; exposed for the invariance tests).
+pub fn lrw_scores_with_width(
+    tv: &TransitionView,
+    pairs: &[(NodeId, NodeId)],
+    steps: usize,
+    prune: f64,
+    threads: usize,
+    width: usize,
+    metric: &'static str,
+) -> Result<Vec<f64>, SolverError> {
+    let n = tv.node_count();
+    let w = width.max(1);
+    let plan = SourcePlan::build(pairs);
+    let mut scores = vec![0.0; pairs.len()];
+    if plan.sources.is_empty() || n == 0 {
+        return Ok(scores);
+    }
+    let two_e = (tv.volume().max(1)) as f64;
+    let nblocks = plan.sources.len().div_ceil(w);
+    let results = par::run_indexed_init(
+        nblocks,
+        threads.max(1),
+        || LrwWs::new(n, w),
+        |ws, b| {
+            let range = (b * w)..((b + 1) * w).min(plan.sources.len());
+            lrw_block(tv, &plan, range, steps, prune, two_e, ws, metric)
+        },
+    );
+    for block in results {
+        for (idx, val) in block? {
+            scores[idx as usize] += val;
+        }
+    }
+    Ok(scores)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lrw_block(
+    tv: &TransitionView,
+    plan: &SourcePlan,
+    range: Range<usize>,
+    steps: usize,
+    prune: f64,
+    two_e: f64,
+    ws: &mut LrwWs,
+    metric: &'static str,
+) -> Result<Vec<(u32, f64)>, SolverError> {
+    let n = tv.node_count();
+    let w = ws.x.len() / n.max(1);
+    ws.x.fill(0.0);
+    for (j, si) in range.clone().enumerate() {
+        ws.x[plan.sources[si] as usize * w + j] = 1.0;
+    }
+    for step in 0..steps {
+        ws.y.fill(0.0);
+        // Phase A: per-node pruned shares (same division and comparison as
+        // the per-source reference); dangling nodes self-absorb.
+        for u in 0..n {
+            let d = tv.degree[u];
+            let row = u * w;
+            if d == 0 {
+                for j in 0..w {
+                    ws.y[row + j] += ws.x[row + j];
+                    ws.s[row + j] = 0.0;
+                }
+                continue;
+            }
+            let dd = f64::from(d);
+            for j in 0..w {
+                let share = ws.x[row + j] / dd;
+                ws.s[row + j] = if share < prune { 0.0 } else { share };
+            }
+        }
+        // Phase B: gather shares along in-edges, ascending neighbor order.
+        for v in 0..n {
+            let row = v * w;
+            // linklens-allow(truncating-cast): v < node_count ≤ u32::MAX
+            for &u in tv.neighbors(v as NodeId) {
+                let src_row = u as usize * w;
+                for j in 0..w {
+                    ws.y[row + j] += ws.s[src_row + j];
+                }
+            }
+        }
+        std::mem::swap(&mut ws.x, &mut ws.y);
+        if ws.x.iter().any(|v| !v.is_finite()) {
+            return Err(SolverError::NonFinite { metric, iteration: step });
+        }
+    }
+    let mut out = Vec::new();
+    for (j, si) in range.enumerate() {
+        let src = plan.sources[si];
+        let coeff = f64::from(tv.degree(src)) / two_e;
+        for &(idx, partner) in plan.queries(si) {
+            out.push((idx, coeff * ws.x[partner as usize * w + j]));
+        }
+    }
+    Ok(out)
+}
+
+/// Per-worker PPR workspace: solution, residual, Chebyshev direction,
+/// degree-normalized shares, and gather target, each `n × width`
+/// row-major; plus per-column norms and done flags.
+struct PprWs {
+    x: Vec<f64>,
+    r: Vec<f64>,
+    d: Vec<f64>,
+    s: Vec<f64>,
+    g: Vec<f64>,
+    norms: Vec<f64>,
+    done: Vec<bool>,
+}
+
+impl PprWs {
+    fn new(n: usize, w: usize) -> Self {
+        PprWs {
+            x: vec![0.0; n * w],
+            r: vec![0.0; n * w],
+            d: vec![0.0; n * w],
+            s: vec![0.0; n * w],
+            g: vec![0.0; n * w],
+            norms: vec![0.0; w],
+            done: vec![false; w],
+        }
+    }
+}
+
+struct PprBlockOut {
+    contribs: Vec<(u32, f64)>,
+    store: Vec<(NodeId, Vec<f64>)>,
+    iterations: u64,
+    warm_starts: u64,
+}
+
+/// Batched PPR scores for `pairs`: solves `(I - (1-α)Pᵀ) p = α e_u` per
+/// source with a blocked Chebyshev semi-iteration (operator spectrum
+/// `[α, 2-α]`), stopping each column at residual `‖r‖₁ ≤ tol_l1`, which
+/// certifies `‖p - p̂‖₁ ≤ tol_l1/α` against the exact fixed point (see
+/// the module docs). Warm-start vectors from `cache` seed the initial
+/// guess; converged vectors are stored back when the cache is persistent.
+#[allow(clippy::too_many_arguments)]
+pub fn ppr_scores_t(
+    tv: &TransitionView,
+    pairs: &[(NodeId, NodeId)],
+    alpha: f64,
+    tol_l1: f64,
+    threads: usize,
+    cache: &mut SolverCache,
+    metric: &'static str,
+) -> Result<Vec<f64>, SolverError> {
+    let w = block_width(tv.node_count());
+    ppr_scores_with_width(tv, pairs, alpha, tol_l1, threads, w, cache, metric)
+}
+
+/// [`ppr_scores_t`] with an explicit block width (results are
+/// bit-identical for every width ≥ 1; exposed for the invariance tests).
+#[allow(clippy::too_many_arguments)]
+pub fn ppr_scores_with_width(
+    tv: &TransitionView,
+    pairs: &[(NodeId, NodeId)],
+    alpha: f64,
+    tol_l1: f64,
+    threads: usize,
+    width: usize,
+    cache: &mut SolverCache,
+    metric: &'static str,
+) -> Result<Vec<f64>, SolverError> {
+    let n = tv.node_count();
+    let w = width.max(1);
+    let plan = SourcePlan::build(pairs);
+    let mut scores = vec![0.0; pairs.len()];
+    if plan.sources.is_empty() || n == 0 {
+        return Ok(scores);
+    }
+    let store_limit = cache.warm_budget_sources(n);
+    let nblocks = plan.sources.len().div_ceil(w);
+    let results = {
+        let cache_ref: &SolverCache = cache;
+        par::run_indexed_init(
+            nblocks,
+            threads.max(1),
+            || PprWs::new(n, w),
+            |ws, b| {
+                let range = (b * w)..((b + 1) * w).min(plan.sources.len());
+                ppr_block(tv, &plan, range, alpha, tol_l1, store_limit, cache_ref, ws, metric)
+            },
+        )
+    };
+    for block in results {
+        let block = block?;
+        for (idx, val) in block.contribs {
+            scores[idx as usize] += val;
+        }
+        for (src, vec) in block.store {
+            cache.store_ppr(src, vec, store_limit);
+        }
+        cache.stats.ppr_iterations += block.iterations;
+        cache.stats.ppr_warm_starts += block.warm_starts;
+    }
+    cache.stats.ppr_sources += plan.sources.len() as u64;
+    Ok(scores)
+}
+
+/// One block of the Chebyshev semi-iteration (Saad, *Iterative Methods*,
+/// Alg. 12.1) on the SPD-spectrum operator `A = I - (1-α)Pᵀ` with
+/// eigenvalue bounds `[α, 2-α]`: center `θ = 1`, half-width `δ = 1-α`.
+/// All update scalars are iteration-indexed, so every column follows the
+/// exact arithmetic a width-1 run would.
+#[allow(clippy::too_many_arguments)]
+fn ppr_block(
+    tv: &TransitionView,
+    plan: &SourcePlan,
+    range: Range<usize>,
+    alpha: f64,
+    tol: f64,
+    store_limit: usize,
+    cache: &SolverCache,
+    ws: &mut PprWs,
+    metric: &'static str,
+) -> Result<PprBlockOut, SolverError> {
+    let n = tv.node_count();
+    let w = ws.norms.len();
+    let active = range.len();
+    let oma = 1.0 - alpha;
+    let mut warm_starts = 0u64;
+
+    // Initial guess: warm vectors where available, zero otherwise.
+    ws.x.fill(0.0);
+    for (j, si) in range.clone().enumerate() {
+        if let Some(warm) = cache.ppr_warm(plan.sources[si]) {
+            let len = warm.len().min(n);
+            for (i, &v) in warm[..len].iter().enumerate() {
+                ws.x[i * w + j] = v;
+            }
+            warm_starts += 1;
+        }
+    }
+
+    // Applies M z = (1-α)·Pᵀ z via shares s = z/d (dangling rows emit
+    // nothing) gathered in ascending-neighbor order into g.
+    fn gather(tv: &TransitionView, z: &[f64], s: &mut [f64], g: &mut [f64], w: usize) {
+        let n = tv.node_count();
+        for u in 0..n {
+            let d = tv.degree[u];
+            let row = u * w;
+            if d == 0 {
+                s[row..row + w].fill(0.0);
+            } else {
+                let dd = f64::from(d);
+                for j in 0..w {
+                    s[row + j] = z[row + j] / dd;
+                }
+            }
+        }
+        g.fill(0.0);
+        for v in 0..n {
+            let row = v * w;
+            // linklens-allow(truncating-cast): v < node_count ≤ u32::MAX
+            for &u in tv.neighbors(v as NodeId) {
+                let src_row = u as usize * w;
+                for j in 0..w {
+                    g[row + j] += s[src_row + j];
+                }
+            }
+        }
+    }
+
+    // r = b - A x0 = α e_src - x0 + (1-α)Pᵀ x0.
+    gather(tv, &ws.x, &mut ws.s, &mut ws.g, w);
+    for i in 0..n * w {
+        ws.r[i] = oma * ws.g[i] - ws.x[i];
+    }
+    for (j, si) in range.clone().enumerate() {
+        ws.r[plan.sources[si] as usize * w + j] += alpha;
+    }
+    ws.d.copy_from_slice(&ws.r);
+
+    let sigma1 = 1.0 / oma;
+    let delta = oma;
+    let mut rho = oma;
+    for (j, flag) in ws.done.iter_mut().enumerate() {
+        *flag = j >= active;
+    }
+    let mut query_vals: Vec<Option<Vec<f64>>> = vec![None; active];
+    let mut store_cols: Vec<Option<Vec<f64>>> = vec![None; active];
+    let mut iterations = 0u64;
+    let mut k = 0usize;
+
+    loop {
+        // Column residual norms, accumulated row-major so the fold order
+        // per column is independent of the block width.
+        ws.norms.fill(0.0);
+        for i in 0..n {
+            let row = i * w;
+            for j in 0..active {
+                ws.norms[j] += ws.r[row + j].abs();
+            }
+        }
+        for j in 0..active {
+            if !ws.norms[j].is_finite() {
+                return Err(SolverError::NonFinite { metric, iteration: k });
+            }
+        }
+        for j in 0..active {
+            if !ws.done[j] && ws.norms[j] <= tol {
+                ws.done[j] = true;
+                iterations += k as u64;
+                let si = range.start + j;
+                let vals =
+                    plan.queries(si).iter().map(|&(_, p)| ws.x[p as usize * w + j]).collect();
+                query_vals[j] = Some(vals);
+                if si < store_limit {
+                    store_cols[j] = Some((0..n).map(|i| ws.x[i * w + j]).collect());
+                }
+            }
+        }
+        if ws.done.iter().all(|&d| d) {
+            break;
+        }
+        if k >= PPR_MAX_ITERS {
+            return Err(SolverError::NoConvergence { metric, iterations: k });
+        }
+
+        // x += d;  r -= A d  (A d = d - (1-α)Pᵀ d)
+        for i in 0..n * w {
+            ws.x[i] += ws.d[i];
+        }
+        gather(tv, &ws.d, &mut ws.s, &mut ws.g, w);
+        for i in 0..n * w {
+            ws.r[i] -= ws.d[i] - oma * ws.g[i];
+        }
+        let rho_next = 1.0 / (2.0 * sigma1 - rho);
+        let a = rho_next * rho;
+        let c = 2.0 * rho_next / delta;
+        for i in 0..n * w {
+            ws.d[i] = a * ws.d[i] + c * ws.r[i];
+        }
+        rho = rho_next;
+        k += 1;
+    }
+
+    let mut contribs = Vec::new();
+    let mut store = Vec::new();
+    for (j, si) in range.enumerate() {
+        // linklens-allow(unwrap-in-lib): the loop above only exits once every active column froze
+        let vals = query_vals[j].take().expect("column converged");
+        for (&(idx, _), val) in plan.queries(si).iter().zip(vals) {
+            contribs.push((idx, val));
+        }
+        if let Some(col) = store_cols[j].take() {
+            store.push((plan.sources[si], col));
+        }
+    }
+    Ok(PprBlockOut { contribs, store, iterations, warm_starts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_linalg::Matrix;
+
+    fn ring_with_chords(n: usize) -> Snapshot {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i as NodeId, ((i + 1) % n) as NodeId));
+            if i % 3 == 0 {
+                edges.push((i as NodeId, ((i + n / 2) % n) as NodeId));
+            }
+        }
+        Snapshot::from_edges(n, &edges)
+    }
+
+    fn all_pairs(n: usize) -> Vec<(NodeId, NodeId)> {
+        let mut pairs = Vec::new();
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                pairs.push((u, v));
+            }
+        }
+        pairs
+    }
+
+    #[test]
+    fn transition_view_matches_snapshot() {
+        let snap = ring_with_chords(17);
+        let tv = TransitionView::build(&snap);
+        assert_eq!(tv.node_count(), 17);
+        assert_eq!(tv.volume(), 2 * snap.edge_count());
+        for u in 0..17u32 {
+            assert_eq!(tv.degree(u) as usize, snap.degree(u));
+            assert_eq!(tv.neighbors(u), snap.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn block_width_bounds() {
+        assert_eq!(block_width(0), 64);
+        assert_eq!(block_width(10), 64);
+        assert!(block_width(10_000) >= 1);
+        assert_eq!(block_width(usize::MAX / 64), 1);
+        for n in [1, 100, 5_000, 1_000_000] {
+            let w = block_width(n);
+            assert!((1..=64).contains(&w), "width {w} out of range for n={n}");
+        }
+    }
+
+    /// Dense ground truth: solve (I - (1-α)Pᵀ) p = α e_src with LU.
+    fn dense_ppr(snap: &Snapshot, src: NodeId, alpha: f64) -> Vec<f64> {
+        let n = snap.node_count();
+        let mut a = Matrix::zeros(n, n);
+        for v in 0..n {
+            a[(v, v)] = 1.0;
+            for &u in snap.neighbors(v as NodeId) {
+                let d = snap.degree(u).max(1) as f64;
+                a[(v, u as usize)] -= (1.0 - alpha) / d;
+            }
+        }
+        let mut b = vec![0.0; n];
+        b[src as usize] = alpha;
+        a.solve_many(&[b]).expect("nonsingular")[0].clone()
+    }
+
+    #[test]
+    fn ppr_matches_dense_solve() {
+        let snap = ring_with_chords(23);
+        let tv = TransitionView::build(&snap);
+        let pairs = all_pairs(23);
+        let mut cache = SolverCache::transient();
+        let scores =
+            ppr_scores_t(&tv, &pairs, 0.15, 1e-10, par::max_threads(), &mut cache, "PPR").unwrap();
+        let dense: Vec<Vec<f64>> = (0..23).map(|u| dense_ppr(&snap, u, 0.15)).collect();
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            let want = dense[u as usize][v as usize] + dense[v as usize][u as usize];
+            assert!(
+                (scores[i] - want).abs() < 1e-8,
+                "pair ({u},{v}): got {} want {want}",
+                scores[i]
+            );
+        }
+    }
+
+    #[test]
+    fn ppr_width_and_threads_invariant() {
+        let snap = ring_with_chords(31);
+        let tv = TransitionView::build(&snap);
+        let pairs = all_pairs(31);
+        let mut cache = SolverCache::transient();
+        let base = ppr_scores_with_width(&tv, &pairs, 0.15, 1e-6, 1, 1, &mut cache, "PPR").unwrap();
+        for width in [2, 3, 7, 64] {
+            for threads in [1, 4] {
+                let mut c = SolverCache::transient();
+                let got =
+                    ppr_scores_with_width(&tv, &pairs, 0.15, 1e-6, threads, width, &mut c, "PPR")
+                        .unwrap();
+                assert_eq!(base, got, "width {width} threads {threads} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn ppr_isolated_source_is_exact_zero() {
+        let snap = Snapshot::from_edges(4, &[(0, 1)]);
+        let tv = TransitionView::build(&snap);
+        let mut cache = SolverCache::transient();
+        let scores = ppr_scores_t(&tv, &[(2, 3)], 0.15, 1e-4, 1, &mut cache, "PPR").unwrap();
+        // Isolated endpoints: b = α e_src, first iterate lands exactly on
+        // the fixed point p = α e_src, so the cross mass is exactly 0...
+        // except the solution keeps α at the source itself; partners see 0.
+        assert_eq!(scores[0], 0.0);
+    }
+
+    #[test]
+    fn ppr_warm_start_cuts_iterations_not_scores() {
+        let n = 40;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i as NodeId, ((i + 1) % n) as NodeId));
+        }
+        let snap_a = Snapshot::from_edges(n, &edges);
+        edges.push((0, (n / 2) as NodeId));
+        edges.push((3, (n / 2 + 3) as NodeId));
+        let snap_b = Snapshot::from_edges(n, &edges);
+        let pairs = all_pairs(n);
+        let alpha = 0.15;
+        let tol = 1e-7;
+
+        let mut sweep = SolverCache::sweep();
+        sweep.ensure_snapshot(&snap_a);
+        let tv_a = sweep.transition().unwrap();
+        let _ = ppr_scores_t(&tv_a, &pairs, alpha, tol, 1, &mut sweep, "PPR").unwrap();
+        assert!(sweep.stats.ppr_warm_starts == 0, "first snapshot must run cold");
+        sweep.ensure_snapshot(&snap_b);
+        let before = sweep.stats.clone();
+        let tv_b = sweep.transition().unwrap();
+        let warm = ppr_scores_t(&tv_b, &pairs, alpha, tol, 1, &mut sweep, "PPR").unwrap();
+        let warm_iters = sweep.stats.ppr_iterations - before.ppr_iterations;
+        assert!(sweep.stats.ppr_warm_starts > 0, "second snapshot must reuse cached vectors");
+
+        let mut cold_cache = SolverCache::transient();
+        cold_cache.ensure_snapshot(&snap_b);
+        let tv_cold = cold_cache.transition().unwrap();
+        let cold = ppr_scores_t(&tv_cold, &pairs, alpha, tol, 1, &mut cold_cache, "PPR").unwrap();
+        let cold_iters = cold_cache.stats.ppr_iterations;
+
+        assert!(
+            warm_iters < cold_iters,
+            "warm start must cut iterations ({warm_iters} vs {cold_iters})"
+        );
+        let bound = 4.0 * tol / alpha;
+        for (i, (&wv, &cv)) in warm.iter().zip(&cold).enumerate() {
+            assert!(
+                (wv - cv).abs() <= bound,
+                "pair {i}: warm {wv} vs cold {cv} beyond fixed-point bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn ppr_nan_alpha_trips_nonfinite_guard() {
+        let snap = ring_with_chords(9);
+        let tv = TransitionView::build(&snap);
+        let mut cache = SolverCache::transient();
+        let err = ppr_scores_t(&tv, &[(0, 3)], f64::NAN, 1e-4, 1, &mut cache, "PPR").unwrap_err();
+        assert!(matches!(err, SolverError::NonFinite { metric: "PPR", .. }), "got {err}");
+    }
+
+    #[test]
+    fn ppr_unreachable_tolerance_reports_no_convergence() {
+        let snap = ring_with_chords(9);
+        let tv = TransitionView::build(&snap);
+        let mut cache = SolverCache::transient();
+        let err = ppr_scores_t(&tv, &[(0, 3)], 0.15, -1.0, 1, &mut cache, "PPR").unwrap_err();
+        assert!(
+            matches!(err, SolverError::NoConvergence { metric: "PPR", iterations: PPR_MAX_ITERS }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn lrw_width_and_threads_invariant() {
+        let snap = ring_with_chords(29);
+        let tv = TransitionView::build(&snap);
+        let pairs = all_pairs(29);
+        let base = lrw_scores_with_width(&tv, &pairs, 3, 1e-7, 1, 1, "LRW").unwrap();
+        for width in [2, 5, 64] {
+            for threads in [1, 4] {
+                let got =
+                    lrw_scores_with_width(&tv, &pairs, 3, 1e-7, threads, width, "LRW").unwrap();
+                assert_eq!(base, got, "width {width} threads {threads} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn lrw_path_graph_hand_check() {
+        // Path 0-1-2-3, steps = 3, prune = 0. Walk from 0: after 3 steps
+        // the mass at 3 is 1/4; from 3 symmetric. two_e = 6.
+        // score(0,3) = d(0)/6 · p03 + d(3)/6 · p30 = (1/6)(1/4)·2 = 1/12.
+        let snap = Snapshot::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let tv = TransitionView::build(&snap);
+        let scores = lrw_scores_t(&tv, &[(0, 3)], 3, 0.0, 1, "LRW").unwrap();
+        assert!((scores[0] - 1.0 / 12.0).abs() < 1e-12, "got {}", scores[0]);
+    }
+
+    #[test]
+    fn lrw_dangling_mass_conserved() {
+        // Star with an isolated extra node: total walk mass stays 1.
+        let snap = Snapshot::from_edges(5, &[(0, 1), (0, 2), (0, 3)]);
+        let tv = TransitionView::build(&snap);
+        let scores = lrw_scores_t(&tv, &[(4, 1)], 3, 0.0, 1, "LRW").unwrap();
+        // Node 4 is isolated: its walk self-absorbs, never reaches 1, and
+        // node 1's walk never reaches 4.
+        assert_eq!(scores[0], 0.0);
+    }
+
+    #[test]
+    fn source_plan_groups_and_covers() {
+        let pairs = [(3u32, 7u32), (1, 7), (3, 5)];
+        let plan = SourcePlan::build(&pairs);
+        assert_eq!(plan.sources, vec![1, 3, 5, 7]);
+        let total: usize = (0..plan.sources.len()).map(|i| plan.queries(i).len()).sum();
+        assert_eq!(total, 6);
+        assert_eq!(plan.queries(1), &[(0, 7), (2, 5)]); // source 3, pair order
+        assert_eq!(plan.queries(3), &[(0, 3), (1, 1)]); // source 7
+    }
+
+    #[test]
+    fn cache_rotation_and_store_gating() {
+        let snap_a = ring_with_chords(11);
+        let mut transient = SolverCache::transient();
+        transient.ensure_snapshot(&snap_a);
+        assert_eq!(transient.warm_budget_sources(11), 0);
+        transient.store_ppr(3, vec![1.0; 11], 100);
+        assert!(transient.ppr_warm(3).is_none(), "transient caches never retain vectors");
+
+        let mut sweep = SolverCache::sweep();
+        sweep.ensure_snapshot(&snap_a);
+        assert!(sweep.warm_budget_sources(11) > 0);
+        sweep.store_ppr(3, vec![1.0; 11], sweep.warm_budget_sources(11));
+        assert!(sweep.ppr_warm(3).is_some());
+        // Same snapshot key: no rotation.
+        sweep.ensure_snapshot(&snap_a);
+        assert!(sweep.ppr_warm(3).is_some());
+        // New snapshot: current rotates to previous, still warm-usable.
+        let snap_b = ring_with_chords(13);
+        sweep.ensure_snapshot(&snap_b);
+        assert!(sweep.ppr_warm(3).is_some(), "previous snapshot's vector still seeds");
+        // Two rotations age the vector out entirely.
+        let snap_c = ring_with_chords(15);
+        sweep.ensure_snapshot(&snap_c);
+        assert!(sweep.ppr_warm(3).is_none());
+        // Budget gating: limit 0 stores nothing.
+        sweep.store_ppr(5, vec![0.5; 15], 0);
+        assert!(sweep.ppr_warm(5).is_none());
+    }
+}

@@ -100,6 +100,39 @@ pub trait Metric: Sync {
         self.score_pairs(snap, pairs)
     }
 
+    /// [`score_pairs_t`](Metric::score_pairs_t) with access to the
+    /// per-snapshot [`SolverCache`](crate::solver::SolverCache). The
+    /// default ignores the cache; the global walk metrics (LRW, PPR)
+    /// override it to share the snapshot's transition view and, on
+    /// persistent caches, warm-start PPR from the previous snapshot's
+    /// converged vectors (which changes iteration counts, never converged
+    /// output beyond the documented tolerance — see [`crate::solver`]).
+    fn score_pairs_cached(
+        &self,
+        snap: &Snapshot,
+        pairs: &[(NodeId, NodeId)],
+        threads: usize,
+        cache: &mut crate::solver::SolverCache,
+    ) -> Vec<f64> {
+        let _ = cache;
+        self.score_pairs_t(snap, pairs, threads)
+    }
+
+    /// [`prepare`](Metric::prepare) with read access to the per-snapshot
+    /// [`SolverCache`](crate::solver::SolverCache), so Chunked metrics
+    /// whose per-snapshot stage runs on the adjacency matrix (the Katz
+    /// family) can reuse the cache's shared [`crate::solver::TransitionView`]
+    /// instead of rebuilding CSR structure. Read-only: prepare runs in
+    /// parallel across metrics.
+    fn prepare_cached<'a>(
+        &'a self,
+        snap: &Snapshot,
+        cache: &crate::solver::SolverCache,
+    ) -> Box<dyn PairScorer + 'a> {
+        let _ = cache;
+        self.prepare(snap)
+    }
+
     /// Predicts the top-`k` pairs from a pre-built candidate set, with
     /// seeded tie-breaking (ties are common for SP and CN). Runs on the
     /// parallel engine with [`osn_graph::par::max_threads`] workers; the

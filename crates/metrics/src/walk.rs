@@ -1,7 +1,16 @@
 //! Random-walk metrics: Local Random Walk (LRW) and Personalized PageRank
 //! (PPR).
+//!
+//! Production scoring runs on the batched multi-source solver engine in
+//! [`crate::solver`] (one CSR sweep advances a block of source columns per
+//! step); the original per-source frontier walk and forward-push
+//! implementations are retained as reference oracles
+//! ([`LocalRandomWalk::score_pairs_per_source_t`],
+//! [`PersonalizedPageRank::score_pairs_per_source_t`]) and the equivalence
+//! tests in `tests/global_equivalence.rs` pin the two paths together.
 
 use crate::exec::ExecMode;
+use crate::solver::{self, SolverCache};
 use crate::traits::{CandidatePolicy, Metric, ScoreContract};
 use osn_graph::par;
 use osn_graph::snapshot::Snapshot;
@@ -205,10 +214,46 @@ impl Metric for LocalRandomWalk {
         pairs: &[(NodeId, NodeId)],
         threads: usize,
     ) -> Vec<f64> {
+        let mut cache = SolverCache::transient();
+        self.score_pairs_cached(snap, pairs, threads, &mut cache)
+    }
+
+    fn score_pairs_cached(
+        &self,
+        snap: &Snapshot,
+        pairs: &[(NodeId, NodeId)],
+        threads: usize,
+        cache: &mut SolverCache,
+    ) -> Vec<f64> {
+        cache.ensure_snapshot(snap);
+        // linklens-allow(unwrap-in-lib): ensure_snapshot always installs a transition view
+        let tv = cache.transition().expect("ensure_snapshot installed a view");
+        match solver::lrw_scores_t(&tv, pairs, self.steps, self.prune, threads, "LRW") {
+            Ok(scores) => scores,
+            // The Metric trait has no error channel; a tripped solver guard
+            // is a hard invariant violation, same class as an audit panic.
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+impl LocalRandomWalk {
+    /// Per-source reference path (the original frontier-propagation
+    /// implementation): one [`walk_distribution`] per distinct endpoint.
+    /// Kept as the oracle the batched solver is tested and benchmarked
+    /// against; not used by the engine.
+    pub fn score_pairs_per_source_t(
+        &self,
+        snap: &Snapshot,
+        pairs: &[(NodeId, NodeId)],
+        threads: usize,
+    ) -> Vec<f64> {
         let two_e = (2 * snap.edge_count()).max(1) as f64;
+        // linklens-allow(per-source-power-iteration): reference oracle; the engine solves LRW batched
         two_pass_scores(
             snap,
             pairs,
+            // linklens-allow(per-source-power-iteration): reference oracle, one walk per source on purpose
             |s, src, scr| walk_distribution(s, src, self.steps, self.prune, scr),
             |s, (u, v), puv, pvu| {
                 (s.degree(u) as f64 / two_e) * puv + (s.degree(v) as f64 / two_e) * pvu
@@ -292,9 +337,55 @@ impl Metric for PersonalizedPageRank {
         pairs: &[(NodeId, NodeId)],
         threads: usize,
     ) -> Vec<f64> {
+        let mut cache = SolverCache::transient();
+        self.score_pairs_cached(snap, pairs, threads, &mut cache)
+    }
+
+    fn score_pairs_cached(
+        &self,
+        snap: &Snapshot,
+        pairs: &[(NodeId, NodeId)],
+        threads: usize,
+        cache: &mut SolverCache,
+    ) -> Vec<f64> {
+        cache.ensure_snapshot(snap);
+        // linklens-allow(unwrap-in-lib): ensure_snapshot always installs a transition view
+        let tv = cache.transition().expect("ensure_snapshot installed a view");
+        match solver::ppr_scores_t(&tv, pairs, self.alpha, self.solver_tol(), threads, cache, "PPR")
+        {
+            Ok(scores) => scores,
+            // The Metric trait has no error channel; a tripped solver guard
+            // is a hard invariant violation, same class as an audit panic.
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+impl PersonalizedPageRank {
+    /// Residual L1 tolerance the batched Chebyshev solver targets,
+    /// derived from the push tolerance so the solver path is at least as
+    /// accurate as the per-source reference (push guarantees per-entry
+    /// error ≤ `epsilon · deg`; the solver certifies total L1 error
+    /// ≤ `solver_tol / alpha`).
+    pub fn solver_tol(&self) -> f64 {
+        10.0 * self.epsilon
+    }
+
+    /// Per-source reference path (the original Andersen–Chung–Lang
+    /// forward-push implementation): one [`forward_push`] per distinct
+    /// endpoint. Kept as the oracle the batched solver is tested and
+    /// benchmarked against; not used by the engine.
+    pub fn score_pairs_per_source_t(
+        &self,
+        snap: &Snapshot,
+        pairs: &[(NodeId, NodeId)],
+        threads: usize,
+    ) -> Vec<f64> {
+        // linklens-allow(per-source-power-iteration): reference oracle; the engine solves PPR batched
         two_pass_scores(
             snap,
             pairs,
+            // linklens-allow(per-source-power-iteration): reference oracle, one push per source on purpose
             |s, src, scr| forward_push(s, src, self.alpha, self.epsilon, scr),
             |_, _, puv, pvu| puv + pvu,
             threads,

@@ -1,0 +1,240 @@
+//! Batched-vs-reference equivalence for the global metrics: the batched
+//! frontier/SpMV engine (multi-source BFS for SP, epoch-stamped 2-walk
+//! scans for LP, blocked multi-source iteration for LRW/PPR, SpMM landmark
+//! columns for Katz-sc) must reproduce its retained per-source oracle —
+//! bit for bit where the algorithm is exact (SP, LP, Katz-sc), within the
+//! documented analytic tolerance where it is iterative (LRW, PPR) — at
+//! every thread count, and warm-started sweeps must agree with cold
+//! starts across a randomized snapshot sequence.
+
+use osn_graph::snapshot::Snapshot;
+use osn_graph::NodeId;
+use osn_metrics::candidates::CandidateSet;
+use osn_metrics::exec;
+use osn_metrics::katz::KatzSc;
+use osn_metrics::path::{LocalPath, ShortestPath};
+use osn_metrics::solver::SolverCache;
+use osn_metrics::traits::{CandidatePolicy, Metric};
+use osn_metrics::walk::{LocalRandomWalk, PersonalizedPageRank};
+use proptest::prelude::*;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Random graphs in the fused_equivalence size band: large enough to give
+/// multi-source batches wider than one MS-BFS word is not feasible at this
+/// size, but the batching/grouping machinery (SourcePlan, source-aligned
+/// chunks, block widths) is fully exercised.
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (8usize..=24).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32)
+            .prop_filter("no loop", |(a, b)| a != b)
+            .prop_map(|(a, b)| osn_graph::canonical(a, b));
+        proptest::collection::vec(edge, 4..50).prop_map(move |mut e| {
+            e.sort_unstable();
+            e.dedup();
+            (n, e)
+        })
+    })
+}
+
+/// A monotone snapshot sweep: a base edge set plus 2 growth batches, each
+/// adding at least one new edge (so every snapshot has a distinct
+/// `(nodes, edges)` cache key, as in a real growth trace).
+fn arb_sweep() -> impl Strategy<Value = (usize, Vec<Vec<(NodeId, NodeId)>>)> {
+    fn edge(n: usize) -> impl Strategy<Value = (NodeId, NodeId)> {
+        (0..n as u32, 0..n as u32)
+            .prop_filter("no loop", |(a, b)| a != b)
+            .prop_map(|(a, b)| osn_graph::canonical(a, b))
+    }
+    (10usize..=20).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(edge(n), 6..30),
+            proptest::collection::vec(proptest::collection::vec(edge(n), 1..8), 2..=2),
+        )
+            .prop_map(move |(base, extras)| {
+                let mut snapshots = Vec::new();
+                let mut acc = base;
+                acc.sort_unstable();
+                acc.dedup();
+                snapshots.push(acc.clone());
+                for batch in extras {
+                    acc.extend(batch);
+                    acc.sort_unstable();
+                    acc.dedup();
+                    if acc.len() > snapshots.last().unwrap().len() {
+                        snapshots.push(acc.clone());
+                    }
+                }
+                (n, snapshots)
+            })
+    })
+}
+
+fn candidate_pairs(snap: &Snapshot) -> Vec<(NodeId, NodeId)> {
+    CandidateSet::build(snap, CandidatePolicy::ThreeHop, 0).pairs().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// SP and LP: the batched frontier walkers (MS-BFS / Walk2Scan) are
+    /// exact algorithms, so they must equal their per-source references
+    /// bit for bit, through both the direct and the engine entry points,
+    /// at every thread count.
+    #[test]
+    fn sp_lp_batched_equal_per_source_bit_identical((n, edges) in arb_graph()) {
+        let snap = Snapshot::from_edges(n, &edges);
+        let pairs = candidate_pairs(&snap);
+        prop_assume!(!pairs.is_empty());
+
+        let sp = ShortestPath::default();
+        let sp_ref = sp.score_pairs_per_source(&snap, &pairs);
+        prop_assert_eq!(&sp.score_pairs(&snap, &pairs), &sp_ref, "SP batched != per-source");
+
+        let lp = LocalPath::default();
+        let lp_ref = lp.score_pairs_per_source(&snap, &pairs);
+        prop_assert_eq!(&lp.score_pairs(&snap, &pairs), &lp_ref, "LP batched != per-source");
+
+        for threads in THREADS {
+            let sp_t = exec::score_pairs_t(&sp, &snap, &pairs, threads);
+            prop_assert_eq!(&sp_t, &sp_ref, "SP engine diverged at {} threads", threads);
+            let lp_t = exec::score_pairs_t(&lp, &snap, &pairs, threads);
+            prop_assert_eq!(&lp_t, &lp_ref, "LP engine diverged at {} threads", threads);
+        }
+    }
+
+    /// LRW: with pruning disabled both paths compute the exact truncated
+    /// walk distribution and differ only by summation order, so they must
+    /// agree to reassociation noise at every thread count.
+    #[test]
+    fn lrw_batched_equals_per_source((n, edges) in arb_graph()) {
+        let snap = Snapshot::from_edges(n, &edges);
+        let pairs = candidate_pairs(&snap);
+        prop_assume!(!pairs.is_empty());
+        let lrw = LocalRandomWalk { steps: 3, prune: 0.0 };
+        let reference = lrw.score_pairs_per_source_t(&snap, &pairs, 1);
+        for threads in THREADS {
+            let batched = lrw.score_pairs_t(&snap, &pairs, threads);
+            for i in 0..pairs.len() {
+                prop_assert!(
+                    (batched[i] - reference[i]).abs() <= 1e-9,
+                    "LRW pair {:?} diverged at {} threads: {} vs {}",
+                    pairs[i], threads, batched[i], reference[i]
+                );
+            }
+        }
+    }
+
+    /// PPR: the Chebyshev solve certifies `‖p - p̂‖₁ ≤ tol/α` and the
+    /// forward-push reference has per-entry error ≤ ε·deg, so each pair's
+    /// combined score may differ by at most
+    /// `ε·(deg u + deg v) + 2·tol/α` — at every thread count.
+    #[test]
+    fn ppr_batched_within_bound_of_per_source((n, edges) in arb_graph()) {
+        let snap = Snapshot::from_edges(n, &edges);
+        let pairs = candidate_pairs(&snap);
+        prop_assume!(!pairs.is_empty());
+        let ppr = PersonalizedPageRank::default();
+        let reference = ppr.score_pairs_per_source_t(&snap, &pairs, 1);
+        for threads in THREADS {
+            let batched = ppr.score_pairs_t(&snap, &pairs, threads);
+            for (i, &(u, v)) in pairs.iter().enumerate() {
+                let bound = ppr.epsilon * (snap.degree(u) + snap.degree(v)) as f64
+                    + 2.0 * ppr.solver_tol() / ppr.alpha;
+                prop_assert!(
+                    (batched[i] - reference[i]).abs() <= bound,
+                    "PPR pair {:?} out of bound at {} threads: {} vs {} (bound {})",
+                    pairs[i], threads, batched[i], reference[i], bound
+                );
+            }
+        }
+    }
+
+    /// Katz-sc: the batched SpMM landmark build folds each row in the same
+    /// ascending-neighbor order as the per-landmark SpMV loop, so the full
+    /// prepare → score pipeline must be bit-identical to the per-source
+    /// oracle at every thread count.
+    #[test]
+    fn katz_sc_batched_equals_per_source((n, edges) in arb_graph()) {
+        let snap = Snapshot::from_edges(n, &edges);
+        let pairs = candidate_pairs(&snap);
+        prop_assume!(!pairs.is_empty());
+        let katz = KatzSc::default();
+        let reference = katz.prepare_per_source(&snap).score_chunk(&snap, &pairs);
+        prop_assert_eq!(
+            &katz.score_pairs(&snap, &pairs), &reference,
+            "Katz-sc batched != per-source"
+        );
+        for threads in THREADS {
+            let engine = exec::score_pairs_t(&katz, &snap, &pairs, threads);
+            prop_assert_eq!(&engine, &reference, "Katz-sc engine diverged at {} threads", threads);
+        }
+    }
+
+    /// The cached engine entry points (shared TransitionView, adjacency
+    /// reuse) are pure plumbing on a fresh cache: for every global metric
+    /// and thread count, a fresh sweep cache must reproduce the transient
+    /// path bit for bit.
+    #[test]
+    fn cached_exec_paths_match_uncached((n, edges) in arb_graph()) {
+        let snap = Snapshot::from_edges(n, &edges);
+        let pairs = candidate_pairs(&snap);
+        prop_assume!(!pairs.is_empty());
+        for name in ["SP", "LP", "LRW", "PPR", "Katz-lr", "Katz-sc"] {
+            let m = osn_metrics::metric_by_name(name).expect("known metric");
+            let base = exec::score_pairs_t(m.as_ref(), &snap, &pairs, 1);
+            for threads in THREADS {
+                let mut cache = SolverCache::sweep();
+                let cached =
+                    exec::score_pairs_cached_t(m.as_ref(), &snap, &pairs, threads, &mut cache);
+                prop_assert_eq!(
+                    &cached, &base,
+                    "{} cached path diverged at {} threads", name, threads
+                );
+            }
+        }
+    }
+
+    /// Warm starts across a randomized monotone snapshot sweep: scoring
+    /// the same pairs on each snapshot with one persistent cache must (a)
+    /// actually warm-start from the second snapshot on, (b) spend no more
+    /// iterations than the cold path, and (c) agree with independent
+    /// cold-start solves within `4·tol/α` per pair (each solve certifies
+    /// `‖p - p̂‖₁ ≤ tol/α`; a pair combines two solves from each side).
+    #[test]
+    fn warm_start_matches_cold_start_across_sweep((n, snapshots) in arb_sweep()) {
+        prop_assume!(snapshots.len() >= 2);
+        let ppr = PersonalizedPageRank::default();
+        let first = Snapshot::from_edges(n, &snapshots[0]);
+        let pairs = candidate_pairs(&first);
+        prop_assume!(!pairs.is_empty());
+
+        let mut warm_cache = SolverCache::sweep();
+        let mut cold_iters = 0u64;
+        for edges in &snapshots {
+            let snap = Snapshot::from_edges(n, edges);
+            let warm = exec::score_pairs_cached_t(&ppr, &snap, &pairs, 2, &mut warm_cache);
+            let mut cold_cache = SolverCache::transient();
+            let cold = exec::score_pairs_cached_t(&ppr, &snap, &pairs, 2, &mut cold_cache);
+            cold_iters += cold_cache.stats.ppr_iterations;
+            let bound = 4.0 * ppr.solver_tol() / ppr.alpha;
+            for i in 0..pairs.len() {
+                prop_assert!(
+                    (warm[i] - cold[i]).abs() <= bound,
+                    "warm/cold diverged on pair {:?}: {} vs {} (bound {})",
+                    pairs[i], warm[i], cold[i], bound
+                );
+            }
+        }
+        prop_assert!(
+            warm_cache.stats.ppr_warm_starts > 0,
+            "persistent cache never warm-started across {} snapshots",
+            snapshots.len()
+        );
+        prop_assert!(
+            warm_cache.stats.ppr_iterations <= cold_iters,
+            "warm sweep spent more iterations ({}) than cold ({})",
+            warm_cache.stats.ppr_iterations, cold_iters
+        );
+    }
+}
