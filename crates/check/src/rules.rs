@@ -58,6 +58,10 @@ pub const RULES: &[(&str, &str)] = &[
         "a fresh per-source solve (`walk_distribution`/`forward_push`/`two_pass_scores`/`bfs_distances`) inside a `score_pairs` impl; route global metrics through the batched solver engine or justify the reference path",
     ),
     (
+        "post-hoc-candidate-retain",
+        "`.retain()`/`.filter()` on a candidate-pair collection in core/metrics library code filters after enumeration; push the predicate into the walk as a PruneSpec or justify the post-hoc oracle",
+    ),
+    (
         "unjustified-allow",
         "a `linklens-allow(..)` without a `: justification` suffix",
     ),
@@ -141,6 +145,12 @@ pub fn check_file(info: &FileInfo, src: &str) -> Vec<Diagnostic> {
             print_in_lib(info, &lexed.tokens, &mask, &mut diags);
             per_pair_intersection(info, &lexed.tokens, &mask, &mut diags);
             per_source_power_iteration(info, &lexed.tokens, &mask, &mut diags);
+        }
+        if !info.is_shim
+            && matches!(info.krate.as_str(), "core" | "metrics")
+            && info.kind == FileKind::Lib
+        {
+            post_hoc_candidate_retain(info, &lexed.tokens, &mask, &mut diags);
         }
     }
     if info.is_crate_root {
@@ -365,6 +375,75 @@ fn per_source_power_iteration(
         }
         i = end;
     }
+}
+
+/// `.retain(..)` / `.filter(..)` chained off a receiver whose name smells
+/// like a candidate-pair collection (`*pair*` / `*cand*`) in `core` /
+/// `metrics` library code. Filtering candidates *after* enumeration is the
+/// post-hoc path the §6.2 pruning pushdown exists to remove: every
+/// rejected pair was still enumerated, slot-assigned, and — when the
+/// filter runs after scoring — scored. Push the predicate into the walk
+/// as a `PruneSpec`; the retained post-hoc oracle justifies itself with
+/// linklens-allow.
+fn post_hoc_candidate_retain(
+    info: &FileInfo,
+    tokens: &[Token],
+    mask: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    for i in 0..tokens.len() {
+        if mask[i] || !punct_at(tokens, i, '.') {
+            continue;
+        }
+        let Some(name) = ident_at(tokens, i + 1) else { continue };
+        if (name != "retain" && name != "filter") || !punct_at(tokens, i + 2, '(') {
+            continue;
+        }
+        if receiver_chain_mentions_candidates(tokens, i) {
+            out.push(Diagnostic {
+                rule: "post-hoc-candidate-retain",
+                path: info.path.clone(),
+                line: tokens[i + 1].line,
+                message: format!(
+                    "`.{name}()` on a candidate-pair collection filters after enumeration; push the \
+                     predicate into the walk as a PruneSpec, or justify the post-hoc oracle with \
+                     linklens-allow"
+                ),
+                suppressed: false,
+            });
+        }
+    }
+}
+
+/// Walks the method-call receiver chain leftward from the `.` at `dot`,
+/// skipping over argument lists and index expressions, and reports whether
+/// any chain ident names a candidate-pair collection. The chain ends at
+/// the first token that cannot belong to a receiver expression.
+fn receiver_chain_mentions_candidates(tokens: &[Token], dot: usize) -> bool {
+    let mut depth = 0i32;
+    let mut j = dot;
+    while j > 0 {
+        j -= 1;
+        match &tokens[j].tok {
+            Tok::Punct(')') | Tok::Punct(']') => depth += 1,
+            Tok::Punct('(') | Tok::Punct('[') => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            Tok::Ident(s) if depth == 0 => {
+                let lower = s.to_ascii_lowercase();
+                if lower.contains("pair") || lower.contains("cand") {
+                    return true;
+                }
+            }
+            Tok::Punct('.') | Tok::Punct('?') | Tok::Punct(':') if depth == 0 => {}
+            _ if depth == 0 => break,
+            _ => {}
+        }
+    }
+    false
 }
 
 /// `partial_cmp(..)` immediately chained into `.unwrap()` / `.expect(..)`.
@@ -717,6 +796,51 @@ mod tests {
         assert_eq!(active(&d, "per-source-power-iteration"), 0);
         assert_eq!(
             d.iter().filter(|x| x.rule == "per-source-power-iteration" && x.suppressed).count(),
+            1
+        );
+    }
+
+    // --- post-hoc-candidate-retain -------------------------------------
+
+    #[test]
+    fn posthoc_rule_fires_on_retain_and_filter_over_candidate_pairs() {
+        let src = "fn shrink(cands: &mut Vec<(u32, u32)>) { cands.retain(|&(u, v)| u < v); }";
+        assert_eq!(active(&check_file(&lib_info("core"), src), "post-hoc-candidate-retain"), 1);
+        let src2 = "fn shrink(pairs: &[(u32, u32)]) -> Vec<(u32, u32)> {\n  pairs.iter().copied().filter(|&(u, v)| u < v).collect()\n}";
+        let d = check_file(&lib_info("metrics"), src2);
+        assert_eq!(active(&d, "post-hoc-candidate-retain"), 1);
+        assert_eq!(
+            d.iter().find(|x| x.rule == "post-hoc-candidate-retain").map(|x| x.line),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn posthoc_rule_scoped_to_core_and_metrics_lib_code() {
+        let src = "fn shrink(cands: &mut Vec<(u32, u32)>) { cands.retain(|&(u, v)| u < v); }";
+        assert_eq!(active(&check_file(&lib_info("graph"), src), "post-hoc-candidate-retain"), 0);
+        let src_test = "#[cfg(test)]\nmod tests { fn t(pairs: &mut Vec<(u32, u32)>) { pairs.retain(|_| true); } }";
+        assert_eq!(
+            active(&check_file(&lib_info("core"), src_test), "post-hoc-candidate-retain"),
+            0
+        );
+    }
+
+    #[test]
+    fn posthoc_rule_clean_on_unrelated_receivers_and_filter_pairs() {
+        // `filter_pairs` is ident-matched, not prefix-matched, and chains
+        // whose receivers carry no pair/candidate ident never fire.
+        let src = "fn f(metrics: &[u32], s: &S, pairs: &[(u32, u32)]) -> Vec<u32> {\n  let kept = s.filter_pairs(snap, pairs);\n  metrics.iter().filter(|m| **m > 0).copied().collect()\n}";
+        assert_eq!(active(&check_file(&lib_info("core"), src), "post-hoc-candidate-retain"), 0);
+    }
+
+    #[test]
+    fn posthoc_rule_suppressed_by_allow() {
+        let src = "fn oracle(pairs: &[(u32, u32)]) -> Vec<(u32, u32)> {\n  // linklens-allow(post-hoc-candidate-retain): this is the post-hoc oracle itself\n  pairs.iter().copied().filter(|&(u, v)| u < v).collect()\n}";
+        let d = check_file(&lib_info("core"), src);
+        assert_eq!(active(&d, "post-hoc-candidate-retain"), 0);
+        assert_eq!(
+            d.iter().filter(|x| x.rule == "post-hoc-candidate-retain" && x.suppressed).count(),
             1
         );
     }

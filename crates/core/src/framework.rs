@@ -1,9 +1,24 @@
 //! Sequence-based evaluation of metric predictors (§3.2, §4.1).
+//!
+//! The sweep is routed end-to-end through the batched kernels: each
+//! snapshot's candidate sets are built **once** (the distance-≤3 base is
+//! shared between the `ThreeHop` and `Global` policy groups), the §6.2
+//! temporal filter is pushed *into* enumeration as a
+//! [`osn_graph::activity::PruneSpec`] (one
+//! [`osn_graph::activity::NodeActivity`] table per snapshot instead of a
+//! per-pair-per-policy feature recomputation), and every metric group
+//! goes through `exec`'s chunked engine — fused local kernel for the
+//! advertised [`Metric::fused_kind`]s, shared solver transition views for
+//! the rest — with per-chunk streaming top-k accumulators, so the full
+//! (pairs × metrics) score matrix is never materialized. The post-hoc
+//! filter path survives as [`SequenceEvaluator::candidates_for_posthoc`],
+//! the oracle the pruned path is property-tested against.
 
+use osn_graph::activity::{NodeActivity, PruneSpec};
 use osn_graph::sequence::SnapshotSequence;
 use osn_graph::snapshot::Snapshot;
 use osn_graph::NodeId;
-use osn_metrics::candidates::CandidateSet;
+use osn_metrics::candidates::{CandidateSet, Prune};
 use osn_metrics::exec;
 use osn_metrics::solver::SolverCache;
 use osn_metrics::traits::{CandidatePolicy, Metric};
@@ -15,6 +30,9 @@ use crate::filters::TemporalFilter;
 /// A batch of predicted pairs plus the ground-truth set they are judged
 /// against.
 pub type PredictionsAndTruth = (Vec<(NodeId, NodeId)>, HashSet<(NodeId, NodeId)>);
+
+/// One prediction batch per metric, plus the shared ground-truth set.
+pub type ManyPredictionsAndTruth = (Vec<Vec<(NodeId, NodeId)>>, HashSet<(NodeId, NodeId)>);
 
 /// The result of one metric predicting one snapshot transition.
 #[derive(Clone, Debug, Serialize, serde::Deserialize)]
@@ -129,8 +147,24 @@ impl<'a> SequenceEvaluator<'a> {
         self.seq
     }
 
+    /// The per-snapshot pruning context for a temporal filter: one
+    /// [`NodeActivity`] table (idle days + recent-edge ring) shared by
+    /// every candidate walk on `snap`.
+    fn prune_ctx(
+        filter: Option<&TemporalFilter>,
+        snap: &Snapshot,
+    ) -> Option<(NodeActivity, PruneSpec)> {
+        filter.map(|f| {
+            let spec = f.prune_spec();
+            (NodeActivity::build(snap, spec.window()), spec)
+        })
+    }
+
     /// Builds the shared candidate set on `snap` for a group of metrics
-    /// (loosest policy wins), optionally pruned by a temporal filter.
+    /// (loosest policy wins). A temporal filter is pushed *into* the
+    /// enumeration walk as a [`PruneSpec`] — rejected pairs are never
+    /// materialized — and the pair cap applies after pruning, so rejected
+    /// pairs cannot crowd survivors out of the stride subsample.
     pub fn candidates_for(
         &self,
         snap: &Snapshot,
@@ -139,19 +173,123 @@ impl<'a> SequenceEvaluator<'a> {
     ) -> CandidateSet {
         let policy =
             metrics.iter().map(|m| m.candidate_policy()).max().unwrap_or(CandidatePolicy::TwoHop);
-        let cands = CandidateSet::build_capped(
+        let ctx = Self::prune_ctx(filter, snap);
+        let prune: Prune<'_> = ctx.as_ref().map(|(act, spec)| (act, spec));
+        CandidateSet::build_capped_pruned(
             snap,
             policy,
             self.top_degree_candidates,
             self.max_candidate_pairs,
-        );
-        match filter {
+            prune,
+        )
+    }
+
+    /// The post-hoc oracle [`candidates_for`](Self::candidates_for) is
+    /// verified against: build the *full* (uncapped-filter) candidate set,
+    /// then apply the Table 7 criteria pair by pair via
+    /// [`TemporalFilter::filter_pairs`], preserving enumeration order.
+    /// Kept for tests, benches, and the scalecheck equality pre-pass; the
+    /// sweep itself never takes this path.
+    pub fn candidates_for_posthoc(
+        &self,
+        snap: &Snapshot,
+        metrics: &[&dyn Metric],
+        filter: Option<&TemporalFilter>,
+    ) -> CandidateSet {
+        let policy =
+            metrics.iter().map(|m| m.candidate_policy()).max().unwrap_or(CandidatePolicy::TwoHop);
+        let cands = CandidateSet::build(snap, policy, self.top_degree_candidates);
+        let cands = match filter {
             None => cands,
             Some(f) => {
                 let kept = f.filter_pairs(snap, cands.pairs());
-                CandidateSet::from_pairs(kept, policy)
+                CandidateSet::from_filtered_pairs(kept, policy)
+            }
+        };
+        cands.capped(self.max_candidate_pairs)
+    }
+
+    /// The sweep's scoring core: top-k predictions for every metric on one
+    /// observed snapshot, `predictions[i]` aligned with `metrics[i]`.
+    ///
+    /// Candidate enumeration happens once per policy group — the
+    /// distance-≤3 base is built a single time and shared between the
+    /// `ThreeHop` and `Global` groups — with any temporal filter pushed
+    /// into the walks via one per-snapshot [`NodeActivity`] table. Each
+    /// group then runs through [`exec::predict_top_k_many_cached_t`]: the
+    /// fused local kernel covers every metric advertising a
+    /// [`Metric::fused_kind`], solver-backed metrics share the cache's
+    /// transition view, and per-chunk top-k accumulators merge streams so
+    /// the full (pairs × metrics) matrix never exists.
+    fn predict_top_k_groups(
+        &self,
+        metrics: &[&dyn Metric],
+        prev: &Snapshot,
+        k: usize,
+        filter: Option<&TemporalFilter>,
+        cache: &mut SolverCache,
+    ) -> Vec<Vec<(NodeId, NodeId)>> {
+        let ctx = Self::prune_ctx(filter, prev);
+        let prune: Prune<'_> = ctx.as_ref().map(|(act, spec)| (act, spec));
+        let has = |p: CandidatePolicy| metrics.iter().any(|m| m.candidate_policy() == p);
+        // The ThreeHop set *is* the within-3 enumeration and the Global set
+        // extends it; when both groups are present, pay the bounded BFS
+        // once and hand each group its view of the shared base.
+        let mut base3: Option<Vec<(NodeId, NodeId)>> = None;
+        if has(CandidatePolicy::ThreeHop) && has(CandidatePolicy::Global) {
+            base3 = Some(CandidateSet::within3_base(prev, prune));
+        }
+        let mut predictions: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); metrics.len()];
+        // Metrics are grouped by candidate policy so the cheap 2-hop
+        // metrics never pay for (or get scored against) the much larger
+        // 3-hop / global candidate sets.
+        for policy in [CandidatePolicy::TwoHop, CandidatePolicy::ThreeHop, CandidatePolicy::Global]
+        {
+            let group: Vec<(usize, &dyn Metric)> = metrics
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.candidate_policy() == policy)
+                .map(|(i, m)| (i, *m))
+                .collect();
+            if group.is_empty() {
+                continue;
+            }
+            let group_metrics: Vec<&dyn Metric> = group.iter().map(|&(_, m)| m).collect();
+            let cands = match policy {
+                CandidatePolicy::TwoHop => {
+                    CandidateSet::build_pruned(prev, policy, self.top_degree_candidates, prune)
+                }
+                CandidatePolicy::ThreeHop => match &base3 {
+                    Some(base) => CandidateSet::three_hop_from_base(base.clone()),
+                    None => {
+                        CandidateSet::build_pruned(prev, policy, self.top_degree_candidates, prune)
+                    }
+                },
+                CandidatePolicy::Global => {
+                    let base =
+                        base3.take().unwrap_or_else(|| CandidateSet::within3_base(prev, prune));
+                    CandidateSet::global_from_base(prev, base, self.top_degree_candidates, prune)
+                }
+            }
+            .capped(self.max_candidate_pairs);
+            // All metrics in the group run on the shared scoring engine:
+            // one (metric × chunk) work pool over the candidate slice
+            // instead of one thread per metric, so a single slow metric
+            // no longer serializes the group.
+            let group_predictions = exec::predict_top_k_many_cached_t(
+                &group_metrics,
+                prev,
+                &cands,
+                k,
+                self.seed,
+                osn_graph::par::max_threads(),
+                cache,
+            );
+            for (&(idx, _), predicted) in group.iter().zip(group_predictions) {
+                predictions[idx] = predicted;
             }
         }
+        predictions
     }
 
     /// Ground truth for transition `t`: the new edges of `G_t` among nodes
@@ -220,50 +358,15 @@ impl<'a> SequenceEvaluator<'a> {
         let truth = self.ground_truth(t);
         let k = truth.len();
         let u = unconnected_pair_count(prev);
-
-        // Metrics are grouped by candidate policy so the cheap 2-hop
-        // metrics never pay for (or get scored against) the much larger
-        // 3-hop / global candidate sets.
-        let mut outcomes: Vec<Option<PredictionOutcome>> = vec![None; metrics.len()];
-        for policy in [CandidatePolicy::TwoHop, CandidatePolicy::ThreeHop, CandidatePolicy::Global]
-        {
-            let group: Vec<(usize, &&dyn Metric)> = metrics
-                .iter()
-                .enumerate()
-                .filter(|(_, m)| m.candidate_policy() == policy)
-                .collect();
-            if group.is_empty() {
-                continue;
-            }
-            let group_metrics: Vec<&dyn Metric> = group.iter().map(|(_, m)| **m).collect();
-            let cands = self.candidates_for(prev, &group_metrics, filter);
-            // All metrics in the group run on the shared scoring engine:
-            // one (metric × chunk) work pool over the candidate slice
-            // instead of one thread per metric, so a single slow metric
-            // no longer serializes the group.
-            let predictions = exec::predict_top_k_many_cached_t(
-                &group_metrics,
-                prev,
-                &cands,
-                k,
-                self.seed,
-                osn_graph::par::max_threads(),
-                cache,
-            );
-            for ((idx, m), predicted) in group.iter().zip(predictions) {
+        let predictions = self.predict_top_k_groups(metrics, prev, k, filter, cache);
+        metrics
+            .iter()
+            .zip(predictions)
+            .map(|(m, predicted)| {
                 let correct = predicted.iter().filter(|p| truth.contains(p)).count();
-                outcomes[*idx] = Some(PredictionOutcome::from_hits(
-                    m.name(),
-                    t,
-                    prev.edge_count(),
-                    k,
-                    correct,
-                    u,
-                ));
-            }
-        }
-        // linklens-allow(unwrap-in-lib): the loop above fills every metric's slot exactly once
-        outcomes.into_iter().map(|o| o.expect("every metric evaluated")).collect()
+                PredictionOutcome::from_hits(m.name(), t, prev.edge_count(), k, correct, u)
+            })
+            .collect()
     }
 
     /// Evaluates metrics over every transition `1..len()`, returning
@@ -323,19 +426,36 @@ impl<'a> SequenceEvaluator<'a> {
     }
 
     /// Raw top-k predictions for transition `t` — the input to the §4.4
-    /// bias analyses (Fig. 7/8, Table 5).
+    /// bias analyses (Fig. 7/8, Table 5). Routed through the same batched
+    /// engine as the sweep, so a prediction inspected here is bit-identical
+    /// to the one [`evaluate_metrics_at`](Self::evaluate_metrics_at) scored.
     pub fn predictions(
         &self,
         metric: &dyn Metric,
         t: usize,
         filter: Option<&TemporalFilter>,
     ) -> PredictionsAndTruth {
+        let (mut predicted, truth) = self.predictions_many(&[metric], t, filter);
+        // linklens-allow(unwrap-in-lib): predictions_many returns one batch per metric
+        (predicted.pop().expect("one metric in, one out"), truth)
+    }
+
+    /// [`predictions`](Self::predictions) for several metrics at once,
+    /// sharing one candidate enumeration per policy group and one solver
+    /// transition view: `result.0[i]` aligns with `metrics[i]`.
+    pub fn predictions_many(
+        &self,
+        metrics: &[&dyn Metric],
+        t: usize,
+        filter: Option<&TemporalFilter>,
+    ) -> ManyPredictionsAndTruth {
         assert!(t >= 1 && t < self.seq.len());
         let prev = self.seq.snapshot(t - 1);
         let truth = self.ground_truth(t);
-        let cands = self.candidates_for(&prev, &[metric], filter);
-        let predicted = metric.predict_top_k(&prev, &cands, truth.len(), self.seed);
-        (predicted, truth)
+        let mut cache = SolverCache::transient();
+        let predictions =
+            self.predict_top_k_groups(metrics, &prev, truth.len(), filter, &mut cache);
+        (predictions, truth)
     }
 }
 

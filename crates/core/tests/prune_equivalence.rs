@@ -1,0 +1,157 @@
+//! Equivalence of the §6.2 pruning pushdown with the post-hoc filter
+//! oracle: for every Table 7 preset, every candidate policy, and every
+//! worker count, pruning the temporal criteria *inside* candidate
+//! enumeration must yield exactly the pairs — in exactly the order — that
+//! post-hoc [`TemporalFilter::filter_pairs`] keeps on the unpruned set,
+//! and the batched top-k over those survivors must be bit-identical to
+//! the oracle path's. This is the property that lets the framework sweep
+//! route every filtered evaluation through the pruned walks without ever
+//! re-checking a pair.
+
+use linklens_core::filters::{FilterThresholds, TemporalFilter};
+use linklens_core::framework::SequenceEvaluator;
+use osn_graph::activity::NodeActivity;
+use osn_graph::sequence::SnapshotSequence;
+use osn_graph::snapshot::Snapshot;
+use osn_graph::temporal::TemporalGraph;
+use osn_graph::NodeId;
+use osn_metrics::candidates::CandidateSet;
+use osn_metrics::exec;
+use osn_metrics::traits::{CandidatePolicy, Metric};
+use proptest::prelude::*;
+
+const PRESETS: &[&str] = &["facebook", "youtube", "renren"];
+
+/// Random temporal traces: all nodes arrive at t = 0, edges carry
+/// day-granular timestamps spread over ~60 days (so every Table 7
+/// threshold — idle cutoffs up to 40 days, windows up to 21 — can both
+/// pass and reject pairs), applied in non-decreasing time order.
+fn arb_trace() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId, osn_graph::Timestamp)>)> {
+    (10usize..=22).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 0u64..60)
+            .prop_filter("no loop", |(a, b, _)| a != b)
+            .prop_map(|(a, b, day)| {
+                let (u, v) = osn_graph::canonical(a, b);
+                (u, v, day * osn_graph::DAY)
+            });
+        proptest::collection::vec(edge, 10..60).prop_map(move |e| (n, e))
+    })
+}
+
+fn build_trace(n: usize, edges: &[(NodeId, NodeId, osn_graph::Timestamp)]) -> TemporalGraph {
+    let mut g = TemporalGraph::new();
+    for _ in 0..n {
+        g.add_node(0);
+    }
+    let mut timed = edges.to_vec();
+    timed.sort_by_key(|&(_, _, t)| t);
+    for (a, b, t) in timed {
+        // Duplicate (and reverse-duplicate) edges are ignored by the
+        // trace; the first timestamp wins, matching real trace ingestion.
+        g.add_edge(a, b, t);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Candidate-level identity: for each preset and policy, the pruned
+    /// enumeration equals post-hoc filtering of the unpruned enumeration —
+    /// same pairs, same order.
+    #[test]
+    fn pruned_candidates_equal_posthoc_for_all_presets((n, edges) in arb_trace()) {
+        let trace = build_trace(n, &edges);
+        prop_assume!(trace.edge_count() >= 4);
+        let snap = Snapshot::up_to(&trace, trace.edge_count());
+        for preset in PRESETS {
+            let f = TemporalFilter::new(
+                FilterThresholds::for_preset(preset).expect("known preset"),
+            );
+            let spec = f.prune_spec();
+            let act = NodeActivity::build(&snap, spec.window());
+            for policy in
+                [CandidatePolicy::TwoHop, CandidatePolicy::ThreeHop, CandidatePolicy::Global]
+            {
+                let full = CandidateSet::build(&snap, policy, 3);
+                let kept = f.filter_pairs(&snap, full.pairs());
+                let pruned = CandidateSet::build_pruned(&snap, policy, 3, Some((&act, &spec)));
+                prop_assert_eq!(
+                    pruned.pairs(), &kept[..],
+                    "{} {:?}: pruned enumeration != post-hoc filter", preset, policy
+                );
+            }
+        }
+    }
+
+    /// Framework-level identity: the evaluator's pruned candidate build
+    /// equals its post-hoc oracle, and the batched multi-metric top-k over
+    /// the pruned set is bit-identical — pairs and tie-break order — to
+    /// the oracle set's at every worker count.
+    #[test]
+    fn pruned_topk_bit_identical_across_threads((n, edges) in arb_trace()) {
+        let trace = build_trace(n, &edges);
+        prop_assume!(trace.edge_count() >= 4);
+        let seq = SnapshotSequence::by_edge_delta(&trace, trace.edge_count() / 2);
+        let eval = SequenceEvaluator::new(&seq);
+        let snap = Snapshot::up_to(&trace, trace.edge_count());
+        let metrics = osn_metrics::all_metrics();
+        let refs: Vec<&dyn Metric> = metrics.iter().map(|m| m.as_ref()).collect();
+        for preset in PRESETS {
+            let f = TemporalFilter::new(
+                FilterThresholds::for_preset(preset).expect("known preset"),
+            );
+            let pruned = eval.candidates_for(&snap, &refs, Some(&f));
+            let posthoc = eval.candidates_for_posthoc(&snap, &refs, Some(&f));
+            prop_assert_eq!(pruned.pairs(), posthoc.pairs(), "{}: candidate drift", preset);
+            if pruned.is_empty() {
+                continue;
+            }
+            let k = (pruned.len() / 2).max(1);
+            let base = exec::predict_top_k_many_t(&refs, &snap, &posthoc, k, 0x11A5, 1);
+            for threads in [1usize, 2, 4, 8] {
+                let got = exec::predict_top_k_many_t(&refs, &snap, &pruned, k, 0x11A5, threads);
+                for (i, m) in refs.iter().enumerate() {
+                    prop_assert_eq!(
+                        &got[i], &base[i],
+                        "{} {}: top-k diverged at {} threads", preset, m.name(), threads
+                    );
+                }
+            }
+        }
+    }
+
+    /// End-to-end: `SequenceEvaluator::predictions_many` (the batched,
+    /// pruned route) returns, for each metric, exactly the top-k the
+    /// oracle path computes from that metric's own post-hoc-filtered
+    /// candidate set (the sweep groups metrics by candidate policy, so
+    /// each metric is judged on its policy's set, not the loosest one).
+    #[test]
+    fn framework_predictions_match_posthoc_oracle((n, edges) in arb_trace()) {
+        let trace = build_trace(n, &edges);
+        prop_assume!(trace.edge_count() >= 8);
+        let seq = SnapshotSequence::by_edge_delta(&trace, trace.edge_count() / 2);
+        prop_assume!(seq.len() >= 2);
+        let eval = SequenceEvaluator::new(&seq);
+        let prev = seq.snapshot(0);
+        let truth = eval.ground_truth(1);
+        prop_assume!(!truth.is_empty());
+        let metrics = osn_metrics::all_metrics();
+        let refs: Vec<&dyn Metric> = metrics.iter().map(|m| m.as_ref()).collect();
+        for preset in PRESETS {
+            let f = TemporalFilter::new(
+                FilterThresholds::for_preset(preset).expect("known preset"),
+            );
+            let (batched, _) = eval.predictions_many(&refs, 1, Some(&f));
+            for (i, &m) in refs.iter().enumerate() {
+                let posthoc = eval.candidates_for_posthoc(&prev, &[m], Some(&f));
+                let oracle =
+                    exec::predict_top_k_many_t(&[m], &prev, &posthoc, truth.len(), eval.seed, 1);
+                prop_assert_eq!(
+                    &batched[i], &oracle[0],
+                    "{} {}: sweep route != oracle route", preset, m.name()
+                );
+            }
+        }
+    }
+}

@@ -29,6 +29,10 @@
 //! * [`traversal`] — BFS distances and the candidate-pair enumerators
 //!   (unconnected 2-hop pairs, distance-bounded pairs), parallelized over
 //!   per-source partitions with deterministic in-order merging.
+//! * [`activity`] — the per-snapshot [`activity::NodeActivity`] table
+//!   (idle time, recent-edge counts over a ring of day buckets) and the
+//!   §6.2 [`activity::PruneSpec`] that pushes the temporal filters into
+//!   candidate enumeration itself.
 //! * [`par`] — the shared worker pool every parallel stage runs on, with
 //!   thread-count resolution (`--threads` override → `LINKLENS_THREADS` →
 //!   available parallelism) and task-ordered result collection.
@@ -45,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod activity;
 pub mod audit;
 pub mod builder;
 pub mod io;

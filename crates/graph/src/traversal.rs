@@ -6,8 +6,9 @@
 //! pairs (§4.2). The enumerators here produce exactly those candidate sets,
 //! deduplicated and in canonical order.
 
+use crate::activity::{NodeActivity, PruneSpec};
 use crate::snapshot::Snapshot;
-use crate::NodeId;
+use crate::{NodeId, Timestamp};
 
 /// BFS distances from `src`, bounded by `max_depth`. Unreached nodes get
 /// `u32::MAX`. Complexity O(V + E) but typically far less with small depth.
@@ -126,10 +127,21 @@ pub struct TwoHopScan {
     adj: Vec<u32>,
     /// `seen[x] == epoch` ⇔ `x` was already discovered as a candidate.
     seen: Vec<u32>,
-    /// Valid iff `seen[x] == epoch`: the candidate's dense slot index.
+    /// Valid iff `seen[x] == epoch`: the candidate's dense slot index, or
+    /// [`REJECTED`] when a pruned scan dropped the target on discovery.
     slot: Vec<u32>,
     cand: Vec<NodeId>,
+    /// Pruned scans only: per-slot running max of witness arrival times
+    /// (`max(t(u,w), t(w,v))` over the 2-paths seen so far).
+    arrival: Vec<Timestamp>,
+    /// Pruned scans only: per-slot verdict of the CN-gap criterion,
+    /// computed after the walk once every witness has been folded in.
+    cn_ok: Vec<bool>,
 }
+
+/// Slot sentinel marking a target rejected by a pruned scan's per-pair
+/// criteria; later 2-paths to it are skipped without re-checking.
+const REJECTED: u32 = u32::MAX;
 
 impl TwoHopScan {
     /// A scan over a graph of `n` nodes.
@@ -140,6 +152,8 @@ impl TwoHopScan {
             seen: vec![0; n],
             slot: vec![0; n],
             cand: Vec::new(),
+            arrival: Vec::new(),
+            cn_ok: Vec::new(),
         }
     }
 
@@ -202,6 +216,92 @@ impl TwoHopScan {
     /// The candidates discovered by the most recent [`scan`](Self::scan).
     pub fn last_candidates(&self) -> &[NodeId] {
         &self.cand
+    }
+
+    /// [`scan`](Self::scan) with §6.2 temporal pruning folded into the
+    /// walk. Three pushdowns, in order of how early they fire:
+    ///
+    /// 1. a source failing every Table 7 role
+    ///    ([`PruneSpec::source_may_pass`]) is skipped before its frontier
+    ///    is walked — the scan reports no candidates at all;
+    /// 2. a target failing the idle/recent criteria
+    ///    ([`PruneSpec::pair_passes_pre_cn`]) is dropped at discovery and
+    ///    never occupies a slot or receives hits;
+    /// 3. the CN-gap criterion needs the *latest* witness arrival, so the
+    ///    walk keeps a per-slot running `max(t(u,w), t(w,v))` — the same
+    ///    maximum [`Snapshot::cn_time_gap`]'s sorted merge computes — and
+    ///    the verdict lands in a per-slot mask after the walk.
+    ///
+    /// `hit` fires for every 2-path whose endpoint survives pushdown 2, in
+    /// the same ascending-`w` order as [`scan`](Self::scan); callers that
+    /// accumulate per-slot sums therefore produce bit-identical values for
+    /// surviving pairs. Emission must go through
+    /// [`last_survivors`](Self::last_survivors), which applies pushdown 3.
+    pub fn scan_pruned(
+        &mut self,
+        snap: &Snapshot,
+        u: NodeId,
+        act: &NodeActivity,
+        spec: &PruneSpec,
+        mut hit: impl FnMut(NodeId, NodeId, usize, bool),
+    ) {
+        self.begin();
+        self.arrival.clear();
+        self.cn_ok.clear();
+        if !spec.source_may_pass(act, u) {
+            return;
+        }
+        let e = self.epoch;
+        self.adj[u as usize] = e;
+        for &w in snap.neighbors(u) {
+            self.adj[w as usize] = e;
+        }
+        let u_times = snap.neighbor_times(u);
+        for (wi, &w) in snap.neighbors(u).iter().enumerate() {
+            let t_uw = u_times[wi];
+            let w_times = snap.neighbor_times(w);
+            for (xi, &v) in snap.neighbors(w).iter().enumerate() {
+                if v <= u || self.adj[v as usize] == e {
+                    continue;
+                }
+                let vi = v as usize;
+                let first = self.seen[vi] != e;
+                if first {
+                    self.seen[vi] = e;
+                    if !spec.pair_passes_pre_cn(act, u, v) {
+                        self.slot[vi] = REJECTED;
+                        continue;
+                    }
+                    // linklens-allow(truncating-cast): candidate count is bounded by the node count, and node ids are u32
+                    self.slot[vi] = self.cand.len() as u32;
+                    self.cand.push(v);
+                    self.arrival.push(t_uw.max(w_times[xi]));
+                } else if self.slot[vi] == REJECTED {
+                    continue;
+                }
+                let s = self.slot[vi] as usize;
+                if !first {
+                    let a = t_uw.max(w_times[xi]);
+                    if a > self.arrival[s] {
+                        self.arrival[s] = a;
+                    }
+                }
+                hit(w, v, s, first);
+            }
+        }
+        let now = snap.time();
+        for &a in &self.arrival {
+            self.cn_ok.push(spec.cn_gap_passes(now - a));
+        }
+    }
+
+    /// Survivors of the most recent [`scan_pruned`](Self::scan_pruned) as
+    /// `(slot, v)` in discovery order: the candidates whose CN gap also
+    /// passed. Slots index whatever per-slot state the caller accumulated
+    /// during the walk (slots of CN-gap-rejected candidates are simply
+    /// never yielded).
+    pub fn last_survivors(&self) -> impl Iterator<Item = (usize, NodeId)> + '_ {
+        self.cand.iter().enumerate().filter(move |&(s, _)| self.cn_ok[s]).map(|(s, &v)| (s, v))
     }
 }
 
@@ -425,6 +525,101 @@ fn two_hop_block(snap: &Snapshot, sources: std::ops::Range<usize>) -> Vec<(NodeI
         let u = u as NodeId;
         for &v in scan.candidates(snap, u) {
             out.push((u, v));
+        }
+    }
+    out
+}
+
+/// [`two_hop_pairs_t`] with §6.2 pruning pushed into the scan: doomed
+/// sources skip their frontier walk, doomed targets are dropped at
+/// discovery, and the CN-gap criterion is evaluated from the walk's own
+/// witness arrivals ([`TwoHopScan::scan_pruned`]). The result equals
+/// post-hoc filtering of [`two_hop_pairs_t`] — same pairs, same order,
+/// for every `threads` value — without ever materializing the rejected
+/// pairs.
+pub fn two_hop_pairs_pruned_t(
+    snap: &Snapshot,
+    act: &NodeActivity,
+    spec: &PruneSpec,
+    threads: usize,
+) -> Vec<(NodeId, NodeId)> {
+    let n = snap.node_count();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        return two_hop_block_pruned(snap, act, spec, 0..n);
+    }
+    let blocks = crate::par::block_ranges(n, threads * 8);
+    let parts = crate::par::run_indexed(blocks.len(), threads, |b| {
+        two_hop_block_pruned(snap, act, spec, blocks[b].clone())
+    });
+    parts.concat()
+}
+
+/// Serial pruned 2-hop enumeration restricted to sources in `sources`.
+fn two_hop_block_pruned(
+    snap: &Snapshot,
+    act: &NodeActivity,
+    spec: &PruneSpec,
+    sources: std::ops::Range<usize>,
+) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    let mut scan = TwoHopScan::new(snap.node_count());
+    for u in sources {
+        let u = u as NodeId;
+        scan.scan_pruned(snap, u, act, spec, |_, _, _, _| {});
+        for (_, v) in scan.last_survivors() {
+            out.push((u, v));
+        }
+    }
+    out
+}
+
+/// [`pairs_within_t`] with §6.2 pruning pushed into enumeration: doomed
+/// sources skip their BFS entirely; surviving distances go through the
+/// full Table 7 check (distance-2 pairs pay the CN-gap merge, distance-3
+/// pairs skip criterion 4 since they have no common neighbor — exactly
+/// the post-hoc rule). Equals post-hoc filtering of [`pairs_within_t`] in
+/// set and order, for every `threads` value.
+pub fn pairs_within_pruned_t(
+    snap: &Snapshot,
+    max_dist: u32,
+    act: &NodeActivity,
+    spec: &PruneSpec,
+    threads: usize,
+) -> Vec<(NodeId, NodeId)> {
+    assert!(max_dist >= 2, "pairs at distance < 2 are already edges");
+    let n = snap.node_count();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        return pairs_within_block_pruned(snap, max_dist, act, spec, 0..n);
+    }
+    let blocks = crate::par::block_ranges(n, threads * 8);
+    let parts = crate::par::run_indexed(blocks.len(), threads, |b| {
+        pairs_within_block_pruned(snap, max_dist, act, spec, blocks[b].clone())
+    });
+    parts.concat()
+}
+
+/// Serial pruned bounded-BFS enumeration restricted to `sources`.
+fn pairs_within_block_pruned(
+    snap: &Snapshot,
+    max_dist: u32,
+    act: &NodeActivity,
+    spec: &PruneSpec,
+    sources: std::ops::Range<usize>,
+) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    for u in sources {
+        let u = u as NodeId;
+        if !spec.source_may_pass(act, u) {
+            continue;
+        }
+        let dist = bfs_distances(snap, u, max_dist);
+        for (v, &d) in dist.iter().enumerate() {
+            let v = v as NodeId;
+            if v > u && d >= 2 && d <= max_dist && spec.pair_passes(snap, act, u, v) {
+                out.push((u, v));
+            }
         }
     }
     out
@@ -804,5 +999,135 @@ mod tests {
         let pairs = all_pairs_among(&s, &[0, 1, 2]);
         // C(3,2)=3 minus edges (0,1),(1,2) → only (0,2).
         assert_eq!(pairs, vec![(0, 2)]);
+    }
+
+    /// Temporal ring + chords: edge times spread over ~n days so the
+    /// Table 7 criteria split hot from cold regions.
+    fn temporal_ring(n: u32) -> Snapshot {
+        let mut g = crate::temporal::TemporalGraph::new();
+        for _ in 0..n {
+            g.add_node(0);
+        }
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push(crate::canonical(i, (i + 1) % n));
+            if i % 3 == 0 {
+                edges.push(crate::canonical(i, (i + 7) % n));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        // Deterministic scattered timestamps: hash-ish spread over n days.
+        let mut timed: Vec<(NodeId, NodeId, Timestamp)> = edges
+            .into_iter()
+            .map(|(a, b)| (a, b, ((a * 31 + b * 17) % n) as Timestamp * crate::DAY))
+            .collect();
+        timed.sort_by_key(|&(_, _, t)| t);
+        for (a, b, t) in timed {
+            g.add_edge(a, b, t);
+        }
+        Snapshot::up_to(&g, g.edge_count())
+    }
+
+    fn probe_spec() -> PruneSpec {
+        PruneSpec {
+            active_idle_days: 15.0,
+            inactive_idle_days: 25.0,
+            window_days: 7.0,
+            min_recent_edges: 1,
+            cn_gap_days: 20.0,
+        }
+    }
+
+    #[test]
+    fn pruned_enumeration_equals_posthoc_filtering() {
+        let s = temporal_ring(40);
+        let spec = probe_spec();
+        let act = NodeActivity::build(&s, spec.window());
+        let posthoc_two: Vec<(NodeId, NodeId)> = two_hop_pairs_t(&s, 1)
+            .into_iter()
+            .filter(|&(u, v)| spec.pair_passes(&s, &act, u, v))
+            .collect();
+        let posthoc_within: Vec<(NodeId, NodeId)> = pairs_within_t(&s, 3, 1)
+            .into_iter()
+            .filter(|&(u, v)| spec.pair_passes(&s, &act, u, v))
+            .collect();
+        assert!(!posthoc_two.is_empty(), "fixture must keep some pairs");
+        assert!(posthoc_two.len() < two_hop_pairs_t(&s, 1).len(), "fixture must drop some pairs");
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(
+                two_hop_pairs_pruned_t(&s, &act, &spec, threads),
+                posthoc_two,
+                "two-hop threads={threads}"
+            );
+            assert_eq!(
+                pairs_within_pruned_t(&s, 3, &act, &spec, threads),
+                posthoc_within,
+                "within-3 threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_scan_arrival_max_matches_cn_time_gap() {
+        let s = temporal_ring(40);
+        // Thresholds loose everywhere except the CN gap, so the survivor
+        // mask is exactly the criterion-4 verdict.
+        let spec = PruneSpec {
+            active_idle_days: f64::INFINITY,
+            inactive_idle_days: f64::INFINITY,
+            window_days: 7.0,
+            min_recent_edges: 0,
+            cn_gap_days: 18.0,
+        };
+        let act = NodeActivity::build(&s, spec.window());
+        let mut scan = TwoHopScan::new(s.node_count());
+        for u in 0..s.node_count() as NodeId {
+            scan.scan_pruned(&s, u, &act, &spec, |_, _, _, _| {});
+            let survivors: Vec<NodeId> = scan.last_survivors().map(|(_, v)| v).collect();
+            let want: Vec<NodeId> = scan
+                .last_candidates()
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    let g = s.cn_time_gap(u, v).expect("2-hop pairs share a neighbor");
+                    spec.cn_gap_passes(g)
+                })
+                .collect();
+            assert_eq!(survivors, want, "u={u}");
+        }
+    }
+
+    #[test]
+    fn pruned_scan_skips_doomed_sources_and_matches_hits() {
+        let s = temporal_ring(40);
+        let spec = probe_spec();
+        let act = NodeActivity::build(&s, spec.window());
+        let mut scan = TwoHopScan::new(s.node_count());
+        let mut pruned_hits: Vec<(NodeId, NodeId, usize, bool)> = Vec::new();
+        for u in 0..s.node_count() as NodeId {
+            pruned_hits.clear();
+            scan.scan_pruned(&s, u, &act, &spec, |w, v, slot, first| {
+                pruned_hits.push((w, v, slot, first));
+            });
+            if !spec.source_may_pass(&act, u) {
+                assert!(scan.last_candidates().is_empty(), "skipped source u={u}");
+                assert_eq!(scan.last_survivors().count(), 0);
+                assert!(pruned_hits.is_empty());
+                continue;
+            }
+            // Hits of surviving-or-CN-rejected targets arrive in the same
+            // ascending-w order as the unpruned scan's hits to them.
+            let mut unpruned_hits: Vec<(NodeId, NodeId)> = Vec::new();
+            let mut scan2 = TwoHopScan::new(s.node_count());
+            scan2.scan(&s, u, |w, v, _, _| {
+                if spec.pair_passes_pre_cn(&act, u, v) {
+                    unpruned_hits.push((w, v));
+                }
+            });
+            let got: Vec<(NodeId, NodeId)> =
+                pruned_hits.iter().map(|&(w, v, _, _)| (w, v)).collect();
+            assert_eq!(got, unpruned_hits, "u={u}");
+        }
     }
 }

@@ -18,8 +18,15 @@
 //! node pairs", §3.2) and is documented as such in DESIGN.md.
 
 use crate::traits::CandidatePolicy;
+use osn_graph::activity::{NodeActivity, PruneSpec};
 use osn_graph::snapshot::Snapshot;
 use osn_graph::{traversal, NodeId};
+
+/// Optional §6.2 pruning context threaded through the candidate builders:
+/// `Some((activity, spec))` pushes the Table 7 criteria into enumeration
+/// itself (doomed sources never walk, doomed targets drop at discovery),
+/// `None` enumerates the full policy universe.
+pub type Prune<'a> = Option<(&'a NodeActivity, &'a PruneSpec)>;
 
 /// A deduplicated, canonically ordered batch of unconnected node pairs.
 #[derive(Clone, Debug)]
@@ -41,35 +48,100 @@ impl CandidateSet {
     /// both walk [`osn_graph::traversal::TwoHopScan`], so the two pair
     /// sets are the same list by construction, not by coincidence.
     pub fn build(snap: &Snapshot, policy: CandidatePolicy, top_degree: usize) -> Self {
-        let mut pairs = match policy {
-            CandidatePolicy::TwoHop => traversal::two_hop_pairs(snap),
-            CandidatePolicy::ThreeHop | CandidatePolicy::Global => traversal::pairs_within(snap, 3),
-        };
-        if policy == CandidatePolicy::Global {
-            let n = snap.node_count();
-            let mut by_degree: Vec<NodeId> = (0..n as NodeId).collect();
-            by_degree.sort_unstable_by_key(|&u| std::cmp::Reverse(snap.degree(u)));
-            let top = &by_degree[..top_degree.min(n)];
-            for &h in top {
-                // Neighbor lists are sorted ascending, so a single merge
-                // pass over `0..n` finds every non-neighbor in
-                // O(n + deg h) instead of a per-pair adjacency probe.
-                let mut adj = snap.neighbors(h).iter().copied().peekable();
-                for v in 0..n as NodeId {
-                    while adj.next_if(|&a| a < v).is_some() {}
-                    if adj.peek() == Some(&v) {
-                        adj.next();
-                        continue;
-                    }
-                    if v != h {
-                        pairs.push(osn_graph::canonical(h, v));
+        Self::build_pruned(snap, policy, top_degree, None)
+    }
+
+    /// [`build`](Self::build) with optional §6.2 pruning pushed into the
+    /// enumeration walks themselves. With `Some` pruning the result equals
+    /// post-hoc Table 7 filtering of the unpruned set — same pairs, same
+    /// order (property-tested in `linklens-core`) — but rejected pairs are
+    /// never materialized, scored, or even slot-assigned.
+    pub fn build_pruned(
+        snap: &Snapshot,
+        policy: CandidatePolicy,
+        top_degree: usize,
+        prune: Prune<'_>,
+    ) -> Self {
+        match policy {
+            CandidatePolicy::TwoHop => {
+                let pairs = match prune {
+                    None => traversal::two_hop_pairs(snap),
+                    Some((act, spec)) => traversal::two_hop_pairs_pruned_t(
+                        snap,
+                        act,
+                        spec,
+                        osn_graph::par::max_threads(),
+                    ),
+                };
+                CandidateSet { pairs, policy }
+            }
+            CandidatePolicy::ThreeHop => Self::three_hop_from_base(Self::within3_base(snap, prune)),
+            CandidatePolicy::Global => {
+                Self::global_from_base(snap, Self::within3_base(snap, prune), top_degree, prune)
+            }
+        }
+    }
+
+    /// The distance-≤3 pair enumeration shared by the `ThreeHop` and
+    /// `Global` policies. Framework sweeps evaluating both policies build
+    /// this once and feed it to [`three_hop_from_base`](Self::three_hop_from_base)
+    /// and [`global_from_base`](Self::global_from_base), instead of paying
+    /// the bounded-BFS twice per snapshot.
+    pub fn within3_base(snap: &Snapshot, prune: Prune<'_>) -> Vec<(NodeId, NodeId)> {
+        match prune {
+            None => traversal::pairs_within(snap, 3),
+            Some((act, spec)) => {
+                traversal::pairs_within_pruned_t(snap, 3, act, spec, osn_graph::par::max_threads())
+            }
+        }
+    }
+
+    /// Wraps a [`within3_base`](Self::within3_base) enumeration as the
+    /// `ThreeHop` candidate set (the base already is that set).
+    pub fn three_hop_from_base(base: Vec<(NodeId, NodeId)>) -> Self {
+        CandidateSet { pairs: base, policy: CandidatePolicy::ThreeHop }
+    }
+
+    /// Extends a [`within3_base`](Self::within3_base) enumeration with the
+    /// `Global` policy's top-degree hub fan-out, then sorts and dedups.
+    /// Hub pairs honor the same pruning spec as the base so the combined
+    /// set still equals post-hoc filtering of the unpruned build.
+    pub fn global_from_base(
+        snap: &Snapshot,
+        mut pairs: Vec<(NodeId, NodeId)>,
+        top_degree: usize,
+        prune: Prune<'_>,
+    ) -> Self {
+        let n = snap.node_count();
+        let mut by_degree: Vec<NodeId> = (0..n as NodeId).collect();
+        by_degree.sort_unstable_by_key(|&u| std::cmp::Reverse(snap.degree(u)));
+        let top = &by_degree[..top_degree.min(n)];
+        for &h in top {
+            // Neighbor lists are sorted ascending, so a single merge
+            // pass over `0..n` finds every non-neighbor in
+            // O(n + deg h) instead of a per-pair adjacency probe.
+            let mut adj = snap.neighbors(h).iter().copied().peekable();
+            for v in 0..n as NodeId {
+                while adj.next_if(|&a| a < v).is_some() {}
+                if adj.peek() == Some(&v) {
+                    adj.next();
+                    continue;
+                }
+                if v != h {
+                    let (a, b) = osn_graph::canonical(h, v);
+                    let keep = match prune {
+                        None => true,
+                        Some((act, spec)) => spec.pair_passes(snap, act, a, b),
+                    };
+                    if keep {
+                        pairs.push((a, b));
                     }
                 }
             }
-            pairs.sort_unstable();
-            pairs.dedup();
         }
-        CandidateSet { pairs, policy }
+        pairs.sort_unstable();
+        pairs.dedup();
+        CandidateSet { pairs, policy: CandidatePolicy::Global }
     }
 
     /// Like [`build`](Self::build) but caps the candidate count: when the
@@ -83,18 +155,60 @@ impl CandidateSet {
         top_degree: usize,
         max_pairs: usize,
     ) -> Self {
-        let mut set = Self::build(snap, policy, top_degree);
-        if max_pairs > 0 && set.pairs.len() > max_pairs {
-            let stride = set.pairs.len().div_ceil(max_pairs);
-            set.pairs = set.pairs.iter().copied().step_by(stride).collect();
+        Self::build(snap, policy, top_degree).capped(max_pairs)
+    }
+
+    /// [`build_capped`](Self::build_capped) with pruning pushed into
+    /// enumeration. The cap applies *after* pruning: rejected pairs never
+    /// crowd surviving ones out of the subsample (the post-hoc order —
+    /// cap, then filter — loses real candidates to the stride whenever
+    /// the cap binds).
+    pub fn build_capped_pruned(
+        snap: &Snapshot,
+        policy: CandidatePolicy,
+        top_degree: usize,
+        max_pairs: usize,
+        prune: Prune<'_>,
+    ) -> Self {
+        Self::build_pruned(snap, policy, top_degree, prune).capped(max_pairs)
+    }
+
+    /// Applies the deterministic stride cap (`max_pairs = 0` ⇒ uncapped).
+    pub fn capped(mut self, max_pairs: usize) -> Self {
+        if max_pairs > 0 && self.pairs.len() > max_pairs {
+            let stride = self.pairs.len().div_ceil(max_pairs);
+            self.pairs = self.pairs.iter().copied().step_by(stride).collect();
         }
-        set
+        self
     }
 
     /// Builds from an explicit pair list (used by the sampled
     /// classification pipeline, where the universe is all pairs among the
-    /// sampled nodes).
+    /// sampled nodes). The input is repaired to the invariants
+    /// [`build`](Self::build) guarantees: self-pairs dropped, reversed
+    /// `(v, u)` pairs canonicalized, and — unless the cleaned list is
+    /// already strictly ascending, in which case its order is preserved —
+    /// sorted and deduplicated.
     pub fn from_pairs(pairs: Vec<(NodeId, NodeId)>, policy: CandidatePolicy) -> Self {
+        let mut canon: Vec<(NodeId, NodeId)> = Vec::with_capacity(pairs.len());
+        for (a, b) in pairs {
+            if a != b {
+                canon.push(osn_graph::canonical(a, b));
+            }
+        }
+        if !canon.windows(2).all(|w| w[0] < w[1]) {
+            canon.sort_unstable();
+            canon.dedup();
+        }
+        CandidateSet { pairs: canon, policy }
+    }
+
+    /// Wraps a pair list that already satisfies the enumeration
+    /// invariants (canonical, deduplicated) and whose *order* must be
+    /// preserved — the post-hoc filter oracle, where order-identity with
+    /// pruned enumeration is the property under test. Debug-asserts the
+    /// invariants instead of repairing them.
+    pub fn from_filtered_pairs(pairs: Vec<(NodeId, NodeId)>, policy: CandidatePolicy) -> Self {
         debug_assert!(pairs.iter().all(|&(u, v)| u < v), "pairs must be canonical");
         CandidateSet { pairs, policy }
     }
@@ -187,6 +301,103 @@ mod tests {
         for threads in [1, 3] {
             let (pairs, _) =
                 crate::fused::enumerate_and_score_t(&s, &[crate::fused::LocalKind::Cn], threads);
+            assert_eq!(pairs, built.pairs(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn from_pairs_repairs_messy_input() {
+        // Reversed pairs, duplicates (including a reversed duplicate),
+        // self-pairs, unsorted order — the repaired set must satisfy the
+        // build() invariants.
+        let messy = vec![(4u32, 1u32), (2, 2), (0, 3), (1, 4), (3, 0), (5, 5), (2, 0)];
+        let c = CandidateSet::from_pairs(messy, CandidatePolicy::TwoHop);
+        assert_eq!(c.pairs(), &[(0, 2), (0, 3), (1, 4)]);
+        assert!(c.pairs().iter().all(|&(u, v)| u < v));
+    }
+
+    #[test]
+    fn from_pairs_preserves_already_clean_order() {
+        // A strictly ascending canonical list passes through untouched
+        // (no sort, no reallocation of order).
+        let clean = vec![(0u32, 2u32), (0, 5), (1, 3), (2, 7)];
+        let c = CandidateSet::from_pairs(clean.clone(), CandidatePolicy::ThreeHop);
+        assert_eq!(c.pairs(), &clean[..]);
+    }
+
+    /// Temporal ring + chords shared by the pruning drift tests.
+    fn temporal_fixture() -> Snapshot {
+        use osn_graph::temporal::TemporalGraph;
+        let n = 30u32;
+        let mut g = TemporalGraph::new();
+        for _ in 0..n {
+            g.add_node(0);
+        }
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push(osn_graph::canonical(i, (i + 1) % n));
+            if i % 4 == 0 {
+                edges.push(osn_graph::canonical(i, (i + 9) % n));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let mut timed: Vec<(NodeId, NodeId, osn_graph::Timestamp)> = edges
+            .into_iter()
+            .map(|(a, b)| (a, b, ((a * 13 + b * 7) % n) as osn_graph::Timestamp * osn_graph::DAY))
+            .collect();
+        timed.sort_by_key(|&(_, _, t)| t);
+        for (a, b, t) in timed {
+            g.add_edge(a, b, t);
+        }
+        Snapshot::up_to(&g, g.edge_count())
+    }
+
+    fn probe_spec() -> PruneSpec {
+        PruneSpec {
+            active_idle_days: 12.0,
+            inactive_idle_days: 22.0,
+            window_days: 7.0,
+            min_recent_edges: 1,
+            cn_gap_days: 15.0,
+        }
+    }
+
+    #[test]
+    fn pruned_build_equals_posthoc_filtering() {
+        let s = temporal_fixture();
+        let spec = probe_spec();
+        let act = NodeActivity::build(&s, spec.window());
+        for policy in [CandidatePolicy::TwoHop, CandidatePolicy::ThreeHop, CandidatePolicy::Global]
+        {
+            let full = CandidateSet::build(&s, policy, 4);
+            let posthoc: Vec<(NodeId, NodeId)> = full
+                .pairs()
+                .iter()
+                .copied()
+                .filter(|&(u, v)| spec.pair_passes(&s, &act, u, v))
+                .collect();
+            let pruned = CandidateSet::build_pruned(&s, policy, 4, Some((&act, &spec)));
+            assert_eq!(pruned.pairs(), &posthoc[..], "{policy:?}");
+            assert!(pruned.len() < full.len(), "{policy:?}: fixture must drop pairs");
+            assert!(!pruned.is_empty(), "{policy:?}: fixture must keep pairs");
+        }
+    }
+
+    #[test]
+    fn pruned_fused_enumeration_cannot_drift_from_pruned_build() {
+        let s = temporal_fixture();
+        let spec = probe_spec();
+        let act = NodeActivity::build(&s, spec.window());
+        let built = CandidateSet::build_pruned(&s, CandidatePolicy::TwoHop, 0, Some((&act, &spec)));
+        for threads in [1, 3] {
+            let (pairs, _) = crate::fused::enumerate_and_score_pruned_t(
+                &s,
+                &[crate::fused::LocalKind::Cn],
+                &act,
+                &spec,
+                threads,
+            );
             assert_eq!(pairs, built.pairs(), "threads={threads}");
         }
     }

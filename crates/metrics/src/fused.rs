@@ -34,6 +34,7 @@
 
 use crate::bayes::BayesContext;
 use crate::traits::Metric;
+use osn_graph::activity::{NodeActivity, PruneSpec};
 use osn_graph::snapshot::{DegreeTables, Snapshot};
 use osn_graph::traversal::TwoHopScan;
 use osn_graph::{par, NodeId};
@@ -375,6 +376,34 @@ pub fn enumerate_and_score_t(
     kinds: &[LocalKind],
     threads: usize,
 ) -> (Vec<(NodeId, NodeId)>, Vec<Vec<f64>>) {
+    enumerate_and_score_impl(snap, kinds, threads, None)
+}
+
+/// [`enumerate_and_score_t`] with §6.2 pruning pushed into the shared
+/// scan ([`TwoHopScan::scan_pruned`]): doomed sources skip their frontier
+/// walk, doomed targets never occupy accumulator slots, and the CN-gap
+/// verdict falls out of the walk's own witness arrivals. Surviving pairs
+/// get *bit-identical* scores to the unpruned kernel — every witness of a
+/// surviving target still contributes, in the same ascending-`w` order —
+/// and the pair list equals
+/// [`CandidateSet::build_pruned`](crate::candidates::CandidateSet::build_pruned)
+/// under the `TwoHop` policy, which uses the same walk.
+pub fn enumerate_and_score_pruned_t(
+    snap: &Snapshot,
+    kinds: &[LocalKind],
+    act: &NodeActivity,
+    spec: &PruneSpec,
+    threads: usize,
+) -> (Vec<(NodeId, NodeId)>, Vec<Vec<f64>>) {
+    enumerate_and_score_impl(snap, kinds, threads, Some((act, spec)))
+}
+
+fn enumerate_and_score_impl(
+    snap: &Snapshot,
+    kinds: &[LocalKind],
+    threads: usize,
+    prune: Option<(&NodeActivity, &PruneSpec)>,
+) -> (Vec<(NodeId, NodeId)>, Vec<Vec<f64>>) {
     let ctx = FusedCtx::build(snap, kinds);
     let n = snap.node_count();
     let threads = threads.clamp(1, n.max(1));
@@ -389,7 +418,9 @@ pub fn enumerate_and_score_t(
             let u = u as NodeId;
             // One walk enumerates candidates AND accumulates witnesses:
             // each hit arrives in ascending-w order with a dense slot.
-            scan.scan(snap, u, |w, _v, slot, first| {
+            // The pruned and unpruned scans share this callback, so a
+            // surviving slot accumulates exactly the unpruned sums.
+            let on_hit = |scratch: &mut FusedScratch, w: NodeId, slot: usize, first: bool| {
                 if first {
                     if needs.cn {
                         scratch.cn.push(0);
@@ -411,11 +442,27 @@ pub fn enumerate_and_score_t(
                     }
                 }
                 scratch.hit(&ctx, &needs, w, slot);
-            });
-            for (slot, &v) in scan.last_candidates().iter().enumerate() {
-                pairs.push((u, v));
-                for (ki, &kind) in kinds.iter().enumerate() {
-                    cols[ki].push(ctx.derive(kind, scratch, u, v, slot));
+            };
+            match prune {
+                None => {
+                    scan.scan(snap, u, |w, _v, slot, first| on_hit(scratch, w, slot, first));
+                    for (slot, &v) in scan.last_candidates().iter().enumerate() {
+                        pairs.push((u, v));
+                        for (ki, &kind) in kinds.iter().enumerate() {
+                            cols[ki].push(ctx.derive(kind, scratch, u, v, slot));
+                        }
+                    }
+                }
+                Some((act, spec)) => {
+                    scan.scan_pruned(snap, u, act, spec, |w, _v, slot, first| {
+                        on_hit(scratch, w, slot, first)
+                    });
+                    for (slot, v) in scan.last_survivors() {
+                        pairs.push((u, v));
+                        for (ki, &kind) in kinds.iter().enumerate() {
+                            cols[ki].push(ctx.derive(kind, scratch, u, v, slot));
+                        }
+                    }
                 }
             }
             scratch.cn.clear();
@@ -542,6 +589,52 @@ mod tests {
         for threads in [1, 2, 4] {
             let (pairs, cols) = enumerate_and_score_t(&snap, &ALL_KINDS, threads);
             assert_eq!(pairs, cands.pairs(), "threads={threads}");
+            for (ki, &kind) in ALL_KINDS.iter().enumerate() {
+                let m = kind_metric(kind);
+                assert_eq!(cols[ki], m.score_pairs(&snap, &pairs), "{kind:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_enumeration_scores_surviving_pairs_bit_identically() {
+        use osn_graph::temporal::TemporalGraph;
+        let n = 30u32;
+        let mut g = TemporalGraph::new();
+        for _ in 0..n {
+            g.add_node(0);
+        }
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push(osn_graph::canonical(i, (i + 1) % n));
+            if i % 4 == 0 {
+                edges.push(osn_graph::canonical(i, (i + 9) % n));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let mut timed: Vec<(NodeId, NodeId, osn_graph::Timestamp)> = edges
+            .into_iter()
+            .map(|(a, b)| (a, b, ((a * 13 + b * 7) % n) as osn_graph::Timestamp * osn_graph::DAY))
+            .collect();
+        timed.sort_by_key(|&(_, _, t)| t);
+        for (a, b, t) in timed {
+            g.add_edge(a, b, t);
+        }
+        let snap = Snapshot::up_to(&g, g.edge_count());
+        let spec = PruneSpec {
+            active_idle_days: 12.0,
+            inactive_idle_days: 22.0,
+            window_days: 7.0,
+            min_recent_edges: 1,
+            cn_gap_days: 15.0,
+        };
+        let act = NodeActivity::build(&snap, spec.window());
+        let (full_pairs, _) = enumerate_and_score_t(&snap, &ALL_KINDS, 1);
+        for threads in [1, 2, 4] {
+            let (pairs, cols) =
+                enumerate_and_score_pruned_t(&snap, &ALL_KINDS, &act, &spec, threads);
+            assert!(!pairs.is_empty() && pairs.len() < full_pairs.len(), "fixture must prune");
             for (ki, &kind) in ALL_KINDS.iter().enumerate() {
                 let m = kind_metric(kind);
                 assert_eq!(cols[ki], m.score_pairs(&snap, &pairs), "{kind:?} threads={threads}");
