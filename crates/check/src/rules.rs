@@ -58,6 +58,10 @@ pub const RULES: &[(&str, &str)] = &[
         "a fresh per-source solve (`walk_distribution`/`forward_push`/`two_pass_scores`/`bfs_distances`) inside a `score_pairs` impl; route global metrics through the batched solver engine or justify the reference path",
     ),
     (
+        "refit-in-score-pairs",
+        "a fresh `fit`/`prepare` factorization per `score_pairs` call refits the whole model per batch; reuse the per-snapshot cached fit (prepare_cached / SolverCache) or justify the one-shot path",
+    ),
+    (
         "post-hoc-candidate-retain",
         "`.retain()`/`.filter()` on a candidate-pair collection in core/metrics library code filters after enumeration; push the predicate into the walk as a PruneSpec or justify the post-hoc oracle",
     ),
@@ -145,6 +149,7 @@ pub fn check_file(info: &FileInfo, src: &str) -> Vec<Diagnostic> {
             print_in_lib(info, &lexed.tokens, &mask, &mut diags);
             per_pair_intersection(info, &lexed.tokens, &mask, &mut diags);
             per_source_power_iteration(info, &lexed.tokens, &mask, &mut diags);
+            refit_in_score_pairs(info, &lexed.tokens, &mask, &mut diags);
         }
         if !info.is_shim
             && matches!(info.krate.as_str(), "core" | "metrics")
@@ -368,6 +373,72 @@ fn per_source_power_iteration(
                         "`{name}()` inside a score_pairs impl pays one full solve per source per call; \
                          route the metric through the batched solver engine, or justify the reference \
                          path with linklens-allow"
+                    ),
+                    suppressed: false,
+                });
+            }
+        }
+        i = end;
+    }
+}
+
+/// A fresh factorization (`fit(..)` / `prepare(..)`) inside the body of
+/// any `score_pairs*` implementation: refitting the whole model per pair
+/// batch is exactly the cost the per-snapshot model cache
+/// (`SolverCache::store_rescal` / `prepare_cached`) exists to remove.
+/// Deliberate one-shot convenience entries suppress with a
+/// justification. Only the exact idents `fit` and `prepare` are gated,
+/// so `prepare_cached`/`fitted_model` (the cache-aware paths) pass.
+fn refit_in_score_pairs(
+    info: &FileInfo,
+    tokens: &[Token],
+    mask: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    const REFITS: &[&str] = &["fit", "prepare"];
+    let mut i = 0;
+    while i < tokens.len() {
+        if mask[i]
+            || ident_at(tokens, i) != Some("fn")
+            || !ident_at(tokens, i + 1).is_some_and(|n| n.starts_with("score_pairs"))
+        {
+            i += 1;
+            continue;
+        }
+        // Find the body's `{`; hitting `;` first means a bodyless trait
+        // declaration, which has nothing to flag.
+        let mut j = i + 2;
+        let mut open = None;
+        while j < tokens.len() {
+            match tokens[j].tok {
+                Tok::Punct('{') => {
+                    open = Some(j);
+                    break;
+                }
+                Tok::Punct(';') => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+        let end = past_matching_brace(tokens, open);
+        for t in open..end.min(tokens.len()) {
+            if mask[t] {
+                continue;
+            }
+            let Some(name) = ident_at(tokens, t) else { continue };
+            if REFITS.contains(&name) && punct_at(tokens, t + 1, '(') {
+                out.push(Diagnostic {
+                    rule: "refit-in-score-pairs",
+                    path: info.path.clone(),
+                    line: tokens[t].line,
+                    message: format!(
+                        "`{name}()` inside a score_pairs impl refits the whole model per batch; \
+                         reuse the per-snapshot cached fit (prepare_cached / SolverCache), or \
+                         justify the one-shot path with linklens-allow"
                     ),
                     suppressed: false,
                 });
@@ -796,6 +867,44 @@ mod tests {
         assert_eq!(active(&d, "per-source-power-iteration"), 0);
         assert_eq!(
             d.iter().filter(|x| x.rule == "per-source-power-iteration" && x.suppressed).count(),
+            1
+        );
+    }
+
+    // --- refit-in-score-pairs ------------------------------------------
+
+    #[test]
+    fn refit_rule_fires_on_fit_and_prepare_inside_score_pairs_bodies() {
+        let src = "impl Metric for Rescal {\n  fn score_pairs(&self, snap: &Snapshot, pairs: &[(u32, u32)]) -> Vec<f64> {\n    self.prepare(snap).score_chunk(snap, pairs)\n  }\n}";
+        let d = check_file(&lib_info("metrics"), src);
+        assert_eq!(active(&d, "refit-in-score-pairs"), 1);
+        assert_eq!(d.iter().find(|x| x.rule == "refit-in-score-pairs").map(|x| x.line), Some(3));
+        let src2 = "fn score_pairs_t(&self, snap: &S, pairs: &[(u32, u32)], threads: usize) -> Vec<f64> {\n  let model = self.fit(snap);\n  vec![]\n}";
+        assert_eq!(active(&check_file(&lib_info("metrics"), src2), "refit-in-score-pairs"), 1);
+    }
+
+    #[test]
+    fn refit_rule_skips_cache_aware_paths_and_other_fns() {
+        // `prepare_cached` and `fitted_model` are the cache-aware paths the
+        // rule steers toward; `fit`/`prepare` outside score_pairs bodies
+        // (the hoisted call sites) are fine.
+        let src = "fn score_pairs_cached(&self, snap: &S, pairs: &[(u32, u32)], threads: usize, cache: &mut C) -> Vec<f64> {\n  let m = self.fitted_model(snap, cache, threads);\n  let s = self.prepare_cached(snap, cache);\n  vec![]\n}\nfn hoisted(&self, snap: &S) -> Model { self.fit(snap) }\ntrait Metric {\n  fn score_pairs(&self, snap: &S, pairs: &[(u32, u32)]) -> Vec<f64>;\n}";
+        assert_eq!(active(&check_file(&lib_info("metrics"), src), "refit-in-score-pairs"), 0);
+    }
+
+    #[test]
+    fn refit_rule_exempt_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn score_pairs(m: &M, snap: &S) -> Vec<f64> { m.prepare(snap).score_chunk(snap, &[]) }\n}";
+        assert_eq!(active(&check_file(&lib_info("metrics"), src), "refit-in-score-pairs"), 0);
+    }
+
+    #[test]
+    fn refit_rule_suppressed_by_allow() {
+        let src = "fn score_pairs(&self, snap: &S, pairs: &[(u32, u32)]) -> Vec<f64> {\n  // linklens-allow(refit-in-score-pairs): one-shot convenience entry; the engine hoists via prepare_cached\n  self.prepare(snap).score_chunk(snap, pairs)\n}";
+        let d = check_file(&lib_info("metrics"), src);
+        assert_eq!(active(&d, "refit-in-score-pairs"), 0);
+        assert_eq!(
+            d.iter().filter(|x| x.rule == "refit-in-score-pairs" && x.suppressed).count(),
             1
         );
     }

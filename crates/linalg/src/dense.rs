@@ -197,6 +197,29 @@ impl Matrix {
     /// Solves `self * X = B` for several right-hand sides sharing one LU
     /// factorization. Each element of `bs` is one right-hand-side vector.
     pub fn solve_many(&self, bs: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+        let lu = self.lu_factor()?;
+        let n = self.rows;
+        let mut out = Vec::with_capacity(bs.len());
+        for b in bs {
+            let mut y = vec![0.0; n];
+            lu.solve_into(b, &mut y);
+            out.push(y);
+        }
+        Some(out)
+    }
+
+    /// LU factorization with partial pivoting, reusable across many
+    /// right-hand sides. [`Matrix::solve_many`] is built on this; holding
+    /// the factors directly lets independent solves be sharded across
+    /// threads ([`LuFactors::solve_into`] is a pure function of the
+    /// factors and one right-hand side, so any partition of the solves
+    /// reproduces the serial arithmetic bit for bit).
+    ///
+    /// Returns `None` when the matrix is (numerically) singular.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn lu_factor(&self) -> Option<LuFactors> {
         assert_eq!(self.rows, self.cols, "solve requires a square matrix");
         let n = self.rows;
         let mut lu = self.clone();
@@ -234,26 +257,7 @@ impl Matrix {
                 }
             }
         }
-
-        let mut out = Vec::with_capacity(bs.len());
-        for b in bs {
-            assert_eq!(b.len(), n, "rhs length mismatch");
-            // Apply the permutation, then forward/backward substitution.
-            let mut y: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
-            for i in 1..n {
-                for j in 0..i {
-                    y[i] -= lu[(i, j)] * y[j];
-                }
-            }
-            for i in (0..n).rev() {
-                for j in i + 1..n {
-                    y[i] -= lu[(i, j)] * y[j];
-                }
-                y[i] /= lu[(i, i)];
-            }
-            out.push(y);
-        }
-        Some(out)
+        Some(LuFactors { lu, perm })
     }
 
     /// Cholesky factorization of a symmetric positive-definite matrix.
@@ -329,6 +333,44 @@ impl Matrix {
             }
         }
         (q, r)
+    }
+}
+
+/// A completed LU factorization with its pivot permutation — the output
+/// of [`Matrix::lu_factor`]. Solving against the factors never mutates
+/// them, so one factorization can back many concurrent solves.
+#[derive(Clone, Debug)]
+pub struct LuFactors {
+    lu: Matrix,
+    perm: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Solves `A x = b` for the factored `A`, writing the solution into
+    /// `out`: permutation gather, then in-place forward and backward
+    /// substitution — the exact per-right-hand-side arithmetic of
+    /// [`Matrix::solve_many`].
+    ///
+    /// # Panics
+    /// Panics if `b` or `out` do not match the factored dimension.
+    pub fn solve_into(&self, b: &[f64], out: &mut [f64]) {
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        assert_eq!(out.len(), n, "output length mismatch");
+        for (o, &p) in out.iter_mut().zip(&self.perm) {
+            *o = b[p];
+        }
+        for i in 1..n {
+            for j in 0..i {
+                out[i] -= self.lu[(i, j)] * out[j];
+            }
+        }
+        for i in (0..n).rev() {
+            for j in i + 1..n {
+                out[i] -= self.lu[(i, j)] * out[j];
+            }
+            out[i] /= self.lu[(i, i)];
+        }
     }
 }
 
@@ -442,6 +484,30 @@ mod tests {
         let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
         let x = a.solve(&[3.0, 5.0]).unwrap();
         assert_eq!(x, vec![5.0, 3.0]);
+    }
+
+    #[test]
+    fn lu_factor_solve_into_matches_solve_many_bitwise() {
+        // The blocked row solves in the ALS core ride on this identity:
+        // one shared factorization, per-row substitution identical to the
+        // solve_many path.
+        let a = Matrix::from_rows(&[&[0.0, 3.0, 1.0], &[2.0, -1.0, 0.5], &[1.0, 4.0, -2.0]]);
+        let bs: Vec<Vec<f64>> = (0..5)
+            .map(|k| (0..3).map(|i| ((k * 3 + i) as f64).sin() * 2.0 + 0.1).collect())
+            .collect();
+        let expect = a.solve_many(&bs).expect("nonsingular");
+        let lu = a.lu_factor().expect("nonsingular");
+        for (b, e) in bs.iter().zip(&expect) {
+            let mut out = vec![0.0; 3];
+            lu.solve_into(b, &mut out);
+            assert_eq!(&out, e, "solve_into diverged from solve_many");
+        }
+    }
+
+    #[test]
+    fn lu_factor_rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(a.lu_factor().is_none());
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //! * [`lanczos`] — a symmetric Lanczos eigensolver with full
 //!   reorthogonalization, used for the low-rank Katz approximation
 //!   (Katz ≈ U f(Λ) Uᵀ) and validated against a dense Jacobi reference.
+//! * [`factor`] — a blocked ALS factorization core (`A ≈ X R Xᵀ`) that
+//!   routes `A·X` products through the thread-parallel CSR kernels,
+//!   certifies a sparse Frobenius residual per sweep, and surfaces
+//!   singular/non-finite/unconverged fits as structured [`FactorError`]s.
 //!
 //! The crate intentionally implements only what the metrics need; it is not
 //! a general-purpose BLAS. Everything is `f64`, everything is
@@ -20,10 +24,12 @@
 #![warn(missing_docs)]
 
 pub mod dense;
+pub mod factor;
 pub mod lanczos;
 pub mod sparse;
 
-pub use dense::Matrix;
+pub use dense::{LuFactors, Matrix};
+pub use factor::{AlsConfig, AlsFit, FactorError};
 pub use sparse::{CsrError, SparseMatrix};
 
 /// Numerical tolerance used by the iterative routines in this crate when a

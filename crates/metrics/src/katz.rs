@@ -86,6 +86,7 @@ impl Metric for KatzLr {
     }
 
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        // linklens-allow(refit-in-score-pairs): one-shot convenience entry; the engine hoists via prepare_cached
         self.prepare(snap).score_chunk(snap, pairs)
     }
 
@@ -277,6 +278,7 @@ impl Metric for KatzSc {
     }
 
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        // linklens-allow(refit-in-score-pairs): one-shot convenience entry; the engine hoists via prepare_cached
         self.prepare(snap).score_chunk(snap, pairs)
     }
 

@@ -10,11 +10,33 @@
 //! The paper singles RESCAL out as the metric that captures supernode-
 //! driven (YouTube-style) growth because the latent components assign
 //! heavy weights to globally important nodes (§4.2).
+//!
+//! ## Engine integration
+//!
+//! The production fit runs on the blocked ALS core in
+//! [`osn_linalg::factor`]: `A·X` products go through the thread-parallel
+//! CSR `spmm_into_t` kernel (bit-identical to the serial dense fold at
+//! every thread count), each sweep certifies a sparse Frobenius residual,
+//! and every normal-equations solve is guarded — a singular system
+//! surfaces as [`SolverError::Singular`] instead of the silent
+//! stale-factor skip the original dense loop performed. Pair scoring is
+//! whole-batch ([`ExecMode::WholeBatch`]) through
+//! [`solver::bilinear_scores_t`], and fitted models register in the
+//! [`SolverCache`] so framework sweeps reuse the fit within a snapshot
+//! and — in certified mode (`tol > 0`) — warm-start the next snapshot's
+//! fit from the previous factors, like PPR warm-starts its columns.
+//! [`Rescal::fit_dense_reference`] retains the original serial dense loop
+//! as the property-tested oracle.
 
-use crate::exec::PairScorer;
+use std::sync::Arc;
+
+use crate::exec::{ExecMode, PairScorer};
+use crate::solver::{self, SolverCache, SolverError};
 use crate::traits::{CandidatePolicy, Metric};
+use osn_graph::par;
 use osn_graph::snapshot::Snapshot;
 use osn_graph::NodeId;
+use osn_linalg::factor::{self, AlsConfig, FactorError};
 use osn_linalg::{Matrix, SparseMatrix};
 
 /// RESCAL configuration.
@@ -22,12 +44,19 @@ use osn_linalg::{Matrix, SparseMatrix};
 pub struct Rescal {
     /// Latent dimensionality r.
     pub rank: usize,
-    /// ALS sweeps.
+    /// ALS sweep budget. With `tol == 0` exactly this many sweeps run;
+    /// with `tol > 0` it bounds the certified fit.
     pub iterations: usize,
     /// Ridge regularization λ.
     pub lambda: f64,
     /// Deterministic init seed.
     pub seed: u64,
+    /// Relative residual-plateau tolerance for certified early stopping
+    /// (see [`AlsConfig::tol`]). `0.0` — the default — runs the
+    /// paper-parity fixed-sweep fit, a pure function of the snapshot and
+    /// this config; `> 0` enables early stopping and cross-snapshot
+    /// warm starts on persistent caches.
+    pub tol: f64,
 }
 
 impl Default for Rescal {
@@ -39,21 +68,43 @@ impl Default for Rescal {
         // (§4.2) under factorization noise. Rank 2 — one popularity axis
         // plus one community axis — is the empirical sweet spot across all
         // three presets (see `cargo bench --bench ablations`).
-        Rescal { rank: 2, iterations: 30, lambda: 0.01, seed: 7 }
+        Rescal { rank: 2, iterations: 30, lambda: 0.01, seed: 7, tol: 0.0 }
     }
 }
 
 /// A fitted factorization, exposed for tests and for reuse across pair
-/// batches.
+/// batches and snapshots (via the [`SolverCache`]).
+#[derive(Clone)]
 pub struct RescalModel {
     /// Node embeddings, `n × r`.
     pub x: Matrix,
     /// Core interaction matrix, `r × r`.
     pub r: Matrix,
+    /// Certified Frobenius residual `‖A − XRXᵀ‖_F` at the fitted factors.
+    pub residual: f64,
+    /// ALS sweeps actually run.
+    pub iterations: usize,
+    /// Whether the fit warm-started from a previous snapshot's factors.
+    pub warm_started: bool,
+}
+
+impl std::fmt::Debug for RescalModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RescalModel")
+            .field("n", &self.x.rows())
+            .field("rank", &self.x.cols())
+            .field("residual", &self.residual)
+            .field("iterations", &self.iterations)
+            .field("warm_started", &self.warm_started)
+            .finish_non_exhaustive()
+    }
 }
 
 impl RescalModel {
-    /// The bilinear score `x_uᵀ R x_v + x_vᵀ R x_u`.
+    /// The bilinear score `x_uᵀ R x_v + x_vᵀ R x_u`, folded per pair as
+    /// `Σ_i x[i]·(R·x)[i]` — the per-pair oracle association the batched
+    /// [`solver::bilinear_scores_t`] path is cross-checked against (to
+    /// reassociation tolerance; the batched path folds `X R` first).
     pub fn score(&self, u: NodeId, v: NodeId) -> f64 {
         let xu = self.x.row(u as usize);
         let xv = self.x.row(v as usize);
@@ -75,40 +126,120 @@ impl RescalModel {
         uv + vu
     }
 
-    /// Frobenius reconstruction error `‖A − XRXᵀ‖`, tests/diagnostics only
-    /// (dense; small graphs).
+    /// Frobenius reconstruction error `‖A − XRXᵀ‖_F`, computed sparsely
+    /// over the nonzeros plus a trace-correction term — nothing `n × n`
+    /// is materialized, so this is safe at preset scale and equals the
+    /// per-sweep certification value ([`factor::frobenius_residual`]).
     pub fn reconstruction_error(&self, snap: &Snapshot) -> f64 {
         let edges: Vec<(u32, u32)> = snap.edges().collect();
-        let a = SparseMatrix::adjacency(snap.node_count(), &edges).to_dense();
-        let rec = self.x.matmul(&self.r).matmul(&self.x.transpose());
-        (&a - &rec).frobenius_norm()
+        let a = SparseMatrix::adjacency(snap.node_count(), &edges);
+        factor::frobenius_residual(&a, &self.x, &self.r, par::max_threads())
+    }
+}
+
+fn map_factor_err(e: FactorError) -> SolverError {
+    match e {
+        FactorError::Singular { iteration, .. } => {
+            SolverError::Singular { metric: "Rescal", iteration }
+        }
+        FactorError::NonFinite { iteration } => {
+            SolverError::NonFinite { metric: "Rescal", iteration }
+        }
+        FactorError::NoConvergence { iterations } => {
+            SolverError::NoConvergence { metric: "Rescal", iterations }
+        }
     }
 }
 
 impl Rescal {
-    /// Fits the factorization on a snapshot.
-    pub fn fit(&self, snap: &Snapshot) -> RescalModel {
+    fn config(&self) -> AlsConfig {
+        AlsConfig {
+            rank: self.rank,
+            iterations: self.iterations,
+            lambda: self.lambda,
+            seed: self.seed,
+            tol: self.tol,
+        }
+    }
+
+    /// Config fingerprint keying [`SolverCache`] model slots, so two
+    /// Rescal configurations sharing one cache never alias fits.
+    fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for w in [
+            self.rank as u64,
+            self.iterations as u64,
+            self.lambda.to_bits(),
+            self.seed,
+            self.tol.to_bits(),
+        ] {
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Fits the factorization on a snapshot with the shared worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Singular`] when an ALS normal-equations system
+    /// loses rank (previously a silent skip that left stale factors),
+    /// [`SolverError::NonFinite`] when factors or residual leave the
+    /// finite range, [`SolverError::NoConvergence`] when `tol > 0` and
+    /// the residual never plateaus within the sweep budget.
+    pub fn fit(&self, snap: &Snapshot) -> Result<RescalModel, SolverError> {
+        self.fit_t(snap, par::max_threads())
+    }
+
+    /// [`fit`](Self::fit) with an explicit thread count; bit-identical
+    /// for every `threads` value.
+    pub fn fit_t(&self, snap: &Snapshot, threads: usize) -> Result<RescalModel, SolverError> {
+        self.fit_warm_t(snap, None, threads)
+    }
+
+    /// [`fit_t`](Self::fit_t) seeded with warm factors from a previous
+    /// snapshot's model. The warm start is honored only in certified
+    /// mode (`tol > 0`); fixed-sweep fits ignore it so the default
+    /// configuration stays a pure function of the snapshot.
+    pub fn fit_warm_t(
+        &self,
+        snap: &Snapshot,
+        warm: Option<(&Matrix, &Matrix)>,
+        threads: usize,
+    ) -> Result<RescalModel, SolverError> {
+        let edges: Vec<(u32, u32)> = snap.edges().collect();
+        let a = SparseMatrix::adjacency(snap.node_count(), &edges);
+        let fit = factor::als_fit(&a, &self.config(), warm, threads).map_err(map_factor_err)?;
+        Ok(RescalModel {
+            x: fit.x,
+            r: fit.r,
+            residual: fit.residual,
+            iterations: fit.iterations,
+            warm_started: fit.warm_started,
+        })
+    }
+
+    /// Serial dense reference fit: the original `matmul_dense` ALS loop,
+    /// kept as the property-tested oracle for the blocked core. Performs
+    /// the same guarded updates and residual certification; since the
+    /// blocked kernel's per-row fold is arithmetic-identical to
+    /// `matmul_dense`, the two fits are bit-identical — the contract
+    /// `factor_equivalence` pins at every thread count.
+    pub fn fit_dense_reference(&self, snap: &Snapshot) -> Result<RescalModel, SolverError> {
         let n = snap.node_count();
         let r = self.rank.min(n.max(1));
         let edges: Vec<(u32, u32)> = snap.edges().collect();
         let a = SparseMatrix::adjacency(n, &edges);
 
-        // Deterministic random init for X.
-        let mut x = Matrix::zeros(n, r);
-        let mut state = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        for i in 0..n {
-            for j in 0..r {
-                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-                let mut z = state;
-                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                z ^= z >> 31;
-                x[(i, j)] = (z as f64 / u64::MAX as f64) - 0.5;
-            }
-        }
+        let mut x = factor::init_factors(n, r, self.seed);
         let mut core = Matrix::identity(r);
+        let mut prev = f64::INFINITY;
+        let mut residual = f64::NAN;
+        let mut iterations = 0;
+        let mut converged = self.tol <= 0.0;
 
-        for _ in 0..self.iterations {
+        for it in 0..self.iterations {
             // --- X update ---
             // numer = A X (Rᵀ + R)   (A symmetric).
             let ax = a.matmul_dense(&x);
@@ -125,10 +256,11 @@ impl Rescal {
             // X = numer · denom⁻¹  ⇒ solve denomᵀ Xᵀ = numerᵀ row-wise.
             let denom_t = denom.transpose();
             let rhs: Vec<Vec<f64>> = (0..n).map(|i| numer.row(i).to_vec()).collect();
-            if let Some(rows) = denom_t.solve_many(&rhs) {
-                for (i, row) in rows.iter().enumerate() {
-                    x.row_mut(i).copy_from_slice(row);
-                }
+            let rows = denom_t
+                .solve_many(&rhs)
+                .ok_or(SolverError::Singular { metric: "Rescal", iteration: it })?;
+            for (i, row) in rows.iter().enumerate() {
+                x.row_mut(i).copy_from_slice(row);
             }
 
             // --- R update ---
@@ -142,37 +274,118 @@ impl Rescal {
                                                   // Left solve: (G+λI) Y = XᵀAX.
             let rhs: Vec<Vec<f64>> =
                 (0..r).map(|j| (0..r).map(|i| xtax[(i, j)]).collect()).collect();
-            if let Some(cols) = g_reg.solve_many(&rhs) {
-                let mut y = Matrix::zeros(r, r);
-                for (j, coljj) in cols.iter().enumerate() {
-                    for i in 0..r {
-                        y[(i, j)] = coljj[i];
-                    }
-                }
-                // Right solve: R (G+λI) = Y ⇒ (G+λI)ᵀ Rᵀ = Yᵀ.
-                let rhs2: Vec<Vec<f64>> = (0..r).map(|i| y.row(i).to_vec()).collect();
-                if let Some(rows) = g_reg.transpose().solve_many(&rhs2) {
-                    for (i, row) in rows.iter().enumerate() {
-                        core.row_mut(i).copy_from_slice(row);
-                    }
+            let cols = g_reg
+                .solve_many(&rhs)
+                .ok_or(SolverError::Singular { metric: "Rescal", iteration: it })?;
+            let mut y = Matrix::zeros(r, r);
+            for (j, coljj) in cols.iter().enumerate() {
+                for i in 0..r {
+                    y[(i, j)] = coljj[i];
                 }
             }
+            // Right solve: R (G+λI) = Y ⇒ (G+λI)ᵀ Rᵀ = Yᵀ.
+            let rhs2: Vec<Vec<f64>> = (0..r).map(|i| y.row(i).to_vec()).collect();
+            let rows = g_reg
+                .transpose()
+                .solve_many(&rhs2)
+                .ok_or(SolverError::Singular { metric: "Rescal", iteration: it })?;
+            for (i, row) in rows.iter().enumerate() {
+                core.row_mut(i).copy_from_slice(row);
+            }
+
+            if x.data().iter().chain(core.data()).any(|v| !v.is_finite()) {
+                return Err(SolverError::NonFinite { metric: "Rescal", iteration: it });
+            }
+
+            residual = factor::frobenius_residual(&a, &x, &core, 1);
+            if !residual.is_finite() {
+                return Err(SolverError::NonFinite { metric: "Rescal", iteration: it });
+            }
+            iterations = it + 1;
+            if self.tol > 0.0 && prev.is_finite() && prev - residual <= self.tol * prev.max(1.0) {
+                converged = true;
+                break;
+            }
+            prev = residual;
         }
-        RescalModel { x, r: core }
+        if !converged {
+            return Err(SolverError::NoConvergence { metric: "Rescal", iterations });
+        }
+        if residual.is_nan() {
+            residual = factor::frobenius_residual(&a, &x, &core, 1);
+        }
+        Ok(RescalModel { x, r: core, residual, iterations, warm_started: false })
+    }
+
+    /// The per-snapshot fitted model for the engine paths: reuses the
+    /// cache's current-snapshot model when the config fingerprint
+    /// matches, otherwise fits (warm-starting from the previous
+    /// snapshot's factors in certified mode) and registers the result.
+    /// `None` marks an edgeless snapshot — all scores zero.
+    fn fitted_model(
+        &self,
+        snap: &Snapshot,
+        cache: &mut SolverCache,
+        threads: usize,
+    ) -> Result<Option<Arc<RescalModel>>, SolverError> {
+        if snap.edge_count() == 0 {
+            return Ok(None);
+        }
+        let fp = self.fingerprint();
+        if let Some(model) = cache.rescal_model(fp) {
+            return Ok(Some(model));
+        }
+        let warm = cache.rescal_warm(fp);
+        let model = self.fit_warm_t(snap, warm.as_ref().map(|m| (&m.x, &m.r)), threads)?;
+        cache.stats.rescal_fits += 1;
+        cache.stats.rescal_iterations += model.iterations as u64;
+        if model.warm_started {
+            cache.stats.rescal_warm_starts += 1;
+        }
+        let model = Arc::new(model);
+        cache.store_rescal(fp, Arc::clone(&model));
+        Ok(Some(model))
     }
 }
 
 /// A prepared RESCAL scorer: the ALS fit happens once, pair scoring is
-/// O(r²) per pair. `None` marks an empty graph (all scores zero).
+/// two length-r dot products against the precomputed `XR` — the exact
+/// per-pair fold of [`solver::bilinear_scores_t`], so the chunked path
+/// is bit-identical to the whole-batch path. `None` marks an empty
+/// graph (all scores zero).
 struct RescalScorer {
-    model: Option<RescalModel>,
+    model: Option<(Arc<RescalModel>, Matrix)>,
+}
+
+impl RescalScorer {
+    fn new(model: Option<Arc<RescalModel>>) -> Self {
+        let model = model.map(|m| {
+            let xr = m.x.matmul(&m.r);
+            (m, xr)
+        });
+        RescalScorer { model }
+    }
 }
 
 impl PairScorer for RescalScorer {
     fn score_chunk(&self, _snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
         match &self.model {
             None => vec![0.0; pairs.len()],
-            Some(model) => pairs.iter().map(|&(u, v)| model.score(u, v)).collect(),
+            Some((model, xr)) => pairs
+                .iter()
+                .map(|&(u, v)| {
+                    let (xu, xv) = (model.x.row(u as usize), model.x.row(v as usize));
+                    let (xru, xrv) = (xr.row(u as usize), xr.row(v as usize));
+                    let mut s = 0.0;
+                    for (p, q) in xru.iter().zip(xv) {
+                        s += p * q;
+                    }
+                    for (p, q) in xrv.iter().zip(xu) {
+                        s += p * q;
+                    }
+                    s
+                })
+                .collect(),
         }
     }
 }
@@ -186,13 +399,66 @@ impl Metric for Rescal {
         CandidatePolicy::Global
     }
 
+    fn exec_mode(&self) -> ExecMode {
+        ExecMode::WholeBatch
+    }
+
     fn score_pairs(&self, snap: &Snapshot, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
-        self.prepare(snap).score_chunk(snap, pairs)
+        self.score_pairs_t(snap, pairs, par::max_threads())
+    }
+
+    fn score_pairs_t(
+        &self,
+        snap: &Snapshot,
+        pairs: &[(NodeId, NodeId)],
+        threads: usize,
+    ) -> Vec<f64> {
+        let mut cache = SolverCache::transient();
+        self.score_pairs_cached(snap, pairs, threads, &mut cache)
+    }
+
+    fn score_pairs_cached(
+        &self,
+        snap: &Snapshot,
+        pairs: &[(NodeId, NodeId)],
+        threads: usize,
+        cache: &mut SolverCache,
+    ) -> Vec<f64> {
+        cache.ensure_snapshot(snap);
+        match self.fitted_model(snap, cache, threads) {
+            Ok(None) => vec![0.0; pairs.len()],
+            Ok(Some(model)) => solver::bilinear_scores_t(&model.x, &model.r, pairs, threads),
+            // The Metric trait has no error channel; a tripped solver guard
+            // is a hard invariant violation, same class as an audit panic.
+            Err(e) => panic!("{e}"),
+        }
     }
 
     fn prepare<'a>(&'a self, snap: &Snapshot) -> Box<dyn PairScorer + 'a> {
-        let model = (snap.edge_count() > 0).then(|| self.fit(snap));
-        Box::new(RescalScorer { model })
+        let model = if snap.edge_count() == 0 {
+            None
+        } else {
+            match self.fit_t(snap, par::max_threads()) {
+                Ok(model) => Some(Arc::new(model)),
+                // Same audit panic class as score_pairs_cached: prepare has
+                // no error channel either.
+                Err(e) => panic!("{e}"),
+            }
+        };
+        Box::new(RescalScorer::new(model))
+    }
+
+    fn prepare_cached<'a>(
+        &'a self,
+        snap: &Snapshot,
+        cache: &SolverCache,
+    ) -> Box<dyn PairScorer + 'a> {
+        if let Some(model) = cache.rescal_model(self.fingerprint()) {
+            if model.x.rows() == snap.node_count() {
+                return Box::new(RescalScorer::new(Some(model)));
+            }
+        }
+        self.prepare(snap)
     }
 }
 
@@ -222,18 +488,25 @@ mod tests {
         let s = two_cliques();
         let quick = Rescal { iterations: 0, rank: 4, ..Default::default() };
         let fitted = Rescal { iterations: 25, rank: 4, ..Default::default() };
-        let e0 = quick.fit(&s).reconstruction_error(&s);
-        let e1 = fitted.fit(&s).reconstruction_error(&s);
+        let e0 = quick.fit(&s).expect("init fit").reconstruction_error(&s);
+        let e1 = fitted.fit(&s).expect("fit").reconstruction_error(&s);
         assert!(e1 < e0 * 0.6, "ALS should cut the error substantially ({e0} → {e1})");
     }
 
     #[test]
     fn full_rank_reconstruction_is_tight() {
         let s = two_cliques();
-        let r = Rescal { rank: 8, iterations: 60, lambda: 1e-3, seed: 5 };
-        let err = r.fit(&s).reconstruction_error(&s);
+        let r = Rescal { rank: 8, iterations: 60, lambda: 1e-3, seed: 5, tol: 0.0 };
+        let err = r.fit(&s).expect("fit").reconstruction_error(&s);
         // ‖A‖_F = sqrt(2 · 13 edges) ≈ 5.1; full rank should get well below.
         assert!(err < 1.0, "full-rank error {err}");
+    }
+
+    #[test]
+    fn model_residual_matches_reconstruction_error() {
+        let s = two_cliques();
+        let model = Rescal::default().fit(&s).expect("fit");
+        assert_eq!(model.residual, model.reconstruction_error(&s));
     }
 
     #[test]
@@ -254,7 +527,7 @@ mod tests {
         }
         edges.push((3, 4));
         let s = Snapshot::from_edges(8, &edges);
-        let r = Rescal { rank: 4, iterations: 30, lambda: 0.1, seed: 7 };
+        let r = Rescal { rank: 4, iterations: 30, lambda: 0.1, ..Default::default() };
         let scores = r.score_pairs(&s, &[(0, 2), (0, 7)]);
         assert!(
             scores[0] > scores[1],
@@ -266,7 +539,7 @@ mod tests {
     fn scores_symmetric() {
         let s = two_cliques();
         let r = Rescal::default();
-        let model = r.fit(&s);
+        let model = r.fit(&s).expect("fit");
         assert!((model.score(0, 5) - model.score(5, 0)).abs() < 1e-12);
     }
 
@@ -274,8 +547,8 @@ mod tests {
     fn deterministic_fit() {
         let s = two_cliques();
         let r = Rescal::default();
-        let a = r.fit(&s);
-        let b = r.fit(&s);
+        let a = r.fit(&s).expect("fit");
+        let b = r.fit(&s).expect("fit");
         assert!(a.x.max_abs_diff(&b.x) == 0.0);
         assert!(a.r.max_abs_diff(&b.r) == 0.0);
     }
@@ -284,7 +557,49 @@ mod tests {
     fn rank_clamped_to_node_count() {
         let s = Snapshot::from_edges(3, &[(0, 1), (1, 2)]);
         let r = Rescal { rank: 50, iterations: 5, ..Default::default() };
-        let model = r.fit(&s);
+        let model = r.fit(&s).expect("fit");
         assert_eq!(model.x.cols(), 3);
+    }
+
+    #[test]
+    fn singular_system_is_structured_error_not_silent_skip() {
+        // Rank-deficient regression: one edge among 4 nodes at rank 3
+        // with no ridge. After the first X update the embedding has rank
+        // ≤ 1, so G = XᵀX is singular — the original loop silently kept
+        // stale factors here; now it must surface structurally.
+        let s = Snapshot::from_edges(4, &[(0, 1)]);
+        let bad = Rescal { rank: 3, iterations: 5, lambda: 0.0, ..Default::default() };
+        let err = bad.fit(&s).expect_err("singular system must surface");
+        assert!(matches!(err, SolverError::Singular { metric: "Rescal", .. }), "got {err:?}");
+        // Recoverable: any positive ridge regularizes the same system.
+        let good = Rescal { lambda: 0.01, ..bad };
+        good.fit(&s).expect("regularized fit recovers");
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_fit_panics_in_audit_class_on_score_pairs() {
+        let s = Snapshot::from_edges(4, &[(0, 1)]);
+        let bad = Rescal { rank: 3, iterations: 5, lambda: 0.0, ..Default::default() };
+        let _ = bad.score_pairs(&s, &[(0, 2)]);
+    }
+
+    #[test]
+    fn batched_path_matches_per_pair_oracle() {
+        let s = two_cliques();
+        let r = Rescal { rank: 4, ..Default::default() };
+        let model = r.fit(&s).expect("fit");
+        let pairs: Vec<(NodeId, NodeId)> = vec![(0, 2), (0, 7), (3, 4), (1, 6)];
+        let batched = r.score_pairs(&s, &pairs);
+        let prepared = r.prepare(&s).score_chunk(&s, &pairs);
+        assert_eq!(batched, prepared, "whole-batch and prepared paths must agree bitwise");
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            assert!(
+                (batched[i] - model.score(u, v)).abs() <= 1e-9,
+                "pair ({u},{v}): batched {} vs oracle {}",
+                batched[i],
+                model.score(u, v)
+            );
+        }
     }
 }

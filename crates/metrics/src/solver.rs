@@ -91,6 +91,17 @@ pub enum SolverError {
         /// Number of iterations performed before giving up.
         iterations: usize,
     },
+    /// A direct solve inside the metric (an ALS normal-equations system)
+    /// was numerically singular. Previously this was silently skipped,
+    /// leaving stale factors behind; now it surfaces here and feeds the
+    /// same audit panic class as the other guards. Recoverable by
+    /// raising the metric's ridge regularization.
+    Singular {
+        /// Metric whose solve was running.
+        metric: &'static str,
+        /// Iteration (sweep) index at which the system lost rank.
+        iteration: usize,
+    },
 }
 
 impl fmt::Display for SolverError {
@@ -107,6 +118,11 @@ impl fmt::Display for SolverError {
                     "metric {metric} failed to converge within {iterations} solver iterations"
                 )
             }
+            SolverError::Singular { metric, iteration } => write!(
+                f,
+                "metric {metric} hit a singular normal-equations system at solver sweep \
+                 {iteration}; raise the ridge regularization"
+            ),
         }
     }
 }
@@ -201,6 +217,12 @@ pub struct SolverStats {
     pub ppr_warm_starts: u64,
     /// PPR source columns solved in total.
     pub ppr_sources: u64,
+    /// ALS factorization fits performed (Rescal).
+    pub rescal_fits: u64,
+    /// ALS fits that warm-started from the previous snapshot's factors.
+    pub rescal_warm_starts: u64,
+    /// Total ALS sweeps spent across all factorization fits.
+    pub rescal_iterations: u64,
 }
 
 /// Per-snapshot solver state carried across a snapshot sweep.
@@ -218,6 +240,8 @@ pub struct SolverCache {
     transition: Option<Arc<TransitionView>>,
     ppr_prev: HashMap<NodeId, Vec<f64>>,
     ppr_curr: HashMap<NodeId, Vec<f64>>,
+    rescal_prev: Option<(u64, Arc<crate::rescal::RescalModel>)>,
+    rescal_curr: Option<(u64, Arc<crate::rescal::RescalModel>)>,
     /// Iteration counters accumulated by the solvers.
     pub stats: SolverStats,
 }
@@ -233,6 +257,8 @@ impl SolverCache {
             transition: None,
             ppr_prev: HashMap::new(),
             ppr_curr: HashMap::new(),
+            rescal_prev: None,
+            rescal_curr: None,
             stats: SolverStats::default(),
         }
     }
@@ -261,8 +287,10 @@ impl SolverCache {
         }
         self.key = Some(key);
         self.ppr_prev = std::mem::take(&mut self.ppr_curr);
+        self.rescal_prev = self.rescal_curr.take();
         if !self.persistent {
             self.ppr_prev.clear();
+            self.rescal_prev = None;
         }
         self.transition = Some(Arc::new(TransitionView::build(snap)));
     }
@@ -294,6 +322,37 @@ impl SolverCache {
     fn store_ppr(&mut self, src: NodeId, vec: Vec<f64>, limit: usize) {
         if self.persistent && self.ppr_curr.len() < limit {
             self.ppr_curr.insert(src, vec);
+        }
+    }
+
+    /// The factorization model fitted on the *current* snapshot under the
+    /// given config fingerprint, if one was stored — exact reuse, so two
+    /// Rescal configurations sharing one cache can never alias each
+    /// other's fits.
+    pub fn rescal_model(&self, fingerprint: u64) -> Option<Arc<crate::rescal::RescalModel>> {
+        match &self.rescal_curr {
+            Some((fp, model)) if *fp == fingerprint => Some(Arc::clone(model)),
+            _ => None,
+        }
+    }
+
+    /// The *previous* snapshot's fitted model under the same config
+    /// fingerprint, used purely as a warm-start initial guess for the
+    /// next certified fit (never reused as-is).
+    pub fn rescal_warm(&self, fingerprint: u64) -> Option<Arc<crate::rescal::RescalModel>> {
+        match &self.rescal_prev {
+            Some((fp, model)) if *fp == fingerprint => Some(Arc::clone(model)),
+            _ => None,
+        }
+    }
+
+    /// Registers a freshly fitted factorization model for the current
+    /// snapshot. No-op on transient caches, mirroring
+    /// [`store_ppr`](Self::store_ppr)'s gating, so one-shot entry points
+    /// keep bit-identical cold behavior.
+    pub fn store_rescal(&mut self, fingerprint: u64, model: Arc<crate::rescal::RescalModel>) {
+        if self.persistent {
+            self.rescal_curr = Some((fingerprint, model));
         }
     }
 }
@@ -728,6 +787,52 @@ fn ppr_block(
     Ok(PprBlockOut { contribs, store, iterations, warm_starts })
 }
 
+/// Batched bilinear pair scoring for a fitted factorization `A ≈ X R Xᵀ`:
+/// with `XR = X·R` precomputed once for the whole batch, each pair's
+/// score `x_uᵀ R x_v + x_vᵀ R x_u = ⟨(XR)_u, x_v⟩ + ⟨(XR)_v, x_u⟩` is two
+/// length-r dot products instead of an O(r²) bilinear form per pair.
+///
+/// Each pair's value is a pure function of its own four rows, folded in
+/// ascending index order, so the output is bit-identical for every
+/// `threads` value and block partition. Note the association differs
+/// from the per-pair oracle `RescalModel::score` (which folds `R x_v`
+/// first), so cross-checks against it carry a reassociation tolerance
+/// while *fit* equivalence stays bitwise.
+pub fn bilinear_scores_t(
+    x: &osn_linalg::Matrix,
+    r: &osn_linalg::Matrix,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+) -> Vec<f64> {
+    assert_eq!(x.cols(), r.rows(), "X/R rank mismatch");
+    assert_eq!(r.rows(), r.cols(), "core must be square");
+    let xr = x.matmul(r);
+    let blocks = par::block_ranges(pairs.len(), threads.max(1) * 4);
+    let parts = par::run_indexed(blocks.len(), threads, |b| {
+        blocks[b]
+            .clone()
+            .map(|i| {
+                let (u, v) = pairs[i];
+                let (xu, xv) = (x.row(u as usize), x.row(v as usize));
+                let (xru, xrv) = (xr.row(u as usize), xr.row(v as usize));
+                let mut s = 0.0;
+                for (p, q) in xru.iter().zip(xv) {
+                    s += p * q;
+                }
+                for (p, q) in xrv.iter().zip(xu) {
+                    s += p * q;
+                }
+                s
+            })
+            .collect::<Vec<f64>>()
+    });
+    let mut out = Vec::with_capacity(pairs.len());
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -986,5 +1091,56 @@ mod tests {
         // Budget gating: limit 0 stores nothing.
         sweep.store_ppr(5, vec![0.5; 15], 0);
         assert!(sweep.ppr_warm(5).is_none());
+    }
+
+    #[test]
+    fn rescal_cache_slots_rotate_and_key_on_fingerprint() {
+        let model =
+            Arc::new(crate::rescal::Rescal::default().fit(&ring_with_chords(11)).expect("fit"));
+
+        let mut transient = SolverCache::transient();
+        transient.ensure_snapshot(&ring_with_chords(11));
+        transient.store_rescal(7, Arc::clone(&model));
+        assert!(transient.rescal_model(7).is_none(), "transient caches never retain models");
+
+        let mut sweep = SolverCache::sweep();
+        sweep.ensure_snapshot(&ring_with_chords(11));
+        sweep.store_rescal(7, Arc::clone(&model));
+        // Exact reuse on the current snapshot requires a fingerprint match.
+        assert!(sweep.rescal_model(7).is_some());
+        assert!(sweep.rescal_model(8).is_none(), "different config must never alias a fit");
+        assert!(sweep.rescal_warm(7).is_none(), "no previous snapshot yet");
+        // Rotation: the model becomes the next snapshot's warm start only.
+        sweep.ensure_snapshot(&ring_with_chords(13));
+        assert!(sweep.rescal_model(7).is_none());
+        assert!(sweep.rescal_warm(7).is_some());
+        assert!(sweep.rescal_warm(8).is_none());
+        // A second rotation ages it out entirely.
+        sweep.ensure_snapshot(&ring_with_chords(15));
+        assert!(sweep.rescal_warm(7).is_none());
+    }
+
+    #[test]
+    fn bilinear_scores_match_model_oracle_at_every_thread_count() {
+        let snap = ring_with_chords(24);
+        let rescal = crate::rescal::Rescal { rank: 4, ..Default::default() };
+        let model = rescal.fit(&snap).expect("fit");
+        let pairs = all_pairs(24);
+        let base = bilinear_scores_t(&model.x, &model.r, &pairs, 1);
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            let oracle = model.score(u, v);
+            assert!(
+                (base[i] - oracle).abs() <= 1e-9 * oracle.abs().max(1.0),
+                "pair ({u},{v}): batched {} vs oracle {oracle}",
+                base[i]
+            );
+        }
+        for threads in [2usize, 4, 8] {
+            assert_eq!(
+                bilinear_scores_t(&model.x, &model.r, &pairs, threads),
+                base,
+                "bilinear scoring diverged at {threads} threads"
+            );
+        }
     }
 }
