@@ -1,0 +1,185 @@
+//! The ratchet: a committed `check-baseline.json` enumerating pre-existing
+//! findings per `(rule, file)` bucket. A run with a baseline marks up to
+//! the recorded count of matching findings as `baselined` (reported, but
+//! not failing); anything beyond the count — or in a bucket the baseline
+//! doesn't know — stays active and fails CI. Buckets can only shrink:
+//! when a run finds fewer than the recorded count, the checker reports a
+//! tighten note so the file gets regenerated (`--write-baseline`) with
+//! the smaller numbers.
+//!
+//! Buckets are `(rule, file)` rather than `(rule, file, line)` on
+//! purpose: unrelated edits move lines constantly, and a ratchet that
+//! churns on every rebase trains people to regenerate it blindly —
+//! exactly the reflex a ratchet exists to prevent.
+
+use crate::report::RunSummary;
+use std::collections::BTreeMap;
+
+const FORMAT: f64 = 1.0;
+
+/// Parsed baseline: `(rule, path)` → allowed count.
+#[derive(Debug, Default, PartialEq)]
+pub struct Baseline {
+    pub buckets: BTreeMap<(String, String), usize>,
+}
+
+/// One key's serialized form: `rule|path`.
+fn key_str(rule: &str, path: &str) -> String {
+    format!("{rule}|{path}")
+}
+
+impl Baseline {
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let v: serde_json::Value =
+            serde_json::from_str(src).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+        match v.get("format") {
+            Some(serde_json::Value::Number(n)) if *n == FORMAT => {}
+            other => return Err(format!("unsupported baseline format: {other:?}")),
+        }
+        let Some(serde_json::Value::Object(entries)) = v.get("buckets") else {
+            return Err("baseline has no `buckets` object".to_string());
+        };
+        let mut buckets = BTreeMap::new();
+        for (key, val) in entries {
+            let Some((rule, path)) = key.split_once('|') else {
+                return Err(format!("malformed bucket key `{key}` (want `rule|path`)"));
+            };
+            let serde_json::Value::Number(n) = val else {
+                return Err(format!("bucket `{key}` count is not a number"));
+            };
+            if *n < 0.0 || n.fract() != 0.0 {
+                return Err(format!("bucket `{key}` count {n} is not a non-negative integer"));
+            }
+            buckets.insert((rule.to_string(), path.to_string()), *n as usize);
+        }
+        Ok(Baseline { buckets })
+    }
+
+    /// Serializes the baseline of `run`'s current findings: every
+    /// unsuppressed finding bucketed by `(rule, path)`.
+    pub fn render(run: &RunSummary) -> String {
+        let mut buckets: BTreeMap<String, usize> = BTreeMap::new();
+        for d in run.diagnostics.iter().filter(|d| !d.suppressed) {
+            *buckets.entry(key_str(d.rule, &d.path)).or_default() += 1;
+        }
+        let entries: Vec<(String, serde_json::Value)> =
+            buckets.into_iter().map(|(k, n)| (k, serde_json::Value::Number(n as f64))).collect();
+        let doc = serde_json::json!({
+            "tool": "linklens-check",
+            "format": FORMAT,
+            "buckets": serde_json::Value::Object(entries),
+        });
+        let mut s = serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".to_string());
+        s.push('\n');
+        s
+    }
+}
+
+/// Applies `base` to `run`: within each `(rule, path)` bucket, the first
+/// `count` unsuppressed findings (in the run's deterministic path/line
+/// order) become `baselined`. Returns tighten notes — buckets where the
+/// run now has fewer findings than recorded, i.e. the ratchet can and
+/// should be tightened with `--write-baseline`.
+pub fn apply(run: &mut RunSummary, base: &Baseline) -> Vec<String> {
+    let mut remaining: BTreeMap<(String, String), usize> = base.buckets.clone();
+    for d in run.diagnostics.iter_mut().filter(|d| !d.suppressed) {
+        let key = (d.rule.to_string(), d.path.clone());
+        if let Some(n) = remaining.get_mut(&key) {
+            if *n > 0 {
+                *n -= 1;
+                d.baselined = true;
+            }
+        }
+    }
+    remaining
+        .iter()
+        .filter(|(_, n)| **n > 0)
+        .map(|((rule, path), n)| {
+            format!(
+                "baseline bucket `{rule}|{path}` has {n} unused slot(s); tighten with --write-baseline"
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Diagnostic;
+
+    fn run_with(findings: &[(&'static str, &str, u32)]) -> RunSummary {
+        RunSummary {
+            files_checked: 1,
+            diagnostics: findings
+                .iter()
+                .map(|(rule, path, line)| Diagnostic::new(rule, path, *line, "m".into()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_buckets() {
+        let run = run_with(&[
+            ("unwrap-in-lib", "crates/graph/src/io.rs", 3),
+            ("unwrap-in-lib", "crates/graph/src/io.rs", 9),
+            ("truncating-cast", "crates/core/src/x.rs", 1),
+        ]);
+        let text = Baseline::render(&run);
+        let parsed = Baseline::parse(&text).expect("round trip");
+        assert_eq!(
+            parsed.buckets.get(&("unwrap-in-lib".into(), "crates/graph/src/io.rs".into())),
+            Some(&2)
+        );
+        assert_eq!(
+            parsed.buckets.get(&("truncating-cast".into(), "crates/core/src/x.rs".into())),
+            Some(&1)
+        );
+    }
+
+    #[test]
+    fn apply_absorbs_up_to_count_and_rejects_growth() {
+        let base = Baseline::parse(
+            "{\"tool\":\"linklens-check\",\"format\":1,\"buckets\":{\"unwrap-in-lib|crates/graph/src/io.rs\":1}}",
+        )
+        .expect("parse");
+        // Two findings in a bucket of one: growth stays active.
+        let mut run = run_with(&[
+            ("unwrap-in-lib", "crates/graph/src/io.rs", 3),
+            ("unwrap-in-lib", "crates/graph/src/io.rs", 9),
+        ]);
+        let notes = apply(&mut run, &base);
+        assert!(notes.is_empty());
+        assert_eq!(run.baselined().count(), 1);
+        assert_eq!(run.active().count(), 1);
+        assert!(run.has_violations(), "growth beyond the baseline fails");
+    }
+
+    #[test]
+    fn apply_reports_shrinkage_for_tightening() {
+        let base = Baseline::parse(
+            "{\"tool\":\"linklens-check\",\"format\":1,\"buckets\":{\"unwrap-in-lib|crates/graph/src/io.rs\":3}}",
+        )
+        .expect("parse");
+        let mut run = run_with(&[("unwrap-in-lib", "crates/graph/src/io.rs", 3)]);
+        let notes = apply(&mut run, &base);
+        assert_eq!(notes.len(), 1);
+        assert!(notes[0].contains("2 unused slot(s)"), "{notes:?}");
+        assert!(!run.has_violations());
+    }
+
+    #[test]
+    fn unknown_bucket_findings_stay_active() {
+        let base = Baseline::default();
+        let mut run = run_with(&[("print-in-lib", "crates/ml/src/t.rs", 2)]);
+        apply(&mut run, &base);
+        assert!(run.has_violations());
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{\"format\":2,\"buckets\":{}}").is_err());
+        assert!(Baseline::parse("{\"format\":1,\"buckets\":{\"no-pipe\":1}}").is_err());
+        assert!(Baseline::parse("{\"format\":1,\"buckets\":{\"a|b\":-1}}").is_err());
+    }
+}

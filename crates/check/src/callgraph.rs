@@ -1,0 +1,243 @@
+//! Phase 2a: the over-approximate call graph and the deterministic
+//! surface.
+//!
+//! The call graph is *name-based*: an identifier followed by `(` inside a
+//! function body is an edge to every workspace function of that name, and
+//! a bare identifier in argument position that matches a workspace
+//! function name is an edge too (callback passing). No receiver types, no
+//! path resolution — deliberately an over-approximation, so reachability
+//! can only err toward scanning *more* code.
+//!
+//! ## Deterministic surface
+//!
+//! The roots are the places where the engine's bit-identity contract is
+//! stated (see DESIGN.md §15):
+//!
+//! * every `fn score_*` / `fn predict*` (Metric implementations and the
+//!   exec/framework entry points),
+//! * every function in the fused/solver/factor kernel files,
+//! * every method of `SnapshotBuilder`,
+//! * anything marked `// linklens-deterministic`.
+//!
+//! Everything name-reachable from a root is "on the deterministic
+//! surface" and gets the [`crate::dataflow`] rules.
+
+use crate::rules::{ident_at, punct_at};
+use crate::symbols::ParsedFile;
+use crate::workspace::{FileInfo, FileKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Crates whose library code is subject to the phase-2 dataflow rules.
+/// Bench and bin targets are excluded on purpose: timing reads and
+/// console output are legitimate there.
+const SCOPE_CRATES: &[&str] = &["graph", "metrics", "linalg", "core", "ml", "trace"];
+
+/// Files whose every function is a deterministic root: the batched
+/// kernels whose bit-identity the equivalence suites pin.
+const KERNEL_FILES: &[&str] =
+    &["crates/metrics/src/fused.rs", "crates/metrics/src/solver.rs", "crates/linalg/src/factor.rs"];
+
+/// Impl blocks whose every method is a deterministic root.
+const ROOT_IMPLS: &[&str] = &["SnapshotBuilder"];
+
+pub(crate) fn in_scope(info: &FileInfo) -> bool {
+    !info.is_shim && info.kind == FileKind::Lib && SCOPE_CRATES.contains(&info.krate.as_str())
+}
+
+/// Reserved words that look like call syntax (`if (`, `for (` never
+/// actually occur, but `matches ! (`, `Some (` do) — anything here is
+/// never a call edge. Capitalized tuple-struct/enum constructors are
+/// excluded by the known-name check instead.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "fn", "let", "mut", "in", "as",
+    "move", "ref", "break", "continue", "where", "impl", "trait", "struct", "enum", "type", "pub",
+    "use", "mod", "const", "static", "unsafe", "dyn", "self", "Self", "super", "crate",
+];
+
+/// The deterministic surface: function names reachable from the roots,
+/// each mapped to the root that first reached it (for diagnostics).
+#[derive(Debug)]
+pub(crate) struct Surface {
+    reachable: BTreeMap<String, String>,
+}
+
+impl Surface {
+    /// The root through which `fn_name` became deterministic-surface,
+    /// or `None` if it is not on the surface.
+    pub(crate) fn origin(&self, fn_name: &str) -> Option<&str> {
+        self.reachable.get(fn_name).map(String::as_str)
+    }
+}
+
+/// Whether `f` is a deterministic root, and why.
+fn root_reason(file: &ParsedFile, f: &crate::symbols::FnSym) -> Option<String> {
+    if f.in_test {
+        return None;
+    }
+    if f.name.starts_with("score_") || f.name.starts_with("predict") {
+        return Some(format!("fn {}", f.name));
+    }
+    if KERNEL_FILES.contains(&file.info.path.as_str()) {
+        return Some(format!("kernel file {}", file.info.path));
+    }
+    if let Some(ctx) = &f.impl_ctx {
+        if ROOT_IMPLS.contains(&ctx.as_str()) {
+            return Some(format!("impl {}", ctx));
+        }
+    }
+    if f.marked_deterministic {
+        return Some(format!("linklens-deterministic marker on {}", f.name));
+    }
+    None
+}
+
+/// Call edges out of one function body: every known workspace function
+/// name that appears in call position (`name (`) or argument position
+/// (`name ,` / `name )`) inside the body. `known` filters bare idents so
+/// locals and field names don't become edges.
+fn callees(file: &ParsedFile, body: (usize, usize), known: &BTreeSet<&str>) -> BTreeSet<String> {
+    let tokens = &file.lexed.tokens;
+    let (open, end) = body;
+    let mut out = BTreeSet::new();
+    for i in open..end.min(tokens.len()) {
+        let Some(name) = ident_at(tokens, i) else { continue };
+        if KEYWORDS.contains(&name) || !known.contains(name) {
+            continue;
+        }
+        let call_pos = punct_at(tokens, i + 1, '(');
+        // `name !` is a macro, not a function call.
+        let macro_pos = punct_at(tokens, i + 1, '!');
+        // Callback heuristic: a known fn name handed to something else.
+        let arg_pos = punct_at(tokens, i + 1, ',') || punct_at(tokens, i + 1, ')');
+        if (call_pos || arg_pos) && !macro_pos {
+            out.insert(name.to_string());
+        }
+    }
+    out
+}
+
+/// Builds the deterministic surface over every in-scope parsed file.
+pub(crate) fn surface(files: &[ParsedFile]) -> Surface {
+    let in_scope_files: Vec<&ParsedFile> = files.iter().filter(|p| in_scope(&p.info)).collect();
+
+    // All known function names (for bare-ident filtering), and the call
+    // edges per function name: name -> union of callees over every fn of
+    // that name.
+    let known: BTreeSet<&str> = in_scope_files
+        .iter()
+        .flat_map(|p| p.fns.iter())
+        .filter(|f| !f.in_test)
+        .map(|f| f.name.as_str())
+        .collect();
+    let mut edges: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+    let mut roots: BTreeMap<&str, String> = BTreeMap::new();
+    for p in &in_scope_files {
+        for f in &p.fns {
+            if f.in_test {
+                continue;
+            }
+            if let Some(reason) = root_reason(p, f) {
+                roots.entry(f.name.as_str()).or_insert(reason);
+            }
+            if let Some(body) = f.body {
+                edges.entry(f.name.as_str()).or_default().extend(callees(p, body, &known));
+            }
+        }
+    }
+
+    // BFS from the roots over name-level edges.
+    let mut reachable: BTreeMap<String, String> = BTreeMap::new();
+    let mut queue: Vec<String> = Vec::new();
+    for (name, reason) in &roots {
+        reachable.insert(name.to_string(), reason.clone());
+        queue.push(name.to_string());
+    }
+    while let Some(name) = queue.pop() {
+        let origin = reachable[&name].clone();
+        if let Some(outs) = edges.get(name.as_str()) {
+            for callee in outs {
+                if !reachable.contains_key(callee) {
+                    reachable.insert(callee.clone(), origin.clone());
+                    queue.push(callee.clone());
+                }
+            }
+        }
+    }
+    Surface { reachable }
+}
+
+/// True when the token at `i` is inside a `#[test]`-masked region.
+pub(crate) fn masked(file: &ParsedFile, i: usize) -> bool {
+    file.mask.get(i).copied().unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::parse_file;
+    use crate::workspace::FileKind;
+
+    fn info(path: &str, krate: &str) -> FileInfo {
+        FileInfo {
+            path: path.into(),
+            krate: krate.into(),
+            kind: FileKind::Lib,
+            is_crate_root: false,
+            is_shim: false,
+        }
+    }
+
+    #[test]
+    fn reachability_follows_call_and_callback_edges() {
+        let a = parse_file(
+            &info("crates/metrics/src/m.rs", "metrics"),
+            "fn score_pairs(&self) -> Vec<f64> { helper(1); apply(reducer, 2); vec![] }\nfn helper(x: u32) {}\nfn reducer(x: u32) {}\nfn apply(f: fn(u32), x: u32) {}\nfn unrelated() {}",
+        );
+        let s = surface(&[a]);
+        assert!(s.origin("score_pairs").is_some());
+        assert!(s.origin("helper").is_some());
+        assert!(s.origin("reducer").is_some(), "argument-position callback is an edge");
+        assert!(s.origin("unrelated").is_none());
+    }
+
+    #[test]
+    fn roots_cover_kernels_builder_methods_and_markers() {
+        let kernel = parse_file(
+            &info("crates/metrics/src/fused.rs", "metrics"),
+            "fn enumerate_and_score(x: u32) {}",
+        );
+        let builder = parse_file(
+            &info("crates/graph/src/builder.rs", "graph"),
+            "impl SnapshotBuilder {\n  fn advance_to(&mut self, t: u32) {}\n}",
+        );
+        let marked = parse_file(
+            &info("crates/core/src/classify.rs", "core"),
+            "// linklens-deterministic: feeds training order\nfn prepare_seeds() {}",
+        );
+        let s = surface(&[kernel, builder, marked]);
+        assert!(s.origin("enumerate_and_score").unwrap().contains("kernel file"));
+        assert!(s.origin("advance_to").unwrap().contains("impl SnapshotBuilder"));
+        assert!(s.origin("prepare_seeds").unwrap().contains("marker"));
+    }
+
+    #[test]
+    fn out_of_scope_files_and_test_fns_contribute_nothing() {
+        let bench = parse_file(
+            &FileInfo {
+                path: "crates/bench/src/lib.rs".into(),
+                krate: "bench".into(),
+                kind: FileKind::Lib,
+                is_crate_root: true,
+                is_shim: false,
+            },
+            "fn score_timer() { Instant::now(); }",
+        );
+        let tests_only = parse_file(
+            &info("crates/core/src/t.rs", "core"),
+            "#[cfg(test)]\nmod tests {\n  fn score_fake() {}\n}",
+        );
+        let s = surface(&[bench, tests_only]);
+        assert!(s.origin("score_timer").is_none());
+        assert!(s.origin("score_fake").is_none());
+    }
+}

@@ -15,11 +15,22 @@
 //!   `#![forbid(unsafe_code)]`;
 //! * `print-in-lib` — `println!`-family output in library crates.
 //!
+//! On top of those single-file rules, the checker runs a *workspace*
+//! analysis: every file is parsed into a symbol index ([`symbols`]), an
+//! over-approximate call graph computes the functions reachable from the
+//! deterministic surface ([`callgraph`]), and dataflow rules
+//! ([`dataflow`]) prove that surface free of unordered `HashMap`/`HashSet`
+//! iteration, unpinned float reductions, nondeterministic sources, and
+//! unsanctioned panics. Pre-existing findings live in a committed
+//! [`baseline`] ratchet that may only shrink.
+//!
 //! Violations are suppressed per line with
-//! `// linklens-allow(rule): justification`; a missing justification or an
-//! unknown rule name is itself a violation. The `linklens-check` binary
-//! exits nonzero on any active violation, speaks `--json` for CI, and
-//! `--fix-report` for a markdown delta summary.
+//! `// linklens-allow(rule): justification`; a missing justification, an
+//! unknown rule name, or a directive that no longer suppresses anything is
+//! itself a violation. The `linklens-check` binary exits nonzero on any
+//! active violation, speaks `--json` for CI, `--sarif` for annotation
+//! tooling, `--fix-report` for a markdown delta summary, and
+//! `--explain <rule>` for the full rationale of any rule.
 //!
 //! The lexer is hand-rolled (see [`lexer`]) so the shims directory stays
 //! small: no `syn`, no proc-macro machinery — tokens are enough for every
@@ -37,22 +48,61 @@
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+mod callgraph;
+mod dataflow;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+mod symbols;
 pub mod workspace;
 
 use report::RunSummary;
 use std::path::Path;
+use workspace::FileInfo;
 
-/// Runs every rule over every classified `.rs` file under `root`.
+/// Runs the full two-phase analysis over every classified `.rs` file
+/// under `root`: phase 1 parses each file into the symbol index and runs
+/// the single-file rules; phase 2 builds the workspace call graph,
+/// computes the deterministic surface, and runs the dataflow rules over
+/// it. Suppression and directive auditing happen once, after both
+/// phases, so `stale-allow` judges against everything the checker knows.
 pub fn check_workspace(root: &Path) -> std::io::Result<RunSummary> {
     let files = workspace::collect_files(root)?;
-    let mut diagnostics = Vec::new();
-    let files_checked = files.len();
-    for info in &files {
+    let mut sources = Vec::with_capacity(files.len());
+    for info in files {
         let src = std::fs::read_to_string(root.join(&info.path))?;
-        diagnostics.extend(rules::check_file(info, &src));
+        sources.push((info, src));
     }
-    Ok(RunSummary { files_checked, diagnostics })
+    Ok(check_sources(sources))
+}
+
+/// The pure core of [`check_workspace`]: same two-phase analysis over
+/// in-memory sources. Fixture tests drive this directly.
+pub fn check_sources(sources: Vec<(FileInfo, String)>) -> RunSummary {
+    let files_checked = sources.len();
+
+    // Phase 1: parse everything once; run the single-file rules.
+    let parsed: Vec<symbols::ParsedFile> =
+        sources.iter().map(|(info, src)| symbols::parse_file(info, src)).collect();
+    let mut per_file: Vec<Vec<rules::Diagnostic>> =
+        parsed.iter().map(|p| rules::phase1(&p.info, &p.lexed.tokens, &p.mask)).collect();
+
+    // Phase 2: deterministic surface over the whole workspace, dataflow
+    // rules over every in-scope file.
+    let surface = callgraph::surface(&parsed);
+    for (p, diags) in parsed.iter().zip(per_file.iter_mut()) {
+        if callgraph::in_scope(&p.info) {
+            dataflow::check_file(p, &surface, diags);
+        }
+    }
+
+    // Suppressions + directive audit, with full knowledge of both phases.
+    let mut diagnostics = Vec::new();
+    for (p, mut diags) in parsed.iter().zip(per_file) {
+        let allows = rules::parse_allows(&p.lexed.comments);
+        rules::finish_file(&p.info, &p.lexed.tokens, &p.mask, &allows, &mut diags, true);
+        diagnostics.extend(diags);
+    }
+    RunSummary { files_checked, diagnostics }
 }

@@ -1,7 +1,7 @@
-//! Rendering diagnostics: human text, machine `--json`, and the
-//! `--fix-report` markdown summary future PRs paste into descriptions.
-//! All renderers return strings; printing is the binary's job
-//! (`print-in-lib` applies to this crate too).
+//! Rendering diagnostics: human text, machine `--json`, SARIF for CI
+//! annotations, and the `--fix-report` markdown summary future PRs paste
+//! into descriptions. All renderers return strings; printing is the
+//! binary's job (`print-in-lib` applies to this crate too).
 
 use crate::rules::{Diagnostic, RULES};
 use std::collections::BTreeMap;
@@ -14,14 +14,20 @@ pub struct RunSummary {
 }
 
 impl RunSummary {
-    /// Diagnostics that fail the run (not covered by an allow).
+    /// Diagnostics that fail the run (not covered by an allow, not
+    /// absorbed by the baseline ratchet).
     pub fn active(&self) -> impl Iterator<Item = &Diagnostic> {
-        self.diagnostics.iter().filter(|d| !d.suppressed)
+        self.diagnostics.iter().filter(|d| !d.suppressed && !d.baselined)
     }
 
     /// Allow-covered findings, kept visible for reporting.
     pub fn suppressed(&self) -> impl Iterator<Item = &Diagnostic> {
         self.diagnostics.iter().filter(|d| d.suppressed)
+    }
+
+    /// Baseline-absorbed findings: enumerated, may only shrink.
+    pub fn baselined(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| !d.suppressed && d.baselined)
     }
 
     pub fn has_violations(&self) -> bool {
@@ -35,11 +41,15 @@ pub fn render_text(run: &RunSummary) -> String {
     for d in run.active() {
         out.push_str(&format!("{}:{}: [{}] {}\n", d.path, d.line, d.rule, d.message));
     }
+    for d in run.baselined() {
+        out.push_str(&format!("{}:{}: [{}] (baselined) {}\n", d.path, d.line, d.rule, d.message));
+    }
     let active = run.active().count();
     let suppressed = run.suppressed().count();
+    let baselined = run.baselined().count();
     out.push_str(&format!(
-        "linklens-check: {} file(s), {} violation(s), {} suppressed by linklens-allow\n",
-        run.files_checked, active, suppressed
+        "linklens-check: {} file(s), {} violation(s), {} suppressed by linklens-allow, {} baselined\n",
+        run.files_checked, active, suppressed, baselined
     ));
     out
 }
@@ -56,15 +66,65 @@ pub fn render_json(run: &RunSummary) -> String {
     };
     let violations: Vec<_> = run.active().map(entry).collect();
     let suppressed: Vec<_> = run.suppressed().map(entry).collect();
+    let baselined: Vec<_> = run.baselined().map(entry).collect();
     let report = serde_json::json!({
         "tool": "linklens-check",
         "files_checked": run.files_checked,
         "violation_count": violations.len(),
         "suppressed_count": suppressed.len(),
+        "baselined_count": baselined.len(),
         "violations": violations,
         "suppressed": suppressed,
+        "baselined": baselined,
     });
     serde_json::to_string_pretty(&report).unwrap_or_else(|_| "{}".to_string())
+}
+
+/// SARIF 2.1.0, minimal profile: enough for GitHub code-scanning style
+/// annotation and for archival as a CI artifact. Active findings are
+/// `error`, baseline-absorbed ones `note`; suppressed findings are
+/// omitted (they are policy, not problems).
+pub fn render_sarif(run: &RunSummary) -> String {
+    let rules: Vec<_> = RULES
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "id": r.name,
+                "shortDescription": serde_json::json!({ "text": r.contract }),
+            })
+        })
+        .collect();
+    let result = |d: &Diagnostic, level: &str| {
+        let region = serde_json::json!({ "startLine": d.line });
+        let artifact = serde_json::json!({ "uri": d.path });
+        let physical = serde_json::json!({
+            "artifactLocation": artifact,
+            "region": region,
+        });
+        let location = serde_json::json!({ "physicalLocation": physical });
+        serde_json::json!({
+            "ruleId": d.rule,
+            "level": level,
+            "message": serde_json::json!({ "text": d.message }),
+            "locations": serde_json::json!([location]),
+        })
+    };
+    let mut results: Vec<_> = run.active().map(|d| result(d, "error")).collect();
+    results.extend(run.baselined().map(|d| result(d, "note")));
+    let driver = serde_json::json!({
+        "name": "linklens-check",
+        "rules": rules,
+    });
+    let sarif_run = serde_json::json!({
+        "tool": serde_json::json!({ "driver": driver }),
+        "results": results,
+    });
+    let sarif = serde_json::json!({
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": serde_json::json!([sarif_run]),
+    });
+    serde_json::to_string_pretty(&sarif).unwrap_or_else(|_| "{}".to_string())
 }
 
 /// Crate a diagnostic path belongs to, for the per-crate breakdown.
@@ -78,9 +138,10 @@ pub fn render_markdown(run: &RunSummary) -> String {
     out.push_str("## linklens-check report\n\n");
     let active = run.active().count();
     let suppressed = run.suppressed().count();
+    let baselined = run.baselined().count();
     out.push_str(&format!(
-        "{} file(s) checked — **{} violation(s)**, {} suppressed by `linklens-allow`.\n\n",
-        run.files_checked, active, suppressed
+        "{} file(s) checked — **{} violation(s)**, {} suppressed by `linklens-allow`, {} baselined.\n\n",
+        run.files_checked, active, suppressed, baselined
     ));
 
     // rule -> (active, suppressed)
@@ -89,7 +150,7 @@ pub fn render_markdown(run: &RunSummary) -> String {
     let mut by_crate: BTreeMap<(String, &str), usize> = BTreeMap::new();
     for d in &run.diagnostics {
         let slot = by_rule.entry(d.rule).or_default();
-        if d.suppressed {
+        if d.suppressed || d.baselined {
             slot.1 += 1;
         } else {
             slot.0 += 1;
@@ -97,10 +158,10 @@ pub fn render_markdown(run: &RunSummary) -> String {
         }
     }
 
-    out.push_str("| rule | violations | suppressed |\n|---|---:|---:|\n");
-    for (rule, _) in RULES {
-        let (a, s) = by_rule.get(rule).copied().unwrap_or((0, 0));
-        out.push_str(&format!("| `{rule}` | {a} | {s} |\n"));
+    out.push_str("| rule | violations | suppressed/baselined |\n|---|---:|---:|\n");
+    for r in RULES {
+        let (a, s) = by_rule.get(r.name).copied().unwrap_or((0, 0));
+        out.push_str(&format!("| `{}` | {a} | {s} |\n", r.name));
     }
     out.push('\n');
 
@@ -136,6 +197,7 @@ mod tests {
                     line: 10,
                     message: "boom".into(),
                     suppressed: false,
+                    baselined: false,
                 },
                 Diagnostic {
                     rule: "print-in-lib",
@@ -143,6 +205,15 @@ mod tests {
                     line: 4,
                     message: "print".into(),
                     suppressed: true,
+                    baselined: false,
+                },
+                Diagnostic {
+                    rule: "truncating-cast",
+                    path: "crates/graph/src/csr.rs".into(),
+                    line: 7,
+                    message: "old debt".into(),
+                    suppressed: false,
+                    baselined: true,
                 },
             ],
         }
@@ -153,7 +224,9 @@ mod tests {
         let text = render_text(&sample());
         assert!(text.contains("crates/graph/src/io.rs:10: [unwrap-in-lib] boom"));
         assert!(!text.contains("report.rs:4"));
+        assert!(text.contains("csr.rs:7: [truncating-cast] (baselined) old debt"));
         assert!(text.contains("1 violation(s), 1 suppressed"));
+        assert!(text.contains("1 baselined"));
     }
 
     #[test]
@@ -162,11 +235,38 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&json).expect("valid json");
         assert_eq!(v.get("violation_count"), Some(&serde_json::Value::Number(1.0)));
         assert_eq!(v.get("suppressed_count"), Some(&serde_json::Value::Number(1.0)));
+        assert_eq!(v.get("baselined_count"), Some(&serde_json::Value::Number(1.0)));
         let first = match v.get("violations") {
             Some(serde_json::Value::Array(items)) => &items[0],
             other => panic!("violations should be an array, got {other:?}"),
         };
         assert_eq!(first.get("rule"), Some(&serde_json::Value::String("unwrap-in-lib".into())));
+    }
+
+    #[test]
+    fn sarif_report_levels_active_vs_baselined() {
+        let sarif = render_sarif(&sample());
+        let v: serde_json::Value = serde_json::from_str(&sarif).expect("valid sarif json");
+        assert_eq!(v.get("version"), Some(&serde_json::Value::String("2.1.0".into())));
+        let runs = match v.get("runs") {
+            Some(serde_json::Value::Array(items)) => items,
+            other => panic!("runs should be an array, got {other:?}"),
+        };
+        let results = match runs[0].get("results") {
+            Some(serde_json::Value::Array(items)) => items,
+            other => panic!("results should be an array, got {other:?}"),
+        };
+        // active error + baselined note; the suppressed finding is absent.
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].get("level"), Some(&serde_json::Value::String("error".into())));
+        assert_eq!(results[1].get("level"), Some(&serde_json::Value::String("note".into())));
+        // Every rule in the table is declared to SARIF consumers.
+        let driver = runs[0].get("tool").and_then(|t| t.get("driver")).expect("driver");
+        let rules = match driver.get("rules") {
+            Some(serde_json::Value::Array(items)) => items,
+            other => panic!("rules should be an array, got {other:?}"),
+        };
+        assert_eq!(rules.len(), RULES.len());
     }
 
     #[test]

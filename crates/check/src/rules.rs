@@ -7,15 +7,21 @@
 //! is exempt (the paper's correctness argument is about *shipping* code
 //! paths — tests may unwrap freely).
 //!
+//! This module holds the *phase-1* (single-file) rules and the shared rule
+//! table; the *phase-2* dataflow rules over the workspace symbol graph
+//! live in [`crate::dataflow`] and are registered here so `--explain`,
+//! suppression auditing, and the reports all draw from one table.
+//!
 //! ## Suppressions
 //!
 //! A violation is suppressed by a `// linklens-allow(rule): justification`
 //! comment on the same line or the line directly above; the directive must
 //! start the comment (prose mentioning the syntax is not a directive). The
 //! justification after the colon is mandatory: an allow without one raises
-//! `unjustified-allow`, and an allow naming a rule that does not exist
-//! raises `unknown-rule` — so suppressions stay auditable instead of
-//! rotting into cargo-cult annotations.
+//! `unjustified-allow`, an allow naming a rule that does not exist raises
+//! `unknown-rule`, and an allow that no longer suppresses anything raises
+//! `stale-allow` — so suppressions stay auditable instead of rotting into
+//! cargo-cult annotations.
 
 use crate::lexer::{self, Comment, Tok, Token};
 use crate::workspace::{FileInfo, FileKind};
@@ -27,56 +33,140 @@ const GATED_CRATES: &[&str] = &["graph", "metrics", "linalg", "core"];
 /// Integer types an `as` cast may silently truncate into.
 const NARROW_INTS: &[&str] = &["u32", "u16", "u8", "i32", "i16", "i8"];
 
-/// Every rule the checker knows, with its one-line contract.
-pub const RULES: &[(&str, &str)] = &[
-    (
-        "nan-unsafe-ordering",
-        "`partial_cmp(..).unwrap()/expect()` on float keys panics (or, loosened, misorders) on NaN; use `f64::total_cmp`",
-    ),
-    (
-        "truncating-cast",
-        "`as`-cast to a narrow integer in CSR/offset code can silently truncate; use a checked conversion or justify",
-    ),
-    (
-        "unwrap-in-lib",
-        "`unwrap()/expect()` in library code of the scoring substrate; return Result/Option or justify the invariant",
-    ),
-    (
-        "missing-forbid-unsafe",
-        "every crate root must keep `#![forbid(unsafe_code)]`",
-    ),
-    (
-        "print-in-lib",
-        "`println!`-family output in library code; diagnostics must travel through return values",
-    ),
-    (
-        "per-pair-intersection",
-        "a fresh `common_neighbors`/`common_neighbor_count` merge per pair inside a `score_pairs` impl; route local metrics through the fused kernel or justify the slow path",
-    ),
-    (
-        "per-source-power-iteration",
-        "a fresh per-source solve (`walk_distribution`/`forward_push`/`two_pass_scores`/`bfs_distances`) inside a `score_pairs` impl; route global metrics through the batched solver engine or justify the reference path",
-    ),
-    (
-        "refit-in-score-pairs",
-        "a fresh `fit`/`prepare` factorization per `score_pairs` call refits the whole model per batch; reuse the per-snapshot cached fit (prepare_cached / SolverCache) or justify the one-shot path",
-    ),
-    (
-        "post-hoc-candidate-retain",
-        "`.retain()`/`.filter()` on a candidate-pair collection in core/metrics library code filters after enumeration; push the predicate into the walk as a PruneSpec or justify the post-hoc oracle",
-    ),
-    (
-        "unjustified-allow",
-        "a `linklens-allow(..)` without a `: justification` suffix",
-    ),
-    (
-        "unknown-rule",
-        "a `linklens-allow(..)` naming a rule the checker does not know",
-    ),
+/// One rule's full documentation: the table below is the single source of
+/// truth for rule names, the one-line contracts shown in reports, and the
+/// rationale + fix examples printed by `linklens-check --explain` — the
+/// explain output can never drift from what the checker enforces.
+#[derive(Debug)]
+pub struct RuleSpec {
+    /// The name used in diagnostics and `linklens-allow` directives.
+    pub name: &'static str,
+    /// One-line contract (report tables, SARIF short description).
+    pub contract: &'static str,
+    /// Why the rule exists, in terms of the paper's correctness argument.
+    pub rationale: &'static str,
+    /// A minimal before/after fix example.
+    pub fix: &'static str,
+}
+
+/// Rules enforced by the phase-2 workspace analysis (symbol graph +
+/// dataflow) rather than per-file token scans. `stale-allow` judgements in
+/// single-file contexts skip directives naming these, since a lone file
+/// cannot prove a workspace-level suppression unnecessary.
+pub(crate) const PHASE2_RULES: &[&str] = &[
+    "unordered-iteration-in-deterministic-path",
+    "nondeterministic-source-in-deterministic-path",
+    "unordered-float-reduction",
+    "panic-in-deterministic-path",
 ];
 
+/// Every rule the checker knows.
+pub const RULES: &[RuleSpec] = &[
+    RuleSpec {
+        name: "nan-unsafe-ordering",
+        contract: "`partial_cmp(..).unwrap()/expect()` on float keys panics (or, loosened, misorders) on NaN; use `f64::total_cmp`",
+        rationale: "Rankings drive every accuracy number in the paper; one NaN key either aborts a sweep mid-run or, if the unwrap is ever loosened to unwrap_or, silently reorders predictions.",
+        fix: "- v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n+ v.sort_by(|a, b| a.total_cmp(b));",
+    },
+    RuleSpec {
+        name: "truncating-cast",
+        contract: "`as`-cast to a narrow integer in CSR/offset code can silently truncate; use a checked conversion or justify",
+        rationale: "CSR offsets index tens of millions of edges at paper scale; a u32 truncation wraps silently and corrupts every neighborhood read after it instead of failing loudly.",
+        fix: "- let off = total as u32;\n+ let off = u32::try_from(total).expect(\"offset fits u32\");\n(or justify the bound: // linklens-allow(truncating-cast): node ids are u32 by construction)",
+    },
+    RuleSpec {
+        name: "unwrap-in-lib",
+        contract: "`unwrap()/expect()` in library code of the scoring substrate; return Result/Option or justify the invariant",
+        rationale: "A panic in graph/metrics/linalg/core kills a multi-hour sweep with no structured error; recoverable conditions must travel through Result so callers can classify them.",
+        fix: "- let first = pairs.first().unwrap();\n+ let Some(first) = pairs.first() else { return Vec::new() };",
+    },
+    RuleSpec {
+        name: "missing-forbid-unsafe",
+        contract: "every crate root must keep `#![forbid(unsafe_code)]`",
+        rationale: "The engine's bit-identity claims lean on the compiler's aliasing and initialization guarantees; one unsafe block invalidates them workspace-wide.",
+        fix: "+ #![forbid(unsafe_code)]  (first item of lib.rs / main.rs)",
+    },
+    RuleSpec {
+        name: "print-in-lib",
+        contract: "`println!`-family output in library code; diagnostics must travel through return values",
+        rationale: "Library prints interleave nondeterministically with bench/CLI output and cannot be captured by callers; structured results keep runs comparable.",
+        fix: "- eprintln!(\"skipping row {i}\");\n+ skipped.push(i);  // and return it",
+    },
+    RuleSpec {
+        name: "per-pair-intersection",
+        contract: "a fresh `common_neighbors`/`common_neighbor_count` merge per pair inside a `score_pairs` impl; route local metrics through the fused kernel or justify the slow path",
+        rationale: "One sorted-merge intersection per pair per metric is the cost the source-batched fused kernel removed (16x); reintroducing it in an engine path silently regresses the sweep.",
+        fix: "Advertise fused_kind() so the engine batches by source; reference oracles keep the slow path with a justified allow.",
+    },
+    RuleSpec {
+        name: "per-source-power-iteration",
+        contract: "a fresh per-source solve (`walk_distribution`/`forward_push`/`two_pass_scores`/`bfs_distances`) inside a `score_pairs` impl; route global metrics through the batched solver engine or justify the reference path",
+        rationale: "One full power-iteration or BFS per source per call is the cost the blocked multi-source solvers removed (6.6x); engine paths must go through osn_metrics::solver.",
+        fix: "Route through score_pairs_cached + SolverCache; per-source reference oracles keep the slow path with a justified allow.",
+    },
+    RuleSpec {
+        name: "refit-in-score-pairs",
+        contract: "a fresh `fit`/`prepare` factorization per `score_pairs` call refits the whole model per batch; reuse the per-snapshot cached fit (prepare_cached / SolverCache) or justify the one-shot path",
+        rationale: "Refitting ALS per pair batch turns one factorization per snapshot into hundreds; the SolverCache model slots exist so rescal_fits == 1 across a scoring sweep.",
+        fix: "- let model = self.fit(snap);\n+ let model = self.fitted_model(snap, cache, threads)?;  // cached per snapshot",
+    },
+    RuleSpec {
+        name: "post-hoc-candidate-retain",
+        contract: "`.retain()`/`.filter()` on a candidate-pair collection in core/metrics library code filters after enumeration; push the predicate into the walk as a PruneSpec or justify the post-hoc oracle",
+        rationale: "Every pair rejected after enumeration was still enumerated, slot-assigned, and possibly scored; the §6.2 pruning pushdown cut candidates 11.6x by filtering inside the walk.",
+        fix: "- pairs.retain(|p| filter.keeps(p));\n+ let pairs = enumerate_with(PruneSpec::from(filter));  // predicate inside the walk",
+    },
+    RuleSpec {
+        name: "unordered-iteration-in-deterministic-path",
+        contract: "iterating a `HashMap`/`HashSet` on the deterministic surface in an order that can reach scores, top-k, or serialized output; use an order-stable structure or pin the order with a sort",
+        rationale: "std HashMap/HashSet iteration order varies per process and per instance; one unordered iteration feeding a Vec, a fold, or serialized output makes every downstream accuracy number irreproducible — exactly the silent evaluation corruption 'Evaluating Link Prediction Methods' warns about. Iterations that provably cannot carry order out (.count()/.any()/.all(), collects into unordered or self-ordering containers, or a collect immediately followed by a sort of the same binding) are exempt.",
+        fix: "- let picked: Vec<_> = set.iter().copied().filter(keep).collect();\n+ let mut picked: Vec<_> = set.iter().copied().filter(keep).collect();\n+ picked.sort_unstable();  // order pinned before anything downstream sees it\n(or switch the container to BTreeMap/BTreeSet)",
+    },
+    RuleSpec {
+        name: "nondeterministic-source-in-deterministic-path",
+        contract: "a nondeterministic source (`Instant::now`, `SystemTime`, `thread_rng`/`from_entropy`, `thread::current`, pointer-to-usize) on the deterministic surface; inject seeds/clocks from the caller",
+        rationale: "The engine's contract is bit-identical output across thread counts and reruns; a wall-clock read, OS-entropy RNG, thread id, or address-based value inside scoring breaks it invisibly until a property test happens to catch it.",
+        fix: "- let mut rng = rand::rngs::StdRng::from_entropy();\n+ let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);",
+    },
+    RuleSpec {
+        name: "unordered-float-reduction",
+        contract: "an `f64` reduction (`sum`/`product`/`fold`/`reduce`) folded over a `HashMap`/`HashSet` iteration on the deterministic surface; float addition is not associative, so the fold order must be pinned",
+        rationale: "(a + b) + c != a + (b + c) in f64; a reduction over unordered iteration produces run-dependent low bits that break the bit-identity property tests and can flip top-k ties.",
+        fix: "- let total: f64 = weights.values().sum();\n+ let mut ws: Vec<f64> = weights.values().copied().collect();\n+ ws.sort_by(|a, b| a.total_cmp(b));\n+ let total: f64 = ws.iter().sum();  // or keep a BTreeMap keyed by node id",
+    },
+    RuleSpec {
+        name: "panic-in-deterministic-path",
+        contract: "a `panic!`/`unreachable!`/`todo!`/`unimplemented!` on the deterministic surface that is not audit-gated and not re-raising a structured error; make the state unrepresentable or return a structured error",
+        rationale: "Sanctioned panics are the audit layer (gated on audit_enabled) and `Err(e) => panic!` re-raises of the structured InvariantViolation/SolverError/FactorError classes; any other panic is an unclassified crash in a path that claims total determinism.",
+        fix: "- Node::Split { .. } => unreachable!(\"walker returns leaves\"),\n+ // restructure the helper to return the leaf payload so the split arm cannot exist",
+    },
+    RuleSpec {
+        name: "stale-allow",
+        contract: "a `linklens-allow(..)` directive that no longer suppresses any finding; delete it",
+        rationale: "Suppressions are debt: once the code they excused is gone, a lingering allow masks the next real violation introduced on that line.",
+        fix: "Delete the directive (re-run linklens-check to confirm nothing resurfaces).",
+    },
+    RuleSpec {
+        name: "unjustified-allow",
+        contract: "a `linklens-allow(..)` without a `: justification` suffix",
+        rationale: "An allow without a recorded reason cannot be audited; the next reader cannot tell a proven invariant from a silenced bug.",
+        fix: "- // linklens-allow(unwrap-in-lib)\n+ // linklens-allow(unwrap-in-lib): slice non-empty, checked by caller assert",
+    },
+    RuleSpec {
+        name: "unknown-rule",
+        contract: "a `linklens-allow(..)` naming a rule the checker does not know",
+        rationale: "A typoed rule name suppresses nothing while looking like it does; the directive must name a real rule to be auditable.",
+        fix: "Check the rule list in `linklens-check --explain` and fix the name.",
+    },
+];
+
+/// The spec for `name`, if the checker knows that rule.
+pub fn spec(name: &str) -> Option<&'static RuleSpec> {
+    RULES.iter().find(|r| r.name == name)
+}
+
 fn rule_exists(name: &str) -> bool {
-    RULES.iter().any(|(r, _)| *r == name)
+    spec(name).is_some()
 }
 
 /// One `file:line` finding.
@@ -90,18 +180,41 @@ pub struct Diagnostic {
     /// checker reports suppressed findings in `--fix-report` but they do
     /// not fail the run.
     pub suppressed: bool,
+    /// True when the committed baseline ratchet absorbs this finding: it
+    /// is enumerated (text, JSON, SARIF `note`) but does not fail the run.
+    /// Only the engine's baseline pass ever sets this.
+    pub baselined: bool,
+}
+
+impl Diagnostic {
+    pub fn new(rule: &'static str, path: &str, line: u32, message: String) -> Self {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            message,
+            suppressed: false,
+            baselined: false,
+        }
+    }
 }
 
 /// A parsed `linklens-allow(rule, …): justification` directive.
 #[derive(Debug)]
-struct Allow {
-    line: u32,
-    end_line: u32,
-    rules: Vec<String>,
-    justified: bool,
+pub(crate) struct Allow {
+    pub(crate) line: u32,
+    pub(crate) end_line: u32,
+    pub(crate) rules: Vec<String>,
+    pub(crate) justified: bool,
 }
 
-fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
+/// Whether directive `a` covers a finding of `rule` at `line`: same line
+/// as the directive, or the line directly below it.
+pub(crate) fn covers(a: &Allow, rule: &str, line: u32) -> bool {
+    a.rules.iter().any(|r| r == rule) && (a.line == line || a.end_line + 1 == line)
+}
+
+pub(crate) fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
     const NEEDLE: &str = "linklens-allow(";
     comments
         .iter()
@@ -127,91 +240,154 @@ fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
         .collect()
 }
 
-/// Checks one file, returning every diagnostic (suppressed ones flagged).
+/// Checks one file with the phase-1 rules only, returning every diagnostic
+/// (suppressed ones flagged). The workspace engine instead runs
+/// [`phase1`] + the phase-2 dataflow pass and then [`finish_file`], so
+/// suppression and directive auditing see both phases; this single-file
+/// entry point exists for targeted use and passes `full = false` so
+/// directives naming phase-2 rules are never misjudged stale.
 pub fn check_file(info: &FileInfo, src: &str) -> Vec<Diagnostic> {
     let lexed = lexer::lex(src);
     let mask = lexer::test_mask(&lexed.tokens);
     let allows = parse_allows(&lexed.comments);
-    let mut diags = Vec::new();
+    let mut diags = phase1(info, &lexed.tokens, &mask);
+    finish_file(info, &lexed.tokens, &mask, &allows, &mut diags, false);
+    diags
+}
 
+/// Runs every single-file (phase-1) rule over one lexed file. No
+/// suppression is applied here — the caller finishes with [`finish_file`]
+/// once all rule passes (including phase 2, if any) have contributed.
+pub(crate) fn phase1(info: &FileInfo, tokens: &[Token], mask: &[bool]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
     let test_code = matches!(info.kind, FileKind::Test | FileKind::Bench);
 
     if !test_code {
-        nan_unsafe_ordering(info, &lexed.tokens, &mask, &mut diags);
+        nan_unsafe_ordering(info, tokens, mask, &mut diags);
         if !info.is_shim
             && GATED_CRATES.contains(&info.krate.as_str())
             && info.kind == FileKind::Lib
         {
-            truncating_cast(info, &lexed.tokens, &mask, &mut diags);
-            unwrap_in_lib(info, &lexed.tokens, &mask, &mut diags);
+            truncating_cast(info, tokens, mask, &mut diags);
+            unwrap_in_lib(info, tokens, mask, &mut diags);
         }
         if !info.is_shim && info.kind == FileKind::Lib {
-            print_in_lib(info, &lexed.tokens, &mask, &mut diags);
-            per_pair_intersection(info, &lexed.tokens, &mask, &mut diags);
-            per_source_power_iteration(info, &lexed.tokens, &mask, &mut diags);
-            refit_in_score_pairs(info, &lexed.tokens, &mask, &mut diags);
+            print_in_lib(info, tokens, mask, &mut diags);
+            per_pair_intersection(info, tokens, mask, &mut diags);
+            per_source_power_iteration(info, tokens, mask, &mut diags);
+            refit_in_score_pairs(info, tokens, mask, &mut diags);
         }
         if !info.is_shim
             && matches!(info.krate.as_str(), "core" | "metrics")
             && info.kind == FileKind::Lib
         {
-            post_hoc_candidate_retain(info, &lexed.tokens, &mask, &mut diags);
+            post_hoc_candidate_retain(info, tokens, mask, &mut diags);
         }
     }
     if info.is_crate_root {
-        missing_forbid_unsafe(info, &lexed.tokens, &mut diags);
+        missing_forbid_unsafe(info, tokens, &mut diags);
     }
-
-    // Apply suppressions: an allow on the violation's line or the line
-    // directly above it covers the violation.
-    for d in &mut diags {
-        d.suppressed = allows.iter().any(|a| {
-            a.rules.iter().any(|r| r == d.rule) && (a.line == d.line || a.end_line + 1 == d.line)
-        });
-    }
-
-    // Audit the directives themselves.
-    for a in &allows {
-        if !a.justified {
-            diags.push(Diagnostic {
-                rule: "unjustified-allow",
-                path: info.path.clone(),
-                line: a.line,
-                message: "linklens-allow without a `: justification`; say why the rule is safe to waive here"
-                    .to_string(),
-                suppressed: false,
-            });
-        }
-        for r in &a.rules {
-            if !rule_exists(r) {
-                diags.push(Diagnostic {
-                    rule: "unknown-rule",
-                    path: info.path.clone(),
-                    line: a.line,
-                    message: format!("linklens-allow names unknown rule `{r}`"),
-                    suppressed: false,
-                });
-            }
-        }
-    }
-
-    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     diags
 }
 
-fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+/// True when any token on a line in `lo..=hi` sits inside a
+/// `#[test]` / `#[cfg(test)]` item.
+fn lines_masked(tokens: &[Token], mask: &[bool], lo: u32, hi: u32) -> bool {
+    tokens.iter().zip(mask).any(|(t, &m)| m && t.line >= lo && t.line <= hi)
+}
+
+/// Applies suppressions to `diags`, audits the directives themselves
+/// (`unjustified-allow`, `unknown-rule`, `stale-allow`), and sorts the
+/// result. `full = true` means the phase-2 dataflow rules also ran over
+/// this file, so a directive naming one of them can be judged stale; the
+/// single-file compat path passes `false` and skips that judgement.
+pub(crate) fn finish_file(
+    info: &FileInfo,
+    tokens: &[Token],
+    mask: &[bool],
+    allows: &[Allow],
+    diags: &mut Vec<Diagnostic>,
+    full: bool,
+) {
+    // Apply suppressions: an allow on the violation's line or the line
+    // directly above it covers the violation.
+    for d in diags.iter_mut() {
+        d.suppressed = allows.iter().any(|a| covers(a, d.rule, d.line));
+    }
+
+    // Audit the directives themselves. The audit findings are appended
+    // after the suppression pass on purpose: a directive cannot excuse
+    // its own defects.
+    let mut audit = Vec::new();
+    let test_file = matches!(info.kind, FileKind::Test | FileKind::Bench);
+    for a in allows {
+        if !a.justified {
+            audit.push(Diagnostic::new(
+                "unjustified-allow",
+                &info.path,
+                a.line,
+                "linklens-allow without a `: justification`; say why the rule is safe to waive here"
+                    .to_string(),
+            ));
+        }
+        let mut any_unknown = false;
+        for r in &a.rules {
+            if !rule_exists(r) {
+                any_unknown = true;
+                audit.push(Diagnostic::new(
+                    "unknown-rule",
+                    &info.path,
+                    a.line,
+                    format!("linklens-allow names unknown rule `{r}`"),
+                ));
+            }
+        }
+        // Stale-allow: a well-formed directive that suppressed nothing.
+        // Malformed directives are already flagged above; directives in
+        // test code are outside every rule's scope, so "suppressed
+        // nothing" proves nothing there. Without the phase-2 pass (`full
+        // = false`), directives naming a phase-2 rule are skipped too —
+        // a lone file cannot prove a workspace-level suppression unused.
+        if !a.justified || any_unknown {
+            continue;
+        }
+        if test_file || lines_masked(tokens, mask, a.line, a.end_line + 1) {
+            continue;
+        }
+        if !full && a.rules.iter().any(|r| PHASE2_RULES.contains(&r.as_str())) {
+            continue;
+        }
+        let used = diags.iter().any(|d| d.suppressed && covers(a, d.rule, d.line));
+        if !used {
+            audit.push(Diagnostic::new(
+                "stale-allow",
+                &info.path,
+                a.line,
+                format!(
+                    "linklens-allow({}) no longer suppresses any finding; delete it",
+                    a.rules.join(", ")
+                ),
+            ));
+        }
+    }
+    diags.extend(audit);
+
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+}
+
+pub(crate) fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
     match tokens.get(i).map(|t| &t.tok) {
         Some(Tok::Ident(s)) => Some(s.as_str()),
         _ => None,
     }
 }
 
-fn punct_at(tokens: &[Token], i: usize, p: char) -> bool {
+pub(crate) fn punct_at(tokens: &[Token], i: usize, p: char) -> bool {
     matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(q)) if *q == p)
 }
 
 /// Index just past the `)` matching the `(` at `open`, or `tokens.len()`.
-fn past_matching_paren(tokens: &[Token], open: usize) -> usize {
+pub(crate) fn past_matching_paren(tokens: &[Token], open: usize) -> usize {
     let mut depth = 0i32;
     let mut j = open;
     while j < tokens.len() {
@@ -231,7 +407,7 @@ fn past_matching_paren(tokens: &[Token], open: usize) -> usize {
 }
 
 /// Index just past the `}` matching the `{` at `open`, or `tokens.len()`.
-fn past_matching_brace(tokens: &[Token], open: usize) -> usize {
+pub(crate) fn past_matching_brace(tokens: &[Token], open: usize) -> usize {
     let mut depth = 0i32;
     let mut j = open;
     while j < tokens.len() {
@@ -306,7 +482,7 @@ fn per_pair_intersection(
                          advertise a fused_kind so the engine batches by source, or justify the slow path \
                          with linklens-allow"
                     ),
-                    suppressed: false,
+                    suppressed: false, baselined: false,
                 });
             }
         }
@@ -374,7 +550,7 @@ fn per_source_power_iteration(
                          route the metric through the batched solver engine, or justify the reference \
                          path with linklens-allow"
                     ),
-                    suppressed: false,
+                    suppressed: false, baselined: false,
                 });
             }
         }
@@ -441,6 +617,7 @@ fn refit_in_score_pairs(
                          justify the one-shot path with linklens-allow"
                     ),
                     suppressed: false,
+                    baselined: false,
                 });
             }
         }
@@ -480,7 +657,7 @@ fn post_hoc_candidate_retain(
                      predicate into the walk as a PruneSpec, or justify the post-hoc oracle with \
                      linklens-allow"
                 ),
-                suppressed: false,
+                suppressed: false, baselined: false,
             });
         }
     }
@@ -540,7 +717,7 @@ fn nan_unsafe_ordering(
                 message: "partial_cmp + unwrap/expect panics on NaN keys (and misorders if the expect is ever \
                           loosened); sort with f64::total_cmp instead"
                     .to_string(),
-                suppressed: false,
+                suppressed: false, baselined: false,
             });
         }
     }
@@ -562,7 +739,7 @@ fn truncating_cast(info: &FileInfo, tokens: &[Token], mask: &[bool], out: &mut V
                         "`as {ty}` silently truncates out-of-range values; use a checked conversion or \
                          justify the bound with linklens-allow"
                     ),
-                    suppressed: false,
+                    suppressed: false, baselined: false,
                 });
             }
         }
@@ -586,7 +763,7 @@ fn unwrap_in_lib(info: &FileInfo, tokens: &[Token], mask: &[bool], out: &mut Vec
                      with linklens-allow",
                     info.krate
                 ),
-                suppressed: false,
+                suppressed: false, baselined: false,
             });
         }
     }
@@ -615,6 +792,7 @@ fn print_in_lib(info: &FileInfo, tokens: &[Token], mask: &[bool], out: &mut Vec<
                     info.krate
                 ),
                 suppressed: false,
+                baselined: false,
             });
         }
     }
@@ -639,6 +817,7 @@ fn missing_forbid_unsafe(info: &FileInfo, tokens: &[Token], out: &mut Vec<Diagno
             line: 1,
             message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
             suppressed: false,
+            baselined: false,
         });
     }
 }

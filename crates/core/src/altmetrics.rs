@@ -88,6 +88,7 @@ impl MissingLinkEval {
     /// hidden edges plus all unconnected 2-hop pairs of the observed graph
     /// (so the metric must *find* the hidden edges among realistic
     /// distractors).
+    // linklens-deterministic: hidden-edge choice and candidate order feed scoring and top-k
     pub fn run(&self, metric: &dyn Metric, snap: &Snapshot) -> MissingLinkOutcome {
         assert!(self.hide_fraction > 0.0 && self.hide_fraction < 1.0);
         let edges: Vec<(NodeId, NodeId)> = snap.edges().collect();
@@ -104,8 +105,14 @@ impl MissingLinkEval {
             z ^= z >> 31;
             order.swap(i, (z % (i as u64 + 1)) as usize);
         }
-        let hidden: std::collections::HashSet<(NodeId, NodeId)> =
+        // The hidden edges are kept as the shuffle-ordered Vec (the set is
+        // only for membership tests): extending the candidate list from a
+        // HashSet would inject per-process iteration order ahead of the
+        // sort below.
+        let hidden_edges: Vec<(NodeId, NodeId)> =
             order[..hide_count].iter().map(|&i| edges[i]).collect();
+        let hidden: std::collections::HashSet<(NodeId, NodeId)> =
+            hidden_edges.iter().copied().collect();
 
         // Rebuild the observed graph (edge times don't matter here: use a
         // static graph over the same node universe).
@@ -125,7 +132,7 @@ impl MissingLinkEval {
 
         // Candidates: hidden edges + 2-hop distractors of the observed graph.
         let mut candidates = osn_graph::traversal::two_hop_pairs(&observed);
-        candidates.extend(hidden.iter().copied());
+        candidates.extend(hidden_edges.iter().copied());
         candidates.sort_unstable();
         candidates.dedup();
 
@@ -205,10 +212,14 @@ mod tests {
     #[test]
     fn missing_link_is_deterministic() {
         let s = cliquey();
-        let eval = MissingLinkEval { hide_fraction: 0.2, seed: 9 };
-        let a = eval.run(&CommonNeighbors, &s);
-        let b = eval.run(&CommonNeighbors, &s);
+        // Fresh eval instances, identical config: the entire outcome must
+        // match, pinning the hidden-edge choice and candidate order (not
+        // just the headline count).
+        let a = MissingLinkEval { hide_fraction: 0.2, seed: 9 }.run(&CommonNeighbors, &s);
+        let b = MissingLinkEval { hide_fraction: 0.2, seed: 9 }.run(&CommonNeighbors, &s);
+        assert_eq!(a.hidden, b.hidden);
         assert_eq!(a.recovered, b.recovered);
+        assert_eq!(a.recovery_rate, b.recovery_rate);
     }
 
     #[test]

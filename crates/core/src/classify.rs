@@ -257,6 +257,7 @@ impl<'a> ClassificationPipeline<'a> {
 
     /// Runs a *metric* on exactly the same sampled universe (Fig. 11's
     /// metric points), averaged over the same snowball seeds.
+    // linklens-deterministic: shares the seed/candidate universe with classifier evaluation
     pub fn evaluate_metric_on_sample(
         &self,
         metric: &dyn Metric,
@@ -365,6 +366,7 @@ impl<'a> ClassificationPipeline<'a> {
         (pairs, exact_universe)
     }
 
+    // linklens-deterministic: seed sampling and training-pair assembly feed classifier training order
     fn prepare_seeds(
         &self,
         t: usize,
@@ -397,11 +399,16 @@ impl<'a> ClassificationPipeline<'a> {
                 let test_set: HashSet<NodeId> = test_members.iter().copied().collect();
 
                 // --- training pairs ---
-                let positives: Vec<(NodeId, NodeId)> = train_truth
+                // train_truth is a HashSet: its iteration order varies per
+                // process, and the positives' order reaches the classifier
+                // through pos_features. Sorting pins the training order so
+                // reruns are bit-identical.
+                let mut positives: Vec<(NodeId, NodeId)> = train_truth
                     .iter()
                     .copied()
                     .filter(|&(u, v)| train_set.contains(&u) && train_set.contains(&v))
                     .collect();
+                positives.sort_unstable();
                 let pool_size = ((positives.len() as f64 * theta_max).round() as usize).max(1);
                 let negatives = draw_negative_pairs(
                     &train_snap,
@@ -648,6 +655,30 @@ mod tests {
         let out = pipe.evaluate_metric_on_sample(&CommonNeighbors, 2, None);
         assert_eq!(out.metric, "CN");
         assert!(out.accuracy_ratio > 0.0);
+    }
+
+    #[test]
+    fn evaluation_is_run_stable() {
+        // Two fresh pipelines over the same trace must produce bit-equal
+        // outcomes: pins the sorted training-pair order in prepare_seeds
+        // (the positives come out of a HashSet and are explicitly sorted
+        // before they reach the classifier).
+        let trace = closure_trace();
+        let seq = SnapshotSequence::by_edge_delta(&trace, 30);
+        let cfg = ClassificationConfig { n_seeds: 2, ..Default::default() };
+        let a = ClassificationPipeline::new(&seq, cfg.clone())
+            .with_metrics(cheap_metrics())
+            .evaluate(ClassifierKind::Svm, 5.0, 2, None);
+        let b = ClassificationPipeline::new(&seq, cfg).with_metrics(cheap_metrics()).evaluate(
+            ClassifierKind::Svm,
+            5.0,
+            2,
+            None,
+        );
+        assert_eq!(a.mean_k, b.mean_k);
+        assert_eq!(a.mean_accuracy_ratio, b.mean_accuracy_ratio);
+        assert_eq!(a.mean_absolute_accuracy, b.mean_absolute_accuracy);
+        assert_eq!(a.svm_coefficients, b.svm_coefficients);
     }
 
     #[test]

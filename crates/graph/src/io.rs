@@ -148,6 +148,7 @@ pub fn read_trace<R: Read>(reader: R) -> Result<TemporalGraph, TraceIoError> {
 /// Blank and whitespace-only lines are skipped, CRLF endings are
 /// tolerated, and trailing extra columns (weights, flags) are ignored —
 /// public edge lists are messy.
+// linklens-deterministic: the label→id relabeling decides every node id downstream
 pub fn read_edge_list<R: Read>(reader: R) -> Result<TemporalGraph, TraceIoError> {
     let r = BufReader::new(reader);
     let mut raw: Vec<(u64, u64, Timestamp)> = Vec::new();
@@ -172,8 +173,12 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<TemporalGraph, TraceIoError>
     }
     raw.sort_by_key(|&(_, _, t)| t);
     // Dense relabeling by first appearance (which, post-sort, is also
-    // arrival order — satisfying the TemporalGraph invariant).
-    let mut ids: std::collections::HashMap<u64, NodeId> = std::collections::HashMap::new();
+    // arrival order — satisfying the TemporalGraph invariant). The map is
+    // only ever *looked up*, never iterated, but it is a BTreeMap anyway:
+    // node ids assigned here flow into every downstream artifact, and an
+    // ordered structure makes it impossible for a future refactor that
+    // iterates it to introduce per-process order.
+    let mut ids: std::collections::BTreeMap<u64, NodeId> = std::collections::BTreeMap::new();
     let mut arrivals: Vec<Timestamp> = Vec::new();
     let mut edges: Vec<(NodeId, NodeId, Timestamp)> = Vec::with_capacity(raw.len());
     for (u, v, t) in raw {
@@ -394,6 +399,32 @@ mod tests {
         assert_eq!(g.edges()[0].t, 10);
         assert_eq!(g.arrivals()[0], 10);
         assert_eq!(g.arrivals()[2], 30, "label 900 first appears at t=30");
+    }
+
+    #[test]
+    fn edge_list_relabeling_is_order_pinned() {
+        // Many distinct labels, shuffled timestamps: the dense ids must be
+        // exactly first-appearance order (post time-sort), independent of
+        // any map internals. Pins the full relabeled edge sequence.
+        let mut text = String::new();
+        for i in 0..40u64 {
+            // labels descend (999, 974, …) while times ascend after sort
+            let label_a = 999 - i * 25;
+            let label_b = 5000 + (i * 7919) % 97;
+            text.push_str(&format!("{} {} {}\n", label_a, label_b, 1000 - i));
+        }
+        let a = read_edge_list(text.as_bytes()).unwrap();
+        let b = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(a.edges(), b.edges(), "relabeling must be run-stable");
+        assert_eq!(a.arrivals(), b.arrivals());
+        // Earliest event is the last line (t=961): its endpoints get ids 0/1.
+        assert_eq!(a.edges()[0].t, 961);
+        assert_eq!((a.edges()[0].u, a.edges()[0].v), (0, 1));
+        // Every edge introduces two fresh labels, so ids appear densely in
+        // event order: edge k connects nodes 2k and 2k+1.
+        for (k, e) in a.edges().iter().enumerate() {
+            assert_eq!((e.u, e.v), (2 * k as NodeId, 2 * k as NodeId + 1));
+        }
     }
 
     #[test]

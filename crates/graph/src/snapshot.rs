@@ -560,7 +560,6 @@ impl Snapshot {
             let (nbrs, times) = (&self.neighbors[span.clone()], &self.edge_times[span]);
             for (&v, &t) in nbrs.iter().zip(times) {
                 let back = self.offsets[v as usize]..self.offsets[v as usize + 1];
-                // linklens-allow(truncating-cast): u < n and node ids are u32
                 let u_id = u as NodeId;
                 match self.neighbors[back.clone()].binary_search(&u_id) {
                     Err(_) => return Err(AsymmetricEdge { u, v }),

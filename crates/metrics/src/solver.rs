@@ -56,7 +56,7 @@
 //! iteration, instead of silently propagating NaN into scores (where the
 //! `score_contract()` audit would only catch it after a full scoring pass).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Range;
 use std::sync::Arc;
@@ -152,7 +152,6 @@ impl TransitionView {
         let mut col_idx: Vec<u32> = Vec::with_capacity(2 * snap.edge_count());
         let mut degree = Vec::with_capacity(n);
         for u in 0..n {
-            // linklens-allow(truncating-cast): u < node_count and NodeId is u32, so the cast is lossless
             let nb = snap.neighbors(u as NodeId);
             col_idx.extend_from_slice(nb);
             row_ptr.push(col_idx.len());
@@ -238,8 +237,11 @@ pub struct SolverCache {
     persistent: bool,
     key: Option<(usize, usize)>,
     transition: Option<Arc<TransitionView>>,
-    ppr_prev: HashMap<NodeId, Vec<f64>>,
-    ppr_curr: HashMap<NodeId, Vec<f64>>,
+    // Ordered maps: warm-start caches are lookup-only today, but a
+    // BTreeMap guarantees any future iteration (eviction, diagnostics)
+    // is deterministic.
+    ppr_prev: BTreeMap<NodeId, Vec<f64>>,
+    ppr_curr: BTreeMap<NodeId, Vec<f64>>,
     rescal_prev: Option<(u64, Arc<crate::rescal::RescalModel>)>,
     rescal_curr: Option<(u64, Arc<crate::rescal::RescalModel>)>,
     /// Iteration counters accumulated by the solvers.
@@ -255,8 +257,8 @@ impl SolverCache {
             persistent: false,
             key: None,
             transition: None,
-            ppr_prev: HashMap::new(),
-            ppr_curr: HashMap::new(),
+            ppr_prev: BTreeMap::new(),
+            ppr_curr: BTreeMap::new(),
             rescal_prev: None,
             rescal_curr: None,
             stats: SolverStats::default(),
@@ -507,7 +509,6 @@ fn lrw_block(
         // Phase B: gather shares along in-edges, ascending neighbor order.
         for v in 0..n {
             let row = v * w;
-            // linklens-allow(truncating-cast): v < node_count ≤ u32::MAX
             for &u in tv.neighbors(v as NodeId) {
                 let src_row = u as usize * w;
                 for j in 0..w {
@@ -688,7 +689,6 @@ fn ppr_block(
         g.fill(0.0);
         for v in 0..n {
             let row = v * w;
-            // linklens-allow(truncating-cast): v < node_count ≤ u32::MAX
             for &u in tv.neighbors(v as NodeId) {
                 let src_row = u as usize * w;
                 for j in 0..w {

@@ -202,11 +202,14 @@ impl DecisionTree {
         best.map(|(_, f, t)| (f, t))
     }
 
-    fn leaf_for(&self, row: &[f64]) -> &Node {
+    /// Class counts of the leaf a row descends to. Returning the counts
+    /// slice directly (rather than the node) keeps the callers total:
+    /// the descent loop itself proves the result is a leaf.
+    fn leaf_counts(&self, row: &[f64]) -> &[usize] {
         let mut id = 0usize;
         loop {
             match &self.nodes[id] {
-                Node::Leaf { .. } => return &self.nodes[id],
+                Node::Leaf { counts } => return counts,
                 Node::Split { feature, threshold, left, right } => {
                     id = if row[*feature] <= *threshold { *left } else { *right };
                 }
@@ -217,29 +220,22 @@ impl DecisionTree {
     /// Predicted class for a row (majority class of the reached leaf).
     pub fn predict_class(&self, row: &[f64]) -> u32 {
         assert!(!self.nodes.is_empty(), "predict before fit");
-        match self.leaf_for(row) {
-            Node::Leaf { counts } => counts
-                .iter()
-                .enumerate()
-                .max_by_key(|&(_, &c)| c)
-                .map(|(c, _)| c as u32)
-                .unwrap_or(0),
-            Node::Split { .. } => unreachable!("leaf_for returns leaves"),
-        }
+        self.leaf_counts(row)
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(c, _)| c as u32)
+            .unwrap_or(0)
     }
 
     /// `P(class | x)` estimated from leaf class frequencies.
     pub fn class_probability(&self, row: &[f64], class: u32) -> f64 {
-        match self.leaf_for(row) {
-            Node::Leaf { counts } => {
-                let total: usize = counts.iter().sum();
-                if total == 0 {
-                    0.0
-                } else {
-                    counts.get(class as usize).copied().unwrap_or(0) as f64 / total as f64
-                }
-            }
-            Node::Split { .. } => unreachable!("leaf_for returns leaves"),
+        let counts = self.leaf_counts(row);
+        let total: usize = counts.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            counts.get(class as usize).copied().unwrap_or(0) as f64 / total as f64
         }
     }
 
