@@ -117,6 +117,12 @@ pub const RULES: &[RuleSpec] = &[
         fix: "- pairs.retain(|p| filter.keeps(p));\n+ let pairs = enumerate_with(PruneSpec::from(filter));  // predicate inside the walk",
     },
     RuleSpec {
+        name: "full-trace-materialization",
+        contract: "a full edge-list materialization (`load_full` / `read_cache` / `read_cache_file`) in library code; large traces must flow through the windowed streaming reader, or justify the small-trace in-core path",
+        rationale: "The sectioned cache and windowed reader exist so 10^6-10^7-node traces never hold the full edge list in RAM; one load_full on a sweep path silently reintroduces the O(edges) working set the streaming layer removed.",
+        fix: "- let g = reader.load_full()?;\n+ let mut seq = StreamingSequence::with_count(reader, snapshots);  // windowed delta reads\n(or justify: // linklens-allow(full-trace-materialization): sanctioned small-trace in-core entry point)",
+    },
+    RuleSpec {
         name: "unordered-iteration-in-deterministic-path",
         contract: "iterating a `HashMap`/`HashSet` on the deterministic surface in an order that can reach scores, top-k, or serialized output; use an order-stable structure or pin the order with a sort",
         rationale: "std HashMap/HashSet iteration order varies per process and per instance; one unordered iteration feeding a Vec, a fold, or serialized output makes every downstream accuracy number irreproducible — exactly the silent evaluation corruption 'Evaluating Link Prediction Methods' warns about. Iterations that provably cannot carry order out (.count()/.any()/.all(), collects into unordered or self-ordering containers, or a collect immediately followed by a sort of the same binding) are exempt.",
@@ -276,6 +282,7 @@ pub(crate) fn phase1(info: &FileInfo, tokens: &[Token], mask: &[bool]) -> Vec<Di
             per_pair_intersection(info, tokens, mask, &mut diags);
             per_source_power_iteration(info, tokens, mask, &mut diags);
             refit_in_score_pairs(info, tokens, mask, &mut diags);
+            full_trace_materialization(info, tokens, mask, &mut diags);
         }
         if !info.is_shim
             && matches!(info.krate.as_str(), "core" | "metrics")
@@ -660,6 +667,46 @@ fn post_hoc_candidate_retain(
                 suppressed: false, baselined: false,
             });
         }
+    }
+}
+
+/// A full edge-list materialization call (`load_full`, `read_cache`,
+/// `read_cache_file`) in library code: the sectioned cache and the
+/// windowed streaming reader (DESIGN.md §16) exist so large traces never
+/// hold every edge in RAM at once. The sanctioned small-trace in-core
+/// entry points keep the path with a justified allow; definitions
+/// (`fn read_cache`) do not self-flag.
+fn full_trace_materialization(
+    info: &FileInfo,
+    tokens: &[Token],
+    mask: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    const MATERIALIZERS: &[&str] = &["load_full", "read_cache", "read_cache_file"];
+    for i in 0..tokens.len() {
+        if mask[i] {
+            continue;
+        }
+        let Some(name) = ident_at(tokens, i) else { continue };
+        if !MATERIALIZERS.contains(&name) || !punct_at(tokens, i + 1, '(') {
+            continue;
+        }
+        // `fn read_cache(..)` is the definition, not a call.
+        if i >= 1 && ident_at(tokens, i - 1) == Some("fn") {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "full-trace-materialization",
+            path: info.path.clone(),
+            line: tokens[i].line,
+            message: format!(
+                "`{name}()` materializes the full edge list in RAM; stream the trace through the \
+                 windowed reader (StreamingSequence / StreamingSnapshotBuilder), or justify the \
+                 small-trace in-core path with linklens-allow"
+            ),
+            suppressed: false,
+            baselined: false,
+        });
     }
 }
 
@@ -1131,6 +1178,46 @@ mod tests {
             d.iter().filter(|x| x.rule == "post-hoc-candidate-retain" && x.suppressed).count(),
             1
         );
+    }
+
+    // --- full-trace-materialization ------------------------------------
+
+    #[test]
+    fn materialization_rule_fires_on_load_full_and_read_cache_file() {
+        let src = "fn sweep(reader: SectionedCacheReader) -> Score {\n  let g = reader.load_full()?;\n  let h = read_cache_file(&path)?;\n  score(&g, &h)\n}";
+        let d = check_file(&lib_info("graph"), src);
+        assert_eq!(active(&d, "full-trace-materialization"), 2);
+        assert_eq!(
+            d.iter().find(|x| x.rule == "full-trace-materialization").map(|x| x.line),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn materialization_rule_skips_definitions_and_streaming_reads() {
+        let src = "pub fn read_cache(r: R) -> T { parse(r) }\nfn sweep(mut seq: StreamingSequence<R>) { seq.new_edges(0); }";
+        assert_eq!(active(&check_file(&lib_info("graph"), src), "full-trace-materialization"), 0);
+    }
+
+    #[test]
+    fn materialization_rule_suppressed_by_justified_allow() {
+        let src = "fn open_small(p: &Path) -> Result<T, E> {\n  // linklens-allow(full-trace-materialization): sanctioned small-trace in-core entry point\n  read_cache(File::open(p)?)\n}";
+        let d = check_file(&lib_info("graph"), src);
+        assert_eq!(active(&d, "full-trace-materialization"), 0);
+        assert_eq!(
+            d.iter().filter(|x| x.rule == "full-trace-materialization" && x.suppressed).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn materialization_rule_exempt_in_tests_and_non_lib_kinds() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { let g = read_cache(&bytes[..]).unwrap(); } }";
+        assert_eq!(active(&check_file(&lib_info("graph"), src), "full-trace-materialization"), 0);
+        let mut bench = lib_info("bench");
+        bench.kind = FileKind::Bench;
+        let src_bin = "fn main() { let g = read_cache_file(&path).unwrap(); }";
+        assert_eq!(active(&check_file(&bench, src_bin), "full-trace-materialization"), 0);
     }
 
     // --- missing-forbid-unsafe -----------------------------------------

@@ -32,7 +32,7 @@ use osn_graph::builder::SnapshotBuilder;
 use osn_graph::sample;
 use osn_graph::sequence::SnapshotSequence;
 use osn_graph::snapshot::Snapshot;
-use osn_graph::{traversal, NodeId};
+use osn_graph::NodeId;
 use osn_metrics::exec;
 use osn_metrics::topk;
 use osn_metrics::traits::Metric;
@@ -332,38 +332,11 @@ impl<'a> ClassificationPipeline<'a> {
     }
 
     /// The sampled test universe on `snap` for sorted `members`:
-    /// exhaustive when small enough, candidate-restricted otherwise.
+    /// exhaustive when small enough, candidate-restricted otherwise. Thin
+    /// wrapper over the construction shared with the sampled metric
+    /// evaluation ([`crate::sampling::sampled_universe`]).
     fn test_universe(&self, snap: &Snapshot, members: &[NodeId]) -> (Vec<(NodeId, NodeId)>, f64) {
-        let s = members.len() as f64;
-        let member_set: HashSet<NodeId> = members.iter().copied().collect();
-        let mut edges_inside = 0usize;
-        for &u in members {
-            for &v in snap.neighbors(u) {
-                if v > u && member_set.contains(&v) {
-                    edges_inside += 1;
-                }
-            }
-        }
-        let exact_universe = s * (s - 1.0) / 2.0 - edges_inside as f64;
-        let exhaustive_count = (s * (s - 1.0) / 2.0) as usize;
-        let pairs = if exhaustive_count <= self.config.max_universe_pairs {
-            traversal::all_pairs_among(snap, members)
-        } else {
-            let mut pairs = traversal::two_hop_pairs_among(snap, members);
-            let mut by_degree = members.to_vec();
-            by_degree.sort_unstable_by_key(|&u| std::cmp::Reverse(snap.degree(u)));
-            for &h in by_degree.iter().take(20) {
-                for &v in members {
-                    if v != h && !snap.has_edge(h, v) {
-                        pairs.push(osn_graph::canonical(h, v));
-                    }
-                }
-            }
-            pairs.sort_unstable();
-            pairs.dedup();
-            pairs
-        };
-        (pairs, exact_universe)
+        crate::sampling::sampled_universe(snap, members, self.config.max_universe_pairs)
     }
 
     // linklens-deterministic: seed sampling and training-pair assembly feed classifier training order

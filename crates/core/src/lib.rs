@@ -24,6 +24,10 @@
 //! * [`selection`] — the §4.3 decision-tree analysis: which metric wins on
 //!   which network, as a multi-class tree over network properties plus
 //!   per-algorithm binary rules.
+//! * [`sampling`] — sampled metric evaluation for graphs too large to
+//!   score exhaustively: snowball or uniform node draws, repeat-averaged
+//!   accuracy ratios with per-draw variance, sharing the §5.1 universe
+//!   construction with [`classify`].
 //! * [`altmetrics`] — the alternative evaluation protocols the paper
 //!   discusses: sampled AUC (§4.1's argued-against measure) and
 //!   missing-link detection (§2's contrasted problem), runnable instead of
@@ -40,6 +44,7 @@ pub mod classify;
 pub mod filters;
 pub mod framework;
 pub mod report;
+pub mod sampling;
 pub mod selection;
 pub mod temporal;
 pub mod timeseries;

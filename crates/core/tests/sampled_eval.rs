@@ -1,0 +1,205 @@
+//! Properties of the sampled-evaluation mode (DESIGN.md §16): the
+//! estimate is bit-identical for a fixed seed across worker counts,
+//! cache section sizes, and reader window sizes; snowball draws handle
+//! multi-component graphs by documented restart; and the sampled mean
+//! accuracy ratio tracks the full evaluation on a small preset in the
+//! regime where the full evaluation is itself statistically meaningful.
+
+use linklens_core::framework::SequenceEvaluator;
+use linklens_core::sampling::{self, SampleMethod, SampleSpec};
+use osn_graph::io::{CacheStreamWriter, SectionedCacheReader};
+use osn_graph::sample::snowball;
+use osn_graph::sequence::SnapshotSequence;
+use osn_graph::snapshot::Snapshot;
+use osn_graph::stream::{StreamingSequence, StreamingSnapshotBuilder};
+use osn_graph::NodeId;
+use osn_metrics::local::CommonNeighbors;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// One streaming-path sampled estimate: generate with the streaming
+/// generator into a sectioned cache (at `section_bytes`), then evaluate
+/// through the windowed reader (at `max_window` edges) on transition
+/// `t_eval` of an 8-snapshot sequence.
+fn streaming_estimate(
+    section_bytes: usize,
+    max_window: usize,
+    tag: &str,
+) -> linklens_core::sampling::SampledEstimate {
+    let cfg = osn_trace::presets::TraceConfig::renren_like().scaled(0.08).with_days(30);
+    let mut sink =
+        CacheStreamWriter::with_section_bytes(Vec::new(), section_bytes).expect("vec writer");
+    osn_trace::stream::generate_streaming(&cfg, 7, &mut sink).expect("streaming generation");
+    let (bytes, _) = sink.finish().expect("finish cache");
+    let path = std::env::temp_dir()
+        .join(format!("linklens_sampled_eval_{}_{tag}.lltc", std::process::id()));
+    std::fs::write(&path, bytes).expect("write cache file");
+
+    let t_eval = 5usize;
+    let reader = SectionedCacheReader::open(&path).expect("open cache");
+    let mut seq = StreamingSequence::with_count(reader, 8);
+    seq.set_max_window(max_window);
+    let truth: HashSet<(NodeId, NodeId)> =
+        seq.new_edges(t_eval).expect("windowed truth").into_iter().collect();
+    let boundary = seq.boundary(t_eval - 1);
+    let mut builder = StreamingSnapshotBuilder::with_max_window(seq.into_reader(), max_window);
+    let prev = builder.advance_to(boundary).expect("advance");
+    let est = sampling::evaluate_metric_sampled_on(
+        &CommonNeighbors,
+        prev,
+        &truth,
+        t_eval,
+        None,
+        &SampleSpec::default(),
+    );
+    std::fs::remove_file(&path).ok();
+    est
+}
+
+/// Tentpole determinism property: the sampled streaming evaluation is
+/// bit-identical for a fixed seed across worker counts, cache section
+/// sizes, and delta-window sizes. Thread override is process-global, so
+/// every variation lives inside this one test, run sequentially.
+#[test]
+fn sampled_streaming_eval_bit_identical_across_threads_sections_windows() {
+    let reference = streaming_estimate(1 << 20, 1 << 20, "ref");
+    assert!(!reference.per_draw_ratios.is_empty(), "reference must have draws");
+    for threads in [1usize, 2, 4] {
+        osn_graph::par::set_thread_override(Some(threads));
+        for section_bytes in [1 << 12, 1 << 20] {
+            for max_window in [64usize, 1 << 20] {
+                let tag = format!("t{threads}s{section_bytes}w{max_window}");
+                let est = streaming_estimate(section_bytes, max_window, &tag);
+                let same_bits = est
+                    .per_draw_ratios
+                    .iter()
+                    .zip(&reference.per_draw_ratios)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(
+                    same_bits
+                        && est.per_draw_ratios.len() == reference.per_draw_ratios.len()
+                        && est.mean_accuracy_ratio.to_bits()
+                            == reference.mean_accuracy_ratio.to_bits()
+                        && est.mean_k.to_bits() == reference.mean_k.to_bits()
+                        && est.mean_sample_size.to_bits() == reference.mean_sample_size.to_bits(),
+                    "threads={threads} section_bytes={section_bytes} max_window={max_window}: \
+                     {est:?} != {reference:?}"
+                );
+            }
+        }
+    }
+    osn_graph::par::set_thread_override(None);
+}
+
+/// Satellite agreement property: on a small renren-like preset at a
+/// transition where the full evaluation lands a meaningful number of
+/// correct predictions, the repeat-averaged sampled accuracy ratio is
+/// within a factor 2 of the full-universe ratio. (Transitions where the
+/// full evaluator itself only gets 1–3 hits are tie-break noise and are
+/// exactly the regime the `large_trace` scenario gates its assert on.)
+#[test]
+fn sampled_mean_ratio_tracks_full_evaluation_on_small_preset() {
+    let cfg = osn_trace::presets::TraceConfig::renren_like().scaled(0.1).with_days(45);
+    let trace = cfg.generate(42);
+    let seq = SnapshotSequence::with_count(&trace, 12);
+    let eval = SequenceEvaluator::new(&seq);
+    let cn = CommonNeighbors;
+    let t = 6;
+    let full = &eval.evaluate_metrics_at(&[&cn], t, None)[0];
+    let full_correct = (full.absolute_accuracy * full.k as f64).round();
+    assert!(
+        full_correct >= 4.0,
+        "test premise broke: full eval only got {full_correct} correct — pick another transition"
+    );
+    let spec =
+        SampleSpec { method: SampleMethod::Snowball, p: 0.5, draws: 6, ..SampleSpec::default() };
+    let est = eval.evaluate_metric_sampled(&cn, t, None, &spec);
+    assert_eq!(est.per_draw_ratios.len(), 6);
+    let factor = (est.mean_accuracy_ratio / full.accuracy_ratio)
+        .max(full.accuracy_ratio / est.mean_accuracy_ratio);
+    assert!(
+        factor.is_finite() && factor <= 2.0,
+        "sampled mean ratio {:.2} vs full {:.2}: disagreement factor {factor:.2}",
+        est.mean_accuracy_ratio,
+        full.accuracy_ratio
+    );
+    assert!(est.std_accuracy_ratio.is_finite(), "per-draw variance must be reported");
+}
+
+/// Random-node draws at the same `p` produce a much sparser induced
+/// sample than snowball, so the estimate differs — but it is still
+/// deterministic and reports per-draw spread.
+#[test]
+fn random_node_sampling_is_deterministic_too() {
+    let cfg = osn_trace::presets::TraceConfig::renren_like().scaled(0.08).with_days(30);
+    let trace = cfg.generate(42);
+    let seq = SnapshotSequence::with_count(&trace, 8);
+    let eval = SequenceEvaluator::new(&seq);
+    let spec =
+        SampleSpec { method: SampleMethod::RandomNodes, p: 0.4, draws: 4, ..SampleSpec::default() };
+    let a = eval.evaluate_metric_sampled(&CommonNeighbors, 5, None, &spec);
+    let b = eval.evaluate_metric_sampled(&CommonNeighbors, 5, None, &spec);
+    assert_eq!(a.per_draw_ratios.len(), 4);
+    assert!(a
+        .per_draw_ratios
+        .iter()
+        .zip(&b.per_draw_ratios)
+        .all(|(x, y)| x.to_bits() == y.to_bits()));
+}
+
+/// Arbitrary multi-component graphs: a list of path-component sizes plus
+/// trailing isolated nodes.
+fn arb_components() -> impl Strategy<Value = (Vec<usize>, usize)> {
+    (proptest::collection::vec(2usize..8, 1..4), 0usize..3)
+}
+
+fn build_components(sizes: &[usize], isolated: usize) -> Snapshot {
+    let mut edges = Vec::new();
+    let mut base = 0u32;
+    for &s in sizes {
+        for i in 0..(s - 1) as u32 {
+            edges.push((base + i, base + i + 1));
+        }
+        base += s as u32;
+    }
+    Snapshot::from_edges(base as usize + isolated, &edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Snowball restart on multi-component graphs: the quota is always
+    /// met exactly, the sample is sorted and distinct, and isolated nodes
+    /// are only drawn after every non-isolated node has been visited.
+    #[test]
+    fn snowball_restart_meets_quota_on_multi_component_graphs(
+        (sizes, isolated) in arb_components(),
+        p_mil in 1usize..=1000,
+    ) {
+        let snap = build_components(&sizes, isolated);
+        let n = snap.node_count();
+        let p = p_mil as f64 / 1000.0;
+        let target = ((p * n as f64).ceil() as usize).clamp(1, n);
+        let sample = snowball(&snap, 0, p);
+        prop_assert_eq!(sample.len(), target, "quota must be met exactly");
+        prop_assert!(sample.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        let non_isolated: Vec<NodeId> =
+            (0..n as NodeId).filter(|&u| snap.degree(u) > 0).collect();
+        let in_sample: HashSet<NodeId> = sample.iter().copied().collect();
+        if non_isolated.iter().any(|u| !in_sample.contains(u)) {
+            prop_assert!(
+                sample.iter().all(|&u| snap.degree(u) > 0),
+                "isolated node drawn while a non-isolated one was still unvisited"
+            );
+        }
+        // With the quota spanning past the seed's component, the restart
+        // must actually reach a second component.
+        let first_component = sizes[0];
+        if target > first_component && sizes.len() > 1 {
+            prop_assert!(
+                sample.iter().any(|&u| (u as usize) >= first_component),
+                "restart never left the seed component"
+            );
+        }
+    }
+}

@@ -31,19 +31,20 @@
 //! merge maintains is exactly the order `up_to` produces.
 
 use crate::snapshot::Snapshot;
-use crate::temporal::TemporalGraph;
+use crate::temporal::{TemporalGraph, TimedEdge};
 use crate::{NodeId, Timestamp};
 
-/// Reusable double-buffered arena that advances a [`Snapshot`] forward
-/// through a trace by applying only the delta edges between consecutive
-/// prefixes.
+/// The trace-independent merge core shared by [`SnapshotBuilder`] (in-core
+/// traces) and [`crate::stream::StreamingSnapshotBuilder`] (windowed
+/// [`crate::io::TraceReader`] sweeps): the current CSR, its double buffers,
+/// and the counting-sort scratch. It knows nothing about where delta edges
+/// come from — callers hand it one chronological delta slice at a time.
 #[derive(Debug)]
-pub struct SnapshotBuilder<'a> {
-    trace: &'a TemporalGraph,
+pub(crate) struct MergeArena {
     /// The materialized snapshot at the current prefix (empty before the
-    /// first advance).
-    snap: Snapshot,
-    /// Back buffers the next advance merges into, swapped with `snap`'s
+    /// first merge).
+    pub(crate) snap: Snapshot,
+    /// Back buffers the next merge writes into, swapped with `snap`'s
     /// after each merge.
     off2: Vec<usize>,
     nbr2: Vec<NodeId>,
@@ -55,39 +56,57 @@ pub struct SnapshotBuilder<'a> {
     dcur: Vec<u32>,
     /// Scratch: the delta's directed entries grouped by source node.
     staging: Vec<(NodeId, Timestamp)>,
+}
+
+/// Reusable double-buffered arena that advances a [`Snapshot`] forward
+/// through a trace by applying only the delta edges between consecutive
+/// prefixes.
+#[derive(Debug)]
+pub struct SnapshotBuilder<'a> {
+    trace: &'a TemporalGraph,
+    arena: MergeArena,
     /// Number of trace edges currently applied.
     cur_prefix: usize,
-    /// Whether `snap` holds a valid snapshot yet.
+    /// Whether the arena holds a valid snapshot yet.
     started: bool,
 }
 
-impl<'a> SnapshotBuilder<'a> {
-    /// Creates a builder positioned before the first edge of `trace`.
-    pub fn new(trace: &'a TemporalGraph) -> Self {
-        let n = trace.node_count();
-        let entries = 2 * trace.edge_count();
-        SnapshotBuilder {
-            trace,
+impl MergeArena {
+    /// Creates an empty arena for a trace of `node_capacity` nodes,
+    /// pre-reserving room for `entry_capacity` directed CSR entries
+    /// (`2 × edges`; pass 0 to let the buffers grow on demand).
+    pub(crate) fn new(node_capacity: usize, entry_capacity: usize) -> Self {
+        MergeArena {
             snap: Snapshot {
                 n: 0,
                 offsets: {
-                    let mut o = Vec::with_capacity(n + 1);
+                    let mut o = Vec::with_capacity(node_capacity + 1);
                     o.push(0);
                     o
                 },
-                neighbors: Vec::with_capacity(entries),
-                edge_times: Vec::with_capacity(entries),
+                neighbors: Vec::with_capacity(entry_capacity),
+                edge_times: Vec::with_capacity(entry_capacity),
                 time: 0,
                 edge_count: 0,
                 prefix_len: 0,
                 tables: std::sync::OnceLock::new(),
             },
-            off2: Vec::with_capacity(n + 1),
-            nbr2: Vec::with_capacity(entries),
-            tm2: Vec::with_capacity(entries),
-            doff: vec![0; n + 1],
-            dcur: vec![0; n],
+            off2: Vec::with_capacity(node_capacity + 1),
+            nbr2: Vec::with_capacity(entry_capacity),
+            tm2: Vec::with_capacity(entry_capacity),
+            doff: vec![0; node_capacity + 1],
+            dcur: vec![0; node_capacity],
             staging: Vec::new(),
+        }
+    }
+}
+
+impl<'a> SnapshotBuilder<'a> {
+    /// Creates a builder positioned before the first edge of `trace`.
+    pub fn new(trace: &'a TemporalGraph) -> Self {
+        SnapshotBuilder {
+            arena: MergeArena::new(trace.node_count(), 2 * trace.edge_count()),
+            trace,
             cur_prefix: 0,
             started: false,
         }
@@ -108,7 +127,7 @@ impl<'a> SnapshotBuilder<'a> {
     /// called.
     pub fn current(&self) -> Option<&Snapshot> {
         if self.started {
-            Some(&self.snap)
+            Some(&self.arena.snap)
         } else {
             None
         }
@@ -131,28 +150,47 @@ impl<'a> SnapshotBuilder<'a> {
             "SnapshotBuilder cannot rewind (at {current}, asked for {prefix_len})"
         );
         if self.started && prefix_len == current {
-            return &self.snap;
+            return &self.arena.snap;
         }
-        self.merge_delta(prefix_len);
+        let delta = &self.trace.edges()[self.cur_prefix..prefix_len];
+        let time = self.trace.edges()[prefix_len - 1].t;
+        let new_n = self.trace.nodes_at(time);
+        self.arena.apply(delta, new_n, time, prefix_len);
         self.cur_prefix = prefix_len;
         self.started = true;
         if crate::audit::audit_enabled() {
-            if let Err(e) = self.snap.validate() {
+            if let Err(e) = self.arena.snap.validate() {
                 panic!("snapshot invariant violated after advance to prefix {prefix_len}: {e}");
             }
         }
-        &self.snap
+        &self.arena.snap
     }
+}
 
-    /// Applies edges `[cur_prefix, prefix_len)`: counting-sort the delta
-    /// by node, stream-merge the current CSR with it into the back
-    /// buffers, and swap.
-    fn merge_delta(&mut self, prefix_len: usize) {
-        let edges = &self.trace.edges()[self.cur_prefix..prefix_len];
-        let time = self.trace.edges()[prefix_len - 1].t;
-        let new_n = self.trace.nodes_at(time);
+impl MergeArena {
+    /// Applies the chronological delta `edges` on top of the current
+    /// snapshot, producing the snapshot at `prefix_len` (global edge
+    /// count): counting-sort the delta by node, stream-merge the current
+    /// CSR with it into the back buffers, and swap. `new_n` is the node
+    /// universe at `time` (the timestamp of the delta's last edge).
+    ///
+    /// Applying one delta or the same edges split across several calls
+    /// yields bit-identical CSRs — every merge reproduces exactly the
+    /// `Snapshot::up_to` layout for its prefix — which is what lets
+    /// windowed sweeps pick their read size freely.
+    pub(crate) fn apply(
+        &mut self,
+        edges: &[TimedEdge],
+        new_n: usize,
+        time: Timestamp,
+        prefix_len: usize,
+    ) {
         let old_n = self.snap.n;
         debug_assert!(new_n >= old_n, "node arrivals are non-decreasing");
+        if self.dcur.len() < new_n {
+            self.dcur.resize(new_n, 0);
+            self.doff.resize(new_n + 1, 0);
+        }
 
         // 1. Bucket the delta by node: counts, prefix sums, scatter. The
         // staging buffer is Δ-sized, so the scatter stays cache-resident.

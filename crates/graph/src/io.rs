@@ -18,13 +18,16 @@
 //!
 //! For repeated runs over the same trace, [`write_cache`] / [`read_cache`]
 //! provide a versioned, checksummed binary format that skips text parsing
-//! entirely (see `DESIGN.md` for the layout); [`read_cache_file`] /
-//! [`write_cache_file`] are the path-based conveniences the CLI and bench
-//! harness use.
+//! entirely (see `DESIGN.md` §16 for the sectioned layout); [`read_cache_file`]
+//! / [`write_cache_file`] are the path-based conveniences the CLI and bench
+//! harness use. Large traces stream through [`CacheStreamWriter`] /
+//! [`CacheFileWriter`] on the way out and [`SectionedCacheReader`] (behind
+//! the [`TraceReader`] trait) on the way in, so neither side ever holds the
+//! full edge list in memory.
 
-use crate::temporal::TemporalGraph;
+use crate::temporal::{TemporalGraph, TimedEdge};
 use crate::{NodeId, Timestamp};
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 
 /// Errors from trace parsing.
 #[derive(Debug)]
@@ -203,113 +206,464 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<TemporalGraph, TraceIoError>
 const CACHE_MAGIC: [u8; 4] = *b"LLTC";
 /// Current cache format version. Bump on any layout change; readers reject
 /// other versions so stale caches fall back to the text source.
-pub const CACHE_VERSION: u32 = 1;
+pub const CACHE_VERSION: u32 = 2;
 
-/// FNV-1a 64-bit hash — the cache integrity checksum. Dependency-free and
-/// plenty for detecting truncation and bit rot (this is not a security
-/// boundary; caches live next to the files they mirror).
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+/// Section kind tag: node-arrival timestamps (`u64` × count).
+const SECTION_ARRIVALS: u8 = 0;
+/// Section kind tag: timed edges (`u32 u | u32 v | u64 t` × count).
+const SECTION_EDGES: u8 = 1;
+/// Kind tag terminating the section stream (footer record).
+const SECTION_FOOTER: u8 = 0xFF;
+
+/// Default flush threshold for a section payload, in bytes. One MiB keeps
+/// the writer's working set bounded while making the 17-byte per-section
+/// framing overhead negligible.
+const DEFAULT_SECTION_BYTES: usize = 1 << 20;
+
+/// Fixed chunk size for streaming section payloads through checksums and
+/// parsers without count-sized allocations. A multiple of both entry widths
+/// (8 and 16 bytes), so entries never straddle a chunk boundary.
+const READ_CHUNK: usize = 1 << 16;
+
+/// Incremental FNV-1a 64-bit hash — the cache integrity checksum.
+/// Dependency-free and plenty for detecting truncation and bit rot (this is
+/// not a security boundary; caches live next to the files they mirror).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xCBF2_9CE4_8422_2325)
     }
-    h
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
-/// Writes a trace in the binary cache format:
+/// Names a section kind for error messages.
+fn section_name(kind: u8) -> &'static str {
+    match kind {
+        SECTION_ARRIVALS => "arrivals",
+        SECTION_EDGES => "edges",
+        _ => "unknown",
+    }
+}
+
+/// `read_exact` that maps a clean EOF onto a structured cache error, so
+/// truncation reports *which* record was cut short instead of a bare I/O
+/// error.
+fn read_exact_or<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    msg: impl FnOnce() -> String,
+) -> Result<(), TraceIoError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceIoError::Cache(msg())
+        } else {
+            TraceIoError::Io(e)
+        }
+    })
+}
+
+/// Totals reported by [`CacheStreamWriter::finish`] and the cache scanners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSummary {
+    /// Nodes written/read.
+    pub nodes: usize,
+    /// Edges written/read.
+    pub edges: usize,
+    /// Data sections written/read (excluding the footer).
+    pub sections: usize,
+}
+
+/// Streaming writer for the v2 sectioned cache format:
 ///
 /// ```text
-/// magic "LLTC" | version u32 | node_count u64 | edge_count u64
-/// arrival ts   (u64 × node_count)
-/// u u32, v u32, t u64   (× edge_count, chronological)
-/// fnv1a64 checksum of everything above   (u64)
+/// magic "LLTC" | version u32 (=2)
+/// section*:  kind u8 (0 arrivals | 1 edges) | count u64 | payload
+///            | fnv1a64 over (kind, count, payload)
+/// footer:    kind 0xFF | node_count u64 | edge_count u64 | section_count u64
+///            | fnv1a64 over (kind, totals)
 /// ```
 ///
-/// All integers little-endian. The payload is assembled in memory so the
-/// checksum covers exactly the bytes written.
-pub fn write_cache<W: Write>(trace: &TemporalGraph, writer: W) -> Result<(), TraceIoError> {
-    let mut buf: Vec<u8> =
-        Vec::with_capacity(24 + trace.node_count() * 8 + trace.edge_count() * 16);
-    buf.extend_from_slice(&CACHE_MAGIC);
-    buf.extend_from_slice(&CACHE_VERSION.to_le_bytes());
-    buf.extend_from_slice(&(trace.node_count() as u64).to_le_bytes());
-    buf.extend_from_slice(&(trace.edge_count() as u64).to_le_bytes());
-    for &t in trace.arrivals() {
-        buf.extend_from_slice(&t.to_le_bytes());
-    }
-    for e in trace.edges() {
-        buf.extend_from_slice(&e.u.to_le_bytes());
-        buf.extend_from_slice(&e.v.to_le_bytes());
-        buf.extend_from_slice(&e.t.to_le_bytes());
-    }
-    let checksum = fnv1a64(&buf);
-    let mut w = BufWriter::new(writer);
-    w.write_all(&buf)?;
-    w.write_all(&checksum.to_le_bytes())?;
-    w.flush()?;
-    Ok(())
+/// All integers little-endian; arrival entries are 8 bytes, edge entries 16.
+/// Events are pushed one at a time and buffered into bounded sections, so a
+/// multi-gigabyte trace serializes without ever materializing its edge
+/// list. A section is flushed when its payload reaches the size threshold
+/// or when the event kind switches — a day-bucketed generator that
+/// interleaves arrival and edge runs therefore produces per-day-range
+/// sections, which is what makes windowed reads line up with sweep deltas.
+///
+/// The writer validates the invariants readers rely on (non-decreasing
+/// arrival and edge times, canonical endpoints, no self loops, endpoints
+/// already arrived); [`CacheStreamWriter::finish`] writes the footer.
+/// Dropping the writer without finishing leaves a footer-less stream that
+/// readers reject, and the file-backed [`CacheFileWriter`] only renames the
+/// temporary onto the real path in its own `finish`.
+pub struct CacheStreamWriter<W: Write> {
+    w: W,
+    kind: u8,
+    count: u64,
+    payload: Vec<u8>,
+    section_bytes: usize,
+    nodes: u64,
+    edges: u64,
+    sections: u64,
+    last_arrival: Timestamp,
+    last_edge_t: Timestamp,
 }
 
-/// Reads a trace written by [`write_cache`], verifying magic, version, and
-/// checksum. Any mismatch returns [`TraceIoError::Cache`] so callers can
-/// fall back to the text source.
-pub fn read_cache<R: Read>(reader: R) -> Result<TemporalGraph, TraceIoError> {
-    let mut bytes = Vec::new();
-    BufReader::new(reader).read_to_end(&mut bytes)?;
-    if bytes.len() < 24 + 8 {
-        return Err(TraceIoError::Cache("file shorter than header".into()));
+impl<W: Write> CacheStreamWriter<W> {
+    /// Starts a cache stream with the default section threshold, writing
+    /// the header immediately.
+    pub fn new(writer: W) -> Result<Self, TraceIoError> {
+        Self::with_section_bytes(writer, DEFAULT_SECTION_BYTES)
     }
-    let (payload, tail) = bytes.split_at(bytes.len() - 8);
-    // linklens-allow(unwrap-in-lib): split_at(len - 8) makes the tail exactly 8 bytes
-    let stored = u64::from_le_bytes(tail.try_into().expect("8-byte checksum tail"));
-    if payload[..4] != CACHE_MAGIC {
+
+    /// Starts a cache stream with an explicit section payload threshold
+    /// (bytes). Small thresholds are useful in tests to force many
+    /// sections; the format is identical for every threshold.
+    pub fn with_section_bytes(mut writer: W, section_bytes: usize) -> Result<Self, TraceIoError> {
+        assert!(section_bytes >= 16, "section threshold must hold at least one event");
+        writer.write_all(&CACHE_MAGIC)?;
+        writer.write_all(&CACHE_VERSION.to_le_bytes())?;
+        Ok(Self {
+            w: writer,
+            kind: SECTION_ARRIVALS,
+            count: 0,
+            payload: Vec::new(),
+            section_bytes,
+            nodes: 0,
+            edges: 0,
+            sections: 0,
+            last_arrival: 0,
+            last_edge_t: 0,
+        })
+    }
+
+    /// Appends a node arrival and returns the id assigned to it (dense,
+    /// in push order). Arrival times must be non-decreasing.
+    pub fn push_arrival(&mut self, t: Timestamp) -> Result<NodeId, TraceIoError> {
+        if self.nodes > 0 && t < self.last_arrival {
+            return Err(TraceIoError::Cache(format!(
+                "arrival time {t} regresses below {}",
+                self.last_arrival
+            )));
+        }
+        if self.nodes > u64::from(NodeId::MAX) {
+            return Err(TraceIoError::Cache("node count exceeds u32 id space".into()));
+        }
+        self.begin(SECTION_ARRIVALS)?;
+        self.payload.extend_from_slice(&t.to_le_bytes());
+        self.count += 1;
+        self.last_arrival = t;
+        let id = self.nodes as NodeId;
+        self.nodes += 1;
+        Ok(id)
+    }
+
+    /// Appends an edge (endpoints canonicalized). Edge times must be
+    /// non-decreasing and both endpoints must already have arrived.
+    pub fn push_edge(&mut self, u: NodeId, v: NodeId, t: Timestamp) -> Result<(), TraceIoError> {
+        if u == v {
+            return Err(TraceIoError::Cache(format!("self loop on node {u}")));
+        }
+        if u64::from(u.max(v)) >= self.nodes {
+            return Err(TraceIoError::Cache(format!(
+                "edge ({u}, {v}) references a node not yet arrived (node count {})",
+                self.nodes
+            )));
+        }
+        if self.edges > 0 && t < self.last_edge_t {
+            return Err(TraceIoError::Cache(format!(
+                "edge time {t} regresses below {}",
+                self.last_edge_t
+            )));
+        }
+        let (u, v) = crate::canonical(u, v);
+        self.begin(SECTION_EDGES)?;
+        self.payload.extend_from_slice(&u.to_le_bytes());
+        self.payload.extend_from_slice(&v.to_le_bytes());
+        self.payload.extend_from_slice(&t.to_le_bytes());
+        self.count += 1;
+        self.edges += 1;
+        self.last_edge_t = t;
+        Ok(())
+    }
+
+    /// Flushes the pending section if the kind switches or the payload is
+    /// past the threshold, then switches to `kind`.
+    fn begin(&mut self, kind: u8) -> Result<(), TraceIoError> {
+        if self.count > 0 && (self.kind != kind || self.payload.len() >= self.section_bytes) {
+            self.flush_section()?;
+        }
+        self.kind = kind;
+        Ok(())
+    }
+
+    fn flush_section(&mut self) -> Result<(), TraceIoError> {
+        if self.count == 0 {
+            return Ok(());
+        }
+        let mut h = Fnv1a::new();
+        h.update(&[self.kind]);
+        h.update(&self.count.to_le_bytes());
+        h.update(&self.payload);
+        self.w.write_all(&[self.kind])?;
+        self.w.write_all(&self.count.to_le_bytes())?;
+        self.w.write_all(&self.payload)?;
+        self.w.write_all(&h.finish().to_le_bytes())?;
+        self.sections += 1;
+        self.payload.clear();
+        self.count = 0;
+        Ok(())
+    }
+
+    /// Flushes the last section, writes the footer, and returns the inner
+    /// writer plus the totals.
+    pub fn finish(mut self) -> Result<(W, CacheSummary), TraceIoError> {
+        self.flush_section()?;
+        let mut h = Fnv1a::new();
+        h.update(&[SECTION_FOOTER]);
+        h.update(&self.nodes.to_le_bytes());
+        h.update(&self.edges.to_le_bytes());
+        h.update(&self.sections.to_le_bytes());
+        self.w.write_all(&[SECTION_FOOTER])?;
+        self.w.write_all(&self.nodes.to_le_bytes())?;
+        self.w.write_all(&self.edges.to_le_bytes())?;
+        self.w.write_all(&self.sections.to_le_bytes())?;
+        self.w.write_all(&h.finish().to_le_bytes())?;
+        self.w.flush()?;
+        let summary = CacheSummary {
+            nodes: self.nodes as usize,
+            edges: self.edges as usize,
+            sections: self.sections as usize,
+        };
+        Ok((self.w, summary))
+    }
+}
+
+/// Streaming cache writer bound to a filesystem path, preserving the
+/// tmp+rename atomicity of [`write_cache_file`]: events stream into a
+/// `.llc.tmp` sibling and the file only takes its final name once the
+/// footer lands in [`CacheFileWriter::finish`]. A crashed run never leaves
+/// a truncated cache behind.
+pub struct CacheFileWriter {
+    inner: CacheStreamWriter<BufWriter<std::fs::File>>,
+    tmp: std::path::PathBuf,
+    path: std::path::PathBuf,
+}
+
+impl CacheFileWriter {
+    /// Creates the temporary cache file (and parent directories) and writes
+    /// the header.
+    pub fn create(path: impl AsRef<std::path::Path>) -> Result<Self, TraceIoError> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let tmp = path.with_extension("llc.tmp");
+        let inner = CacheStreamWriter::new(BufWriter::new(std::fs::File::create(&tmp)?))?;
+        Ok(Self { inner, tmp, path })
+    }
+
+    /// See [`CacheStreamWriter::push_arrival`].
+    pub fn push_arrival(&mut self, t: Timestamp) -> Result<NodeId, TraceIoError> {
+        self.inner.push_arrival(t)
+    }
+
+    /// See [`CacheStreamWriter::push_edge`].
+    pub fn push_edge(&mut self, u: NodeId, v: NodeId, t: Timestamp) -> Result<(), TraceIoError> {
+        self.inner.push_edge(u, v, t)
+    }
+
+    /// Writes the footer and atomically renames the temporary onto the
+    /// final path.
+    pub fn finish(self) -> Result<CacheSummary, TraceIoError> {
+        let (w, summary) = self.inner.finish()?;
+        drop(w);
+        std::fs::rename(&self.tmp, &self.path)?;
+        Ok(summary)
+    }
+}
+
+/// Streaming section scanner shared by [`read_cache`] and
+/// [`SectionedCacheReader::open`]: verifies the header, every per-section
+/// checksum, and the footer totals, reading payloads in fixed
+/// [`READ_CHUNK`]-byte chunks so a corrupt count can never trigger a
+/// count-sized allocation. `on_edge_section(index, payload_offset, count)`
+/// fires before the section's entries; `on_arrival` / `on_edge` fire per
+/// entry in file order.
+fn scan_sections<R: Read>(
+    r: &mut R,
+    mut on_arrival: impl FnMut(Timestamp),
+    mut on_edge_section: impl FnMut(usize, u64, u64),
+    mut on_edge: impl FnMut(NodeId, NodeId, Timestamp),
+) -> Result<CacheSummary, TraceIoError> {
+    let mut header = [0u8; 8];
+    read_exact_or(r, &mut header, || "file shorter than header".into())?;
+    if header[..4] != CACHE_MAGIC {
         return Err(TraceIoError::Cache("bad magic (not a linklens trace cache)".into()));
     }
     // linklens-allow(unwrap-in-lib): a 4-byte range slice always converts to [u8; 4]
-    let version = u32::from_le_bytes(payload[4..8].try_into().expect("4-byte version"));
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("4-byte version"));
     if version != CACHE_VERSION {
         return Err(TraceIoError::Cache(format!(
             "unsupported version {version} (expected {CACHE_VERSION})"
         )));
     }
-    if fnv1a64(payload) != stored {
-        return Err(TraceIoError::Cache("checksum mismatch".into()));
+    let mut pos: u64 = 8;
+    let mut nodes: u64 = 0;
+    let mut edges: u64 = 0;
+    let mut sections: u64 = 0;
+    let mut chunk = vec![0u8; READ_CHUNK];
+    loop {
+        let idx = sections as usize;
+        let mut kind_buf = [0u8; 1];
+        read_exact_or(r, &mut kind_buf, || {
+            format!("missing footer (stream ends after {sections} sections)")
+        })?;
+        pos += 1;
+        let kind = kind_buf[0];
+        if kind == SECTION_FOOTER {
+            let mut tail = [0u8; 32];
+            read_exact_or(r, &mut tail, || "truncated footer".into())?;
+            let mut h = Fnv1a::new();
+            h.update(&[SECTION_FOOTER]);
+            h.update(&tail[..24]);
+            // linklens-allow(unwrap-in-lib): fixed-width ranges of a 32-byte footer buffer
+            let field = |at: usize| u64::from_le_bytes(tail[at..at + 8].try_into().expect("u64"));
+            if field(24) != h.finish() {
+                return Err(TraceIoError::Cache("footer: checksum mismatch".into()));
+            }
+            if (field(0), field(8), field(16)) != (nodes, edges, sections) {
+                return Err(TraceIoError::Cache(format!(
+                    "footer totals ({}, {}, {}) disagree with sections read ({nodes} nodes, \
+                     {edges} edges, {sections} sections)",
+                    field(0),
+                    field(8),
+                    field(16)
+                )));
+            }
+            let mut probe = [0u8; 1];
+            if r.read(&mut probe)? != 0 {
+                return Err(TraceIoError::Cache("trailing data after footer".into()));
+            }
+            return Ok(CacheSummary {
+                nodes: nodes as usize,
+                edges: edges as usize,
+                sections: sections as usize,
+            });
+        }
+        if kind != SECTION_ARRIVALS && kind != SECTION_EDGES {
+            return Err(TraceIoError::Cache(format!("section {idx}: unknown kind 0x{kind:02X}")));
+        }
+        let mut cnt = [0u8; 8];
+        read_exact_or(r, &mut cnt, || format!("section {idx}: truncated header"))?;
+        pos += 8;
+        let count = u64::from_le_bytes(cnt);
+        let entry: u64 = if kind == SECTION_ARRIVALS { 8 } else { 16 };
+        let total = count.checked_mul(entry).ok_or_else(|| {
+            TraceIoError::Cache(format!("section {idx}: absurd event count {count}"))
+        })?;
+        let mut h = Fnv1a::new();
+        h.update(&[kind]);
+        h.update(&cnt);
+        if kind == SECTION_EDGES {
+            on_edge_section(idx, pos, count);
+        }
+        let mut remaining = total;
+        while remaining > 0 {
+            let take = remaining.min(READ_CHUNK as u64) as usize;
+            read_exact_or(r, &mut chunk[..take], || {
+                format!("section {idx} ({}): unexpected end of file", section_name(kind))
+            })?;
+            h.update(&chunk[..take]);
+            if kind == SECTION_ARRIVALS {
+                for e in chunk[..take].chunks_exact(8) {
+                    // linklens-allow(unwrap-in-lib): chunks_exact(8) yields 8-byte slices
+                    on_arrival(u64::from_le_bytes(e.try_into().expect("u64 entry")));
+                }
+            } else {
+                for e in chunk[..take].chunks_exact(16) {
+                    // linklens-allow(unwrap-in-lib): fixed-width ranges of a 16-byte entry
+                    let u = u32::from_le_bytes(e[0..4].try_into().expect("u32"));
+                    // linklens-allow(unwrap-in-lib): fixed-width ranges of a 16-byte entry
+                    let v = u32::from_le_bytes(e[4..8].try_into().expect("u32"));
+                    // linklens-allow(unwrap-in-lib): fixed-width ranges of a 16-byte entry
+                    let t = u64::from_le_bytes(e[8..16].try_into().expect("u64"));
+                    on_edge(u, v, t);
+                }
+            }
+            remaining -= take as u64;
+        }
+        pos += total;
+        let mut sum = [0u8; 8];
+        read_exact_or(r, &mut sum, || {
+            format!("section {idx} ({}): missing checksum", section_name(kind))
+        })?;
+        pos += 8;
+        if u64::from_le_bytes(sum) != h.finish() {
+            return Err(TraceIoError::Cache(format!(
+                "section {idx} ({}): checksum mismatch",
+                section_name(kind)
+            )));
+        }
+        if kind == SECTION_ARRIVALS {
+            nodes += count;
+        } else {
+            edges += count;
+        }
+        sections += 1;
     }
-    // linklens-allow(unwrap-in-lib): fixed-width ranges; callers bounds-check against payload.len()
-    let read_u64 = |at: usize| u64::from_le_bytes(payload[at..at + 8].try_into().expect("u64"));
-    // linklens-allow(unwrap-in-lib): fixed-width ranges; callers bounds-check against payload.len()
-    let read_u32 = |at: usize| u32::from_le_bytes(payload[at..at + 4].try_into().expect("u32"));
-    let nodes = read_u64(8) as usize;
-    let edges = read_u64(16) as usize;
-    let expect = 24 + nodes * 8 + edges * 16;
-    if payload.len() != expect {
-        return Err(TraceIoError::Cache(format!(
-            "length mismatch: {} bytes for {nodes} nodes / {edges} edges (expected {expect})",
-            payload.len()
-        )));
+}
+
+/// Writes a trace in the sectioned binary cache format (see
+/// [`CacheStreamWriter`] for the layout). An in-core trace produces one run
+/// of arrival sections followed by one run of edge sections, each split at
+/// the default section threshold.
+pub fn write_cache<W: Write>(trace: &TemporalGraph, writer: W) -> Result<(), TraceIoError> {
+    let mut w = CacheStreamWriter::new(BufWriter::new(writer))?;
+    for &t in trace.arrivals() {
+        w.push_arrival(t)?;
     }
-    let mut arrivals = Vec::with_capacity(nodes);
-    let mut at = 24;
-    for _ in 0..nodes {
-        arrivals.push(read_u64(at));
-        at += 8;
+    for e in trace.edges() {
+        w.push_edge(e.u, e.v, e.t)?;
     }
-    let mut edge_events = Vec::with_capacity(edges);
-    for _ in 0..edges {
-        let u = read_u32(at) as NodeId;
-        let v = read_u32(at + 4) as NodeId;
-        let t = read_u64(at + 8);
-        edge_events.push((u, v, t));
-        at += 16;
-    }
+    let (mut inner, _) = w.finish()?;
+    inner.flush()?;
+    Ok(())
+}
+
+/// Reads a trace written by [`write_cache`] / [`CacheStreamWriter`],
+/// verifying magic, version, and every per-section checksum in one
+/// streaming pass (fixed 64 KiB chunks — corruption is detected without a
+/// full-file allocation, and the error names the bad section). Any mismatch
+/// returns [`TraceIoError::Cache`] so callers can fall back to the text
+/// source.
+pub fn read_cache<R: Read>(reader: R) -> Result<TemporalGraph, TraceIoError> {
+    let mut r = BufReader::new(reader);
+    let mut arrivals: Vec<Timestamp> = Vec::new();
+    let mut edges: Vec<(NodeId, NodeId, Timestamp)> = Vec::new();
+    scan_sections(&mut r, |t| arrivals.push(t), |_, _, _| {}, |u, v, t| edges.push((u, v, t)))?;
     // `from_events` re-validates every TemporalGraph invariant, so even a
     // hand-crafted cache cannot smuggle in an inconsistent trace.
-    Ok(TemporalGraph::from_events(arrivals, edge_events))
+    Ok(TemporalGraph::from_events(arrivals, edges))
 }
 
 /// [`read_cache`] from a filesystem path.
 pub fn read_cache_file(path: impl AsRef<std::path::Path>) -> Result<TemporalGraph, TraceIoError> {
+    // linklens-allow(full-trace-materialization): this IS the sanctioned small-trace in-core entry point
     read_cache(std::fs::File::open(path)?)
 }
 
@@ -320,16 +674,231 @@ pub fn write_cache_file(
     trace: &TemporalGraph,
     path: impl AsRef<std::path::Path>,
 ) -> Result<(), TraceIoError> {
-    let path = path.as_ref();
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
+    let mut w = CacheFileWriter::create(path)?;
+    for &t in trace.arrivals() {
+        w.push_arrival(t)?;
     }
-    let tmp = path.with_extension("llc.tmp");
-    write_cache(trace, std::fs::File::create(&tmp)?)?;
-    std::fs::rename(&tmp, path)?;
+    for e in trace.edges() {
+        w.push_edge(e.u, e.v, e.t)?;
+    }
+    w.finish()?;
     Ok(())
+}
+
+// ----- windowed trace access ----------------------------------------------
+
+/// Uniform trace access for the snapshot engine: the full arrival vector
+/// (8 bytes per node — cheap even at 10M nodes) plus windowed edge reads,
+/// so a sweep holds only the active delta window instead of the whole edge
+/// list.
+///
+/// Implemented by [`TemporalGraph`] (in-core, windows are slice copies) and
+/// [`SectionedCacheReader`] (file-backed, windows are section-aligned
+/// reads). Window reads take `&mut self` because file-backed readers seek.
+pub trait TraceReader {
+    /// Total nodes in the trace.
+    fn node_count(&self) -> usize;
+
+    /// Total edges in the trace.
+    fn edge_count(&self) -> usize;
+
+    /// Arrival timestamps, indexed by dense node id (non-decreasing).
+    fn arrivals(&self) -> &[Timestamp];
+
+    /// Number of nodes that have arrived by time `t` (arrival ≤ t).
+    fn nodes_at(&self, t: Timestamp) -> usize {
+        self.arrivals().partition_point(|&a| a <= t)
+    }
+
+    /// Replaces `out` with edges `start..end` (chronological order).
+    ///
+    /// # Panics
+    /// Panics if `start..end` is not a valid range within the edge count —
+    /// window bounds are caller logic, not data-dependent.
+    fn read_edge_window(
+        &mut self,
+        start: usize,
+        end: usize,
+        out: &mut Vec<TimedEdge>,
+    ) -> Result<(), TraceIoError>;
+}
+
+impl TraceReader for TemporalGraph {
+    fn node_count(&self) -> usize {
+        TemporalGraph::node_count(self)
+    }
+
+    fn edge_count(&self) -> usize {
+        TemporalGraph::edge_count(self)
+    }
+
+    fn arrivals(&self) -> &[Timestamp] {
+        TemporalGraph::arrivals(self)
+    }
+
+    fn read_edge_window(
+        &mut self,
+        start: usize,
+        end: usize,
+        out: &mut Vec<TimedEdge>,
+    ) -> Result<(), TraceIoError> {
+        out.clear();
+        out.extend_from_slice(&self.edges()[start..end]);
+        Ok(())
+    }
+}
+
+impl<T: TraceReader + ?Sized> TraceReader for &mut T {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+
+    fn edge_count(&self) -> usize {
+        (**self).edge_count()
+    }
+
+    fn arrivals(&self) -> &[Timestamp] {
+        (**self).arrivals()
+    }
+
+    fn read_edge_window(
+        &mut self,
+        start: usize,
+        end: usize,
+        out: &mut Vec<TimedEdge>,
+    ) -> Result<(), TraceIoError> {
+        (**self).read_edge_window(start, end, out)
+    }
+}
+
+/// Index entry for one edge section: where its payload starts in the file
+/// and which global edge range it covers.
+#[derive(Debug, Clone, Copy)]
+struct EdgeSection {
+    payload_offset: u64,
+    start: usize,
+    count: usize,
+}
+
+/// File-backed reader for the v2 sectioned cache.
+///
+/// [`SectionedCacheReader::open`] verifies every section checksum in one
+/// streaming pass (fixed 64 KiB chunks — no full-file allocation), retains
+/// the arrival vector, and records an index of edge sections. Edge windows
+/// are then served by seeking straight to the fixed-width entry offset, so
+/// a window read touches only the bytes it returns and the resident set of
+/// a sweep is `arrivals + one delta window`.
+pub struct SectionedCacheReader {
+    file: std::fs::File,
+    arrivals: Vec<Timestamp>,
+    sections: Vec<EdgeSection>,
+    edges: usize,
+}
+
+impl SectionedCacheReader {
+    /// Opens and integrity-checks a cache file (every section checksum plus
+    /// the footer totals).
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, TraceIoError> {
+        let file = std::fs::File::open(path)?;
+        let mut arrivals: Vec<Timestamp> = Vec::new();
+        let mut sections: Vec<EdgeSection> = Vec::new();
+        let summary = {
+            let mut r = BufReader::new(&file);
+            scan_sections(
+                &mut r,
+                |t| arrivals.push(t),
+                |_, payload_offset, count| {
+                    let start = sections.last().map(|s| s.start + s.count).unwrap_or(0);
+                    sections.push(EdgeSection { payload_offset, start, count: count as usize });
+                },
+                |_, _, _| {},
+            )?
+        };
+        Ok(Self { file, arrivals, sections, edges: summary.edges })
+    }
+
+    /// Number of edge sections in the index (exposed for benches/tests).
+    pub fn edge_section_count(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Materializes the entire trace as an in-core [`TemporalGraph`],
+    /// re-validating every invariant via `from_events`.
+    ///
+    /// This is the small-trace convenience path: it allocates the full edge
+    /// list. Large-trace consumers should stay on
+    /// [`TraceReader::read_edge_window`] — the `full-trace-materialization`
+    /// lint flags `load_full` calls on library paths for exactly this
+    /// reason.
+    pub fn load_full(&mut self) -> Result<TemporalGraph, TraceIoError> {
+        let mut window: Vec<TimedEdge> = Vec::new();
+        let total = self.edges;
+        self.read_edge_window(0, total, &mut window)?;
+        let events: Vec<(NodeId, NodeId, Timestamp)> =
+            window.into_iter().map(|e| (e.u, e.v, e.t)).collect();
+        Ok(TemporalGraph::from_events(self.arrivals.clone(), events))
+    }
+}
+
+impl TraceReader for SectionedCacheReader {
+    fn node_count(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    fn arrivals(&self) -> &[Timestamp] {
+        &self.arrivals
+    }
+
+    fn read_edge_window(
+        &mut self,
+        start: usize,
+        end: usize,
+        out: &mut Vec<TimedEdge>,
+    ) -> Result<(), TraceIoError> {
+        assert!(
+            start <= end && end <= self.edges,
+            "edge window {start}..{end} out of range (edge count {})",
+            self.edges
+        );
+        out.clear();
+        if start == end {
+            return Ok(());
+        }
+        out.reserve(end - start);
+        let mut si = self.sections.partition_point(|s| s.start + s.count <= start);
+        let mut cur = start;
+        let mut chunk = vec![0u8; READ_CHUNK];
+        while cur < end {
+            let s = self.sections[si];
+            let lo = cur - s.start;
+            let hi = (end - s.start).min(s.count);
+            self.file.seek(SeekFrom::Start(s.payload_offset + (lo as u64) * 16))?;
+            let mut remaining = (hi - lo) * 16;
+            while remaining > 0 {
+                let take = remaining.min(READ_CHUNK);
+                read_exact_or(&mut self.file, &mut chunk[..take], || {
+                    "edge window read past end of file (cache changed underneath reader?)".into()
+                })?;
+                for e in chunk[..take].chunks_exact(16) {
+                    // linklens-allow(unwrap-in-lib): fixed-width ranges of a 16-byte entry
+                    let u = u32::from_le_bytes(e[0..4].try_into().expect("u32"));
+                    // linklens-allow(unwrap-in-lib): fixed-width ranges of a 16-byte entry
+                    let v = u32::from_le_bytes(e[4..8].try_into().expect("u32"));
+                    // linklens-allow(unwrap-in-lib): fixed-width ranges of a 16-byte entry
+                    let t = u64::from_le_bytes(e[8..16].try_into().expect("u64"));
+                    out.push(TimedEdge { u, v, t });
+                }
+                remaining -= take;
+            }
+            cur = s.start + hi;
+            si += 1;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -528,5 +1097,216 @@ mod tests {
         let back = read_cache_file(&path).unwrap();
         assert_eq!(back.edges(), g.edges());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A graph big enough that small section thresholds split it into many
+    /// sections: a path graph with one arrival and one edge per step.
+    fn chain(n: usize) -> TemporalGraph {
+        let mut g = TemporalGraph::new();
+        g.add_node(0);
+        for i in 1..n {
+            g.add_node(i as Timestamp);
+            g.add_edge((i - 1) as NodeId, i as NodeId, i as Timestamp);
+        }
+        g
+    }
+
+    #[test]
+    fn stream_writer_bytes_match_write_cache() {
+        let g = sample();
+        let mut via_fn = Vec::new();
+        write_cache(&g, &mut via_fn).unwrap();
+        let mut w = CacheStreamWriter::new(Vec::new()).unwrap();
+        for &t in g.arrivals() {
+            w.push_arrival(t).unwrap();
+        }
+        for e in g.edges() {
+            w.push_edge(e.u, e.v, e.t).unwrap();
+        }
+        let (via_stream, summary) = w.finish().unwrap();
+        assert_eq!(via_fn, via_stream, "write_cache must be the streamed format bit for bit");
+        assert_eq!(summary, CacheSummary { nodes: 3, edges: 3, sections: 2 });
+    }
+
+    #[test]
+    fn small_sections_round_trip_identically() {
+        let g = chain(200);
+        let mut default_bytes = Vec::new();
+        write_cache(&g, &mut default_bytes).unwrap();
+        for section_bytes in [16usize, 48, 1024] {
+            let mut w = CacheStreamWriter::with_section_bytes(Vec::new(), section_bytes).unwrap();
+            for &t in g.arrivals() {
+                w.push_arrival(t).unwrap();
+            }
+            for e in g.edges() {
+                w.push_edge(e.u, e.v, e.t).unwrap();
+            }
+            let (bytes, summary) = w.finish().unwrap();
+            assert!(summary.sections > 2, "threshold {section_bytes} should force splits");
+            let back = read_cache(&bytes[..]).unwrap();
+            assert_eq!(back.arrivals(), g.arrivals());
+            assert_eq!(back.edges(), g.edges());
+        }
+        let back = read_cache(&default_bytes[..]).unwrap();
+        assert_eq!(back.edges(), g.edges());
+    }
+
+    #[test]
+    fn interleaved_sections_round_trip() {
+        // Day-bucketed emission: arrivals and edges alternate, which is
+        // what the streaming generator produces. Kind switches force
+        // section boundaries at each run.
+        let mut w = CacheStreamWriter::new(Vec::new()).unwrap();
+        w.push_arrival(0).unwrap();
+        w.push_arrival(0).unwrap();
+        w.push_edge(0, 1, 5).unwrap();
+        w.push_arrival(10).unwrap();
+        w.push_edge(2, 0, 12).unwrap();
+        w.push_edge(1, 2, 13).unwrap();
+        let (bytes, summary) = w.finish().unwrap();
+        assert_eq!(summary.sections, 4, "two arrival runs + two edge runs");
+        let back = read_cache(&bytes[..]).unwrap();
+        assert_eq!(back.node_count(), 3);
+        assert_eq!(back.edge_count(), 3);
+        assert_eq!(back.edges()[1], TimedEdge { u: 0, v: 2, t: 12 }, "endpoints canonicalized");
+    }
+
+    #[test]
+    fn stream_writer_rejects_invalid_events() {
+        let mut w = CacheStreamWriter::new(Vec::new()).unwrap();
+        w.push_arrival(5).unwrap();
+        w.push_arrival(7).unwrap();
+        assert!(matches!(w.push_arrival(6), Err(TraceIoError::Cache(_))), "arrival regression");
+        assert!(matches!(w.push_edge(0, 0, 8), Err(TraceIoError::Cache(_))), "self loop");
+        assert!(matches!(w.push_edge(0, 9, 8), Err(TraceIoError::Cache(_))), "unknown node");
+        w.push_edge(0, 1, 8).unwrap();
+        assert!(matches!(w.push_edge(1, 0, 7), Err(TraceIoError::Cache(_))), "edge regression");
+    }
+
+    #[test]
+    fn corruption_error_names_bad_section() {
+        let g = chain(100);
+        let mut w = CacheStreamWriter::with_section_bytes(Vec::new(), 64).unwrap();
+        for &t in g.arrivals() {
+            w.push_arrival(t).unwrap();
+        }
+        for e in g.edges() {
+            w.push_edge(e.u, e.v, e.t).unwrap();
+        }
+        let (bytes, summary) = w.finish().unwrap();
+        assert!(summary.sections >= 4);
+        // Corrupt a byte ~3/4 through the stream: lands inside a late
+        // section's payload, so the error should name a nonzero section.
+        let mut bad = bytes.clone();
+        let at = bytes.len() * 3 / 4;
+        bad[at] ^= 0xFF;
+        match read_cache(&bad[..]) {
+            Err(TraceIoError::Cache(msg)) => {
+                assert!(msg.contains("section"), "error should name the section: {msg}");
+                assert!(msg.contains("checksum") || msg.contains("kind"), "{msg}");
+            }
+            other => panic!("expected cache error, got {other:?}"),
+        }
+        // Drop the 33-byte footer: the error says so instead of claiming
+        // success.
+        let truncated = &bytes[..bytes.len() - 33];
+        match read_cache(truncated) {
+            Err(TraceIoError::Cache(msg)) => assert!(msg.contains("footer"), "{msg}"),
+            other => panic!("expected cache error, got {other:?}"),
+        }
+        // Trailing garbage after the footer is rejected too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(matches!(read_cache(&padded[..]), Err(TraceIoError::Cache(_))));
+    }
+
+    #[test]
+    fn v1_caches_are_rejected_with_version_error() {
+        // A minimal v1 header: magic + version 1. Readers must reject it
+        // (callers fall back to the text source and rewrite the cache).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&CACHE_MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 24]);
+        match read_cache(&bytes[..]) {
+            Err(TraceIoError::Cache(msg)) => assert!(msg.contains("version"), "{msg}"),
+            other => panic!("expected cache error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sectioned_reader_serves_windows_and_load_full() {
+        let g = chain(300);
+        let dir = std::env::temp_dir().join("linklens-test-sectioned");
+        let path = dir.join("trace.llc");
+        let mut w = CacheFileWriter::create(&path).unwrap();
+        for &t in g.arrivals() {
+            w.push_arrival(t).unwrap();
+        }
+        for e in g.edges() {
+            w.push_edge(e.u, e.v, e.t).unwrap();
+        }
+        let summary = w.finish().unwrap();
+        assert_eq!(summary.edges, g.edge_count());
+
+        let mut r = SectionedCacheReader::open(&path).unwrap();
+        assert_eq!(TraceReader::node_count(&r), g.node_count());
+        assert_eq!(TraceReader::edge_count(&r), g.edge_count());
+        assert_eq!(TraceReader::arrivals(&r), g.arrivals());
+        assert_eq!(r.nodes_at(17), g.nodes_at(17));
+        let mut window = Vec::new();
+        for (start, end) in [(0, 0), (0, 5), (7, 123), (290, 299), (0, 299)] {
+            r.read_edge_window(start, end, &mut window).unwrap();
+            assert_eq!(&window[..], &g.edges()[start..end], "window {start}..{end}");
+        }
+        let full = r.load_full().unwrap();
+        assert_eq!(full.edges(), g.edges());
+        assert_eq!(full.arrivals(), g.arrivals());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sectioned_reader_windows_cross_small_sections() {
+        let g = chain(120);
+        let dir = std::env::temp_dir().join("linklens-test-sectioned-small");
+        let path = dir.join("trace.llc");
+        let _ = std::fs::create_dir_all(&dir);
+        let tmp = path.with_extension("llc.tmp");
+        let mut w = CacheStreamWriter::with_section_bytes(
+            BufWriter::new(std::fs::File::create(&tmp).unwrap()),
+            48,
+        )
+        .unwrap();
+        for &t in g.arrivals() {
+            w.push_arrival(t).unwrap();
+        }
+        for e in g.edges() {
+            w.push_edge(e.u, e.v, e.t).unwrap();
+        }
+        w.finish().unwrap();
+        std::fs::rename(&tmp, &path).unwrap();
+
+        let mut r = SectionedCacheReader::open(&path).unwrap();
+        assert!(r.edge_section_count() > 10, "48-byte sections hold at most 3 edges");
+        let mut window = Vec::new();
+        for (start, end) in [(0, 119), (1, 118), (2, 7), (57, 58)] {
+            r.read_edge_window(start, end, &mut window).unwrap();
+            assert_eq!(&window[..], &g.edges()[start..end], "window {start}..{end}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn temporal_graph_implements_trace_reader() {
+        let mut g = sample();
+        let total = TraceReader::edge_count(&g);
+        let mut window = Vec::new();
+        g.read_edge_window(1, total, &mut window).unwrap();
+        assert_eq!(window.len(), 2);
+        assert_eq!(window[0].t, 12);
+        // The &mut blanket impl lets generic consumers borrow.
+        let borrow = &mut g;
+        borrow.read_edge_window(0, 1, &mut window).unwrap();
+        assert_eq!(window.len(), 1);
     }
 }

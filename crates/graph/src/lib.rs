@@ -36,10 +36,17 @@
 //! * [`par`] — the shared worker pool every parallel stage runs on, with
 //!   thread-count resolution (`--threads` override → `LINKLENS_THREADS` →
 //!   available parallelism) and task-ordered result collection.
-//! * [`sample`] — snowball (BFS) sampling at a fixed percentage with a
-//!   fixed seed node, re-applied across consecutive snapshots (§5.1).
-//! * [`io`] — trace (de)serialization: the native v1 format plus bare
-//!   timestamped edge lists, the format public OSN traces ship in.
+//! * [`sample`] — snowball (BFS) and uniform random-node sampling at a
+//!   fixed percentage with fixed seed nodes, re-applied across consecutive
+//!   snapshots (§5.1).
+//! * [`io`] — trace (de)serialization: the native text format plus bare
+//!   timestamped edge lists, and the sectioned binary cache with streaming
+//!   writers ([`io::CacheStreamWriter`]) and windowed readers
+//!   ([`io::SectionedCacheReader`] behind [`io::TraceReader`]).
+//! * [`stream`] — out-of-core sweeps: [`stream::StreamingSnapshotBuilder`]
+//!   and [`stream::StreamingSequence`] run the incremental engine against
+//!   any [`io::TraceReader`] while holding only the active delta window,
+//!   bit-identical to the in-core sweep at every boundary.
 //!
 //! Node identifiers are dense `u32` indices assigned in arrival order; a
 //! node "exists" in a snapshot iff its arrival time is at or before the
@@ -58,6 +65,7 @@ pub mod sample;
 pub mod sequence;
 pub mod snapshot;
 pub mod stats;
+pub mod stream;
 pub mod temporal;
 pub mod traversal;
 

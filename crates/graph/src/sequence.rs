@@ -5,6 +5,46 @@ use crate::snapshot::Snapshot;
 use crate::temporal::TemporalGraph;
 use crate::NodeId;
 
+/// Boundary selection shared by [`SnapshotSequence::by_edge_delta`] and the
+/// out-of-core [`crate::stream::StreamingSequence`]: prefixes of `delta` new
+/// edges each, the final snapshot absorbing any remainder smaller than
+/// `delta / 2`.
+///
+/// # Panics
+/// Panics if `delta == 0` or `total < 2 * delta` (a sequence needs at least
+/// two snapshots to predict anything).
+pub(crate) fn delta_boundaries(total: usize, delta: usize) -> Vec<usize> {
+    assert!(delta > 0, "delta must be positive");
+    assert!(total >= 2 * delta, "trace too short for two snapshots of delta {delta}");
+    let mut boundaries = Vec::with_capacity(total / delta + 1);
+    let mut b = delta;
+    while b < total {
+        boundaries.push(b);
+        b += delta;
+    }
+    let remainder = total - boundaries.last().copied().unwrap_or(0);
+    if remainder < delta / 2 && boundaries.len() > 1 {
+        // linklens-allow(unwrap-in-lib): the while loop above pushed at least one boundary
+        *boundaries.last_mut().expect("non-empty") = total;
+    } else {
+        boundaries.push(total);
+    }
+    boundaries
+}
+
+/// Boundary selection shared by [`SnapshotSequence::with_count`] and the
+/// out-of-core [`crate::stream::StreamingSequence`]: exactly `count`
+/// snapshots of (near-)equal edge delta.
+pub(crate) fn count_boundaries(total: usize, count: usize) -> Vec<usize> {
+    assert!(count >= 2, "need at least two snapshots");
+    let delta = (total / count).max(1);
+    let mut boundaries = delta_boundaries(total, delta);
+    boundaries.truncate(count);
+    // linklens-allow(unwrap-in-lib): delta_boundaries always produces at least two boundaries
+    *boundaries.last_mut().expect("non-empty") = total;
+    boundaries
+}
+
 /// A sequence of snapshot boundaries over one trace, each snapshot adding a
 /// constant number of new edges ("snapshot delta").
 ///
@@ -28,35 +68,13 @@ impl<'a> SnapshotSequence<'a> {
     /// Panics if `delta == 0` or the trace has fewer than `2 * delta` edges
     /// (a sequence needs at least two snapshots to predict anything).
     pub fn by_edge_delta(trace: &'a TemporalGraph, delta: usize) -> Self {
-        assert!(delta > 0, "delta must be positive");
-        let total = trace.edge_count();
-        assert!(total >= 2 * delta, "trace too short for two snapshots of delta {delta}");
-        let mut boundaries = Vec::with_capacity(total / delta + 1);
-        let mut b = delta;
-        while b < total {
-            boundaries.push(b);
-            b += delta;
-        }
-        let remainder = total - boundaries.last().copied().unwrap_or(0);
-        if remainder < delta / 2 && boundaries.len() > 1 {
-            // linklens-allow(unwrap-in-lib): the while loop above pushed at least one boundary
-            *boundaries.last_mut().expect("non-empty") = total;
-        } else {
-            boundaries.push(total);
-        }
-        SnapshotSequence { trace, boundaries }
+        SnapshotSequence { trace, boundaries: delta_boundaries(trace.edge_count(), delta) }
     }
 
     /// Builds a sequence with exactly `count` snapshots of (near-)equal
     /// edge delta.
     pub fn with_count(trace: &'a TemporalGraph, count: usize) -> Self {
-        assert!(count >= 2, "need at least two snapshots");
-        let delta = (trace.edge_count() / count).max(1);
-        let mut seq = Self::by_edge_delta(trace, delta);
-        seq.boundaries.truncate(count);
-        // linklens-allow(unwrap-in-lib): by_edge_delta always produces at least two boundaries
-        *seq.boundaries.last_mut().expect("non-empty") = trace.edge_count();
-        seq
+        SnapshotSequence { trace, boundaries: count_boundaries(trace.edge_count(), count) }
     }
 
     /// Number of snapshots `T`.

@@ -71,13 +71,15 @@ pub struct TraceConfig {
 
 impl TraceConfig {
     /// Returns a copy with node counts (initial and implied final) scaled
-    /// by `f`, for cheap test-sized traces. Edge budgets scale with the
-    /// node count automatically because they are per-node rates.
+    /// by `f` — down for cheap test-sized traces (`f < 1`), up for the
+    /// large out-of-core presets (`f > 1`, e.g. the renren-like scale-5
+    /// walkthrough in the README). Edge budgets scale with the node count
+    /// automatically because they are per-node rates.
     ///
     /// # Panics
-    /// Panics unless `0 < f <= 1`.
+    /// Panics unless the scale factor is positive.
     pub fn scaled(mut self, f: f64) -> Self {
-        assert!(f > 0.0 && f <= 1.0, "scale factor must be in (0, 1]");
+        assert!(f > 0.0, "scale factor must be positive");
         self.initial_nodes = ((self.initial_nodes as f64 * f) as usize).max(20);
         self.initial_edges = ((self.initial_edges as f64 * f) as usize).max(20);
         self
@@ -108,6 +110,14 @@ mod tests {
     #[should_panic(expected = "scale factor")]
     fn scaled_rejects_zero() {
         let _ = TraceConfig::facebook_like().scaled(0.0);
+    }
+
+    #[test]
+    fn scaled_up_multiplies_sizes() {
+        let c = TraceConfig::renren_like();
+        let s = c.clone().scaled(5.0);
+        assert_eq!(s.initial_nodes, c.initial_nodes * 5);
+        assert_eq!(s.initial_edges, c.initial_edges * 5);
     }
 
     #[test]

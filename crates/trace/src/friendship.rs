@@ -264,9 +264,10 @@ impl State {
         }
     }
 
-    /// The full destination mixture used by the friendship model.
+    /// The full destination mixture used by the friendship model (shared
+    /// with the streaming generator in [`crate::stream`]).
     #[allow(clippy::too_many_arguments)]
-    fn pick_target<R: Rng>(
+    pub fn pick_target<R: Rng>(
         &self,
         u: NodeId,
         closure_share: f64,

@@ -31,8 +31,15 @@
 //!
 //! [`presets::TraceConfig`] carries the tuned parameter sets
 //! (`facebook_like`, `renren_like`, `youtube_like`) plus `.scaled(f)` for
-//! cheap test-sized variants. All generation is deterministic given the
-//! seed passed to [`presets::TraceConfig::generate`].
+//! cheap test-sized variants (and `f > 1` for the large out-of-core
+//! presets). All generation is deterministic given the seed passed to
+//! [`presets::TraceConfig::generate`].
+//!
+//! [`stream`] is the out-of-core generation path: day-bucketed streaming
+//! emission into any [`stream::EventSink`] (typically the sectioned binary
+//! cache) with a bounded working set and deterministic chunk-parallel edge
+//! proposals — the way to produce 10⁶–10⁷-node traces without ever holding
+//! the full edge list in memory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +50,7 @@ pub mod events;
 pub mod friendship;
 pub mod lifecycle;
 pub mod presets;
+pub mod stream;
 pub mod subscription;
 
 /// A generated growth trace — alias for the substrate's temporal graph.

@@ -1,0 +1,26 @@
+//! The streaming generator's bit-identity guarantee: for a fixed seed the
+//! emitted event stream is byte-for-byte identical at every worker count
+//! (the chunk schedule, not the thread pool, fixes the RNG streams — see
+//! `crates/trace/src/stream.rs`).
+
+use osn_trace::stream::generate_streaming;
+use osn_trace::GrowthTrace;
+
+/// Worker-count sweep lives in one test because the thread override is
+/// process-global.
+#[test]
+fn streaming_generation_bit_identical_across_worker_counts() {
+    let cfg = osn_trace::presets::TraceConfig::renren_like().scaled(0.1).with_days(35);
+    let mut reference = GrowthTrace::new();
+    let ref_summary = generate_streaming(&cfg, 99, &mut reference).expect("reference generation");
+    assert!(ref_summary.edges > 500, "trace too small to exercise the parallel chunk path");
+    for threads in [1usize, 2, 4] {
+        osn_graph::par::set_thread_override(Some(threads));
+        let mut trace = GrowthTrace::new();
+        let summary = generate_streaming(&cfg, 99, &mut trace).expect("generation");
+        assert_eq!(summary, ref_summary, "{threads} workers: summary diverged");
+        assert_eq!(trace.arrivals(), reference.arrivals(), "{threads} workers: arrivals diverged");
+        assert_eq!(trace.edges(), reference.edges(), "{threads} workers: edges diverged");
+    }
+    osn_graph::par::set_thread_override(None);
+}
