@@ -13,13 +13,17 @@
 //! `rescal_factorization`), and compares the end-to-end framework sweep
 //! before/after batched-kernel routing — with and without the §6.2
 //! temporal filters pushed into candidate enumeration — into
-//! `BENCH_e2e_sweep.json`, and benchmarks the out-of-core large-trace
+//! `BENCH_e2e_sweep.json`, benchmarks the out-of-core large-trace
 //! path (streaming generation into the sectioned cache, windowed sweeps,
 //! snowball-sampled evaluation, per-phase peak RSS) against the
-//! full-materialization baseline into `BENCH_large_trace.json`.
+//! full-materialization baseline into `BENCH_large_trace.json`, and
+//! drives the online ingest + per-user top-k serving stack (linklens-serve)
+//! with a Zipfian query mix interleaved with streaming ingest into
+//! `BENCH_serving.json` — after first asserting every served top-k is
+//! bit-identical to the offline batch answer at the same snapshot version.
 //!
 //! ```text
-//! scalecheck [SCALE] [DAYS] [--sweep-only | --snapshot-build-only | --fused-scoring-only | --global-scoring-only | --factor-scoring-only | --e2e-sweep-only | --large-trace-only] [--rss-budget-mb=MB] [--paranoid]
+//! scalecheck [SCALE] [DAYS] [--sweep-only | --snapshot-build-only | --fused-scoring-only | --global-scoring-only | --factor-scoring-only | --e2e-sweep-only | --large-trace-only | --serving-only] [--rss-budget-mb=MB] [--paranoid]
 //! ```
 //!
 //! `--paranoid` turns the runtime invariant audits on in this release
@@ -44,6 +48,7 @@ fn main() {
     let factor_scoring_only = args.iter().any(|a| a == "--factor-scoring-only");
     let e2e_sweep_only = args.iter().any(|a| a == "--e2e-sweep-only");
     let large_trace_only = args.iter().any(|a| a == "--large-trace-only");
+    let serving_only = args.iter().any(|a| a == "--serving-only");
     let rss_budget_mb: Option<f64> =
         args.iter().find_map(|a| a.strip_prefix("--rss-budget-mb=").and_then(|v| v.parse().ok()));
     if args.iter().any(|a| a == "--paranoid") {
@@ -78,6 +83,10 @@ fn main() {
         large_trace(scale, days, rss_budget_mb);
         return;
     }
+    if serving_only {
+        serving(scale, days);
+        return;
+    }
     if !sweep_only {
         calibration(scale, days);
     }
@@ -88,6 +97,7 @@ fn main() {
     rescal_factorization(scale, days);
     e2e_sweep(scale, days);
     large_trace(scale, days, rss_budget_mb);
+    serving(scale, days);
 }
 
 /// The original probe: one full evaluation transition per preset.
@@ -1550,4 +1560,354 @@ fn large_trace(scale: f64, days: u32, rss_budget_mb: Option<f64>) {
         "note": "streaming = generate_streaming -> CacheFileWriter (generation and cache write fused, so cache_write_mb_per_sec shares the generation wall time) -> SectionedCacheReader windowed sweep (StreamingSequence); in_core_baseline = read_cache_file full load + SnapshotSequence sweep of the same cache. The snowball-sampled CN evaluation runs on the streaming path with a size-aware draw fraction (samples target ~6k members regardless of trace size) and its own VmHWM segment — its footprint is the sampled pair universe, identical on both paths, so the streaming-vs-in-core RSS comparison isolates trace materialization. VmHWM is reset between segments via /proc/self/clear_refs when the kernel allows it; sweep digests are asserted bit-identical across the two paths.",
     });
     bench_merge::write_report("BENCH_large_trace.json", &report);
+}
+
+/// splitmix64 step — the deterministic stream every driver thread and
+/// sampler in this scenario derives from.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Zipfian rank in `[0, n)` by inverse CDF: `floor(exp(U(0, ln n)))`
+/// lands on rank r with probability ∝ 1/r — low node ids are the
+/// popular users a serving query mix concentrates on.
+fn zipf_rank(state: &mut u64, n: usize) -> usize {
+    let u = (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64;
+    let r = (u * (n as f64).ln()).exp() as usize;
+    r.min(n - 1)
+}
+
+/// Offline oracle for one served query: the full candidate universe
+/// filtered to the source, scored by the offline batch engine at one
+/// thread, selected with the server's seeded top-k.
+fn offline_topk_oracle(
+    m: &dyn Metric,
+    snap: &Snapshot,
+    universe: &CandidateSet,
+    source: u32,
+    k: usize,
+    seed: u64,
+) -> Vec<(u32, u32)> {
+    let pairs: Vec<(u32, u32)> =
+        universe.pairs().iter().copied().filter(|&(a, b)| a == source || b == source).collect();
+    let scores = osn_metrics::exec::score_pairs_t(m, snap, &pairs, 1);
+    osn_metrics::topk::top_k_pairs(&pairs, &scores, k, seed)
+}
+
+/// Online ingest + bounded-latency serving on the renren-like preset —
+/// the scenario behind `BENCH_serving.json`.
+///
+/// Phases:
+/// 1. **Bootstrap** (untimed): the first 70% of the trace streams through
+///    [`linklens_serve::Server`] ingest and publishes.
+/// 2. **Parity gate** (untimed): the published CSR is digest-asserted
+///    against the offline `SnapshotBuilder` at the same prefix, and for
+///    every served metric a deterministic probe set of sources is queried
+///    and asserted bit-identical to the offline batch answer (candidate
+///    set + batch engine + seeded top-k) at the pinned version. Nothing
+///    is timed until this passes.
+/// 3. **Timed serving**: the remaining 30% of the trace streams through
+///    ingest (publishing in ~12 batches) while two driver threads issue a
+///    Zipfian per-user query mix over all served metrics, recording
+///    per-query latency, response versions, and cache hits. Responses
+///    spanning ≥ 2 versions prove queries kept flowing across publishes
+///    (no global stop-the-world).
+/// 4. **Warm vs cold** (per metric): one forced-miss query at the final
+///    version vs the same query again from the result cache.
+fn serving(scale: f64, days: u32) {
+    use linklens_serve::{ServeConfig, Server};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let host = detect_host();
+    let cfg = osn_trace::presets::TraceConfig::renren_like().scaled(scale).with_days(days);
+    let trace = cfg.generate(42);
+    let total_edges = trace.edge_count();
+    let bootstrap_edges = (total_edges * 7 / 10).max(1);
+    let metric_names: Vec<String> =
+        ["CN", "JC", "AA", "RA", "PA", "BCN", "LP", "LRW", "PPR"].map(String::from).to_vec();
+    let workers = osn_graph::par::max_threads();
+    let serve_cfg = ServeConfig {
+        metrics: metric_names.clone(),
+        workers,
+        queue_capacity: 4096,
+        cache_shards: 32,
+        k: 10,
+        seed: 0x11A5,
+        top_degree: 32,
+        promote_limit: 1 << 17,
+    };
+    let (k, seed, top_degree) = (serve_cfg.k, serve_cfg.seed, serve_cfg.top_degree);
+    let server = Server::start(serve_cfg).expect("serve config resolves");
+
+    // Phase 1: bootstrap ingest (untimed).
+    let arrivals = trace.arrivals();
+    let mut next_node = 0usize;
+    let mut ingest_range = |server: &Server, from: usize, to: usize| {
+        for e in &trace.edges()[from..to] {
+            while next_node < arrivals.len() && arrivals[next_node] <= e.t {
+                server.ingest_node(arrivals[next_node]).expect("trace arrivals are monotone");
+                next_node += 1;
+            }
+            server.ingest_edge(e.u, e.v, e.t).expect("trace edges are valid");
+        }
+    };
+    ingest_range(&server, 0, bootstrap_edges);
+    server.publish();
+    let pinned = server.current();
+    println!(
+        "serving: bootstrap {} nodes / {} edges published as version {}",
+        pinned.snapshot.node_count(),
+        pinned.snapshot.edge_count(),
+        pinned.version
+    );
+
+    // Phase 2a: CSR parity against the offline builder at the same prefix.
+    let mut offline = osn_graph::builder::SnapshotBuilder::new(&trace);
+    let offline_snap = offline.advance_to(pinned.snapshot.prefix_len());
+    assert_eq!(
+        snapshot_digest(0, &pinned.snapshot),
+        snapshot_digest(0, offline_snap),
+        "streamed snapshot diverged from the offline builder"
+    );
+
+    // Phase 2b: served answers vs the offline batch engine, per metric,
+    // over a deterministic Zipfian probe set — all at the pinned version.
+    let metrics = osn_metrics::all_metrics();
+    let n_boot = pinned.snapshot.node_count();
+    let mut probe_state = 0x5EED_0001u64;
+    let probes: Vec<u32> = (0..12).map(|_| zipf_rank(&mut probe_state, n_boot) as u32).collect();
+    let mut universes: Vec<(CandidatePolicy, CandidateSet)> = Vec::new();
+    for name in &metric_names {
+        let m = metrics.iter().find(|m| m.name() == name).expect("served metric exists");
+        let policy = m.candidate_policy();
+        if !universes.iter().any(|(p, _)| *p == policy) {
+            universes.push((policy, CandidateSet::build(&pinned.snapshot, policy, top_degree)));
+        }
+        let universe = &universes.iter().find(|(p, _)| *p == policy).expect("just inserted").1;
+        let mi = metric_names.iter().position(|n| n == name).expect("own list") as u32;
+        for &source in &probes {
+            let served = server
+                .query_blocking(mi, source, std::time::Duration::from_secs(300))
+                .expect("parity query answered");
+            assert_eq!(
+                served.version, pinned.version,
+                "{name}: parity answer at an unexpected version"
+            );
+            let oracle =
+                offline_topk_oracle(m.as_ref(), &pinned.snapshot, universe, source, k, seed);
+            assert_eq!(
+                *served.topk, oracle,
+                "{name} source {source}: served top-k != offline batch answer at version {}",
+                served.version
+            );
+        }
+    }
+    println!(
+        "serving: parity gate passed — {} metrics x {} probes bit-identical to offline",
+        metric_names.len(),
+        probes.len()
+    );
+
+    // Phase 3: timed — stream the tail through ingest while Zipfian
+    // drivers query concurrently.
+    let ingest_done = AtomicBool::new(false);
+    let queries_issued = std::sync::atomic::AtomicUsize::new(0);
+    let publish_stats: std::sync::Mutex<Vec<(f64, usize)>> = std::sync::Mutex::new(Vec::new());
+    let queries_per_driver: usize = (total_edges / 4).clamp(1_000, 8_000);
+    const DRIVERS: usize = 2;
+    // Queries the drivers must land between consecutive publishes. This
+    // paces ingest *down* to the query stream when ingest would otherwise
+    // finish instantly (smoke scales), guaranteeing the mix actually
+    // interleaves; at large scales the drivers outrun ingest and the wait
+    // is a no-op. Ingest never blocks queries — only its own next batch.
+    const INTERLEAVE_QUERIES: usize = 40;
+    let t0 = Instant::now();
+    let driver_results: Vec<(Vec<f64>, std::collections::HashSet<u64>, u64)> =
+        std::thread::scope(|scope| {
+            let ingest_handle = scope.spawn(|| {
+                let remaining = total_edges - bootstrap_edges;
+                let batch = (remaining / 12).max(1);
+                let mut from = bootstrap_edges;
+                let mut published_batches = 0usize;
+                while from < total_edges {
+                    while queries_issued.load(Ordering::Acquire)
+                        < published_batches * INTERLEAVE_QUERIES
+                    {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    let to = (from + batch).min(total_edges);
+                    ingest_range(&server, from, to);
+                    let (publish_secs, out) = timed(|| server.publish());
+                    publish_stats
+                        .lock()
+                        .expect("publish stats lock")
+                        .push((publish_secs, out.delta_edges));
+                    published_batches += 1;
+                    from = to;
+                }
+                ingest_done.store(true, Ordering::Release);
+            });
+            let drivers: Vec<_> = (0..DRIVERS)
+                .map(|d| {
+                    let server = &server;
+                    let ingest_done = &ingest_done;
+                    let queries_issued = &queries_issued;
+                    let metric_count = metric_names.len() as u64;
+                    scope.spawn(move || {
+                        let mut state = 0xD1CE_0000u64 + d as u64;
+                        let mut latencies_ms: Vec<f64> = Vec::new();
+                        let mut versions: std::collections::HashSet<u64> =
+                            std::collections::HashSet::new();
+                        let mut hits = 0u64;
+                        let mut issued = 0usize;
+                        // Run the fixed budget, then keep going until
+                        // ingest finishes so queries overlap every publish.
+                        while issued < queries_per_driver || !ingest_done.load(Ordering::Acquire) {
+                            let mi = (splitmix64(&mut state) % metric_count) as u32;
+                            let source = zipf_rank(&mut state, n_boot) as u32;
+                            let q0 = Instant::now();
+                            let r = server
+                                .query_blocking(mi, source, std::time::Duration::from_secs(300))
+                                .expect("serving query answered");
+                            latencies_ms.push(q0.elapsed().as_secs_f64() * 1e3);
+                            versions.insert(r.version);
+                            if r.cache_hit {
+                                hits += 1;
+                            }
+                            issued += 1;
+                            queries_issued.fetch_add(1, Ordering::Release);
+                        }
+                        (latencies_ms, versions, hits)
+                    })
+                })
+                .collect();
+            ingest_handle.join().expect("ingest thread");
+            drivers.into_iter().map(|d| d.join().expect("driver thread")).collect()
+        });
+    let serving_secs = t0.elapsed().as_secs_f64();
+
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut versions: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut hits = 0u64;
+    for (l, v, h) in driver_results {
+        latencies_ms.extend(l);
+        versions.extend(v);
+        hits += h;
+    }
+    let total_queries = latencies_ms.len();
+    assert!(
+        versions.len() >= 2,
+        "responses span {} version(s): serving stalled during ingest (stop-the-world?)",
+        versions.len()
+    );
+    let p = linklens_bench::stats::percentiles(&latencies_ms);
+    let hit_rate = hits as f64 / total_queries.max(1) as f64;
+    let publish_rows = publish_stats.into_inner().expect("publish stats");
+    let publish_count = publish_rows.len();
+    let max_publish_secs = publish_rows.iter().map(|&(s, _)| s).fold(0.0f64, f64::max);
+    let mean_publish_secs =
+        publish_rows.iter().map(|&(s, _)| s).sum::<f64>() / publish_count.max(1) as f64;
+    let final_stats = server.stats();
+    assert_eq!(final_stats.pending_edges, 0, "final publish left edges behind");
+    println!(
+        "serving: {total_queries} queries in {serving_secs:.2}s ({:.0} q/s) over {} versions — \
+         p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms, hit rate {:.2}, {publish_count} publishes \
+         (mean {:.3}s, max {:.3}s)",
+        rate(total_queries, serving_secs),
+        versions.len(),
+        p.p50,
+        p.p95,
+        p.p99,
+        hit_rate,
+        mean_publish_secs,
+        max_publish_secs,
+    );
+
+    // Phase 4: warm vs cold per metric at the final version. A cold row
+    // is a forced miss (probe sources walk down from the top id until one
+    // misses); the warm row repeats the same query as a guaranteed hit.
+    let final_version = server.version();
+    let n_final = server.current().snapshot.node_count();
+    let mut warm_cold_rows = Vec::new();
+    for (mi, name) in metric_names.iter().enumerate() {
+        let mut cold: Option<(u32, f64)> = None;
+        for probe in (0..n_final as u32).rev().take(64) {
+            let q0 = Instant::now();
+            let r = server
+                .query_blocking(mi as u32, probe, std::time::Duration::from_secs(300))
+                .expect("cold query answered");
+            let ms = q0.elapsed().as_secs_f64() * 1e3;
+            if !r.cache_hit {
+                cold = Some((probe, ms));
+                break;
+            }
+        }
+        let Some((probe, cold_ms)) = cold else {
+            println!("serving: {name}: no cold probe found (cache saturated); row skipped");
+            continue;
+        };
+        let q0 = Instant::now();
+        let r = server
+            .query_blocking(mi as u32, probe, std::time::Duration::from_secs(300))
+            .expect("warm query answered");
+        let warm_ms = q0.elapsed().as_secs_f64() * 1e3;
+        assert!(r.cache_hit, "{name}: repeat query at a stable version must hit the cache");
+        println!("serving: {name}: cold {cold_ms:.3}ms, warm {warm_ms:.3}ms (source {probe})");
+        warm_cold_rows.push(serde_json::json!({
+            "metric": name,
+            "source": probe,
+            "cold_ms": cold_ms,
+            "warm_ms": warm_ms,
+        }));
+    }
+    server.shutdown();
+
+    let latency_json = serde_json::json!({
+        "p50": p.p50,
+        "p95": p.p95,
+        "p99": p.p99,
+    });
+    let cache_json = serde_json::json!({
+        "hits": hits,
+        "misses": total_queries as u64 - hits,
+        "hit_rate": hit_rate,
+    });
+    let ingest_lag_json = serde_json::json!({
+        "publishes": publish_count,
+        "mean_publish_secs": mean_publish_secs,
+        "max_publish_secs": max_publish_secs,
+        "final_pending_edges": final_stats.pending_edges,
+    });
+    let report = serde_json::json!({
+        "bench": "serving",
+        "network": "renren-like",
+        "scale": scale,
+        "days": days,
+        "host_cores": host.effective,
+        "host": host.json(),
+        "workers": workers,
+        "nodes": n_final,
+        "edges": total_edges,
+        "bootstrap_edges": bootstrap_edges,
+        "streamed_edges": total_edges - bootstrap_edges,
+        "metrics": metric_names,
+        "k": k,
+        "parity": "passed",
+        "parity_probes": probes.len(),
+        "queries": total_queries,
+        "queries_per_sec": rate(total_queries, serving_secs),
+        "serving_secs": serving_secs,
+        "latency_ms": latency_json,
+        "versions_observed": versions.len(),
+        "final_version": final_version,
+        "cache": cache_json,
+        "ingest_lag": ingest_lag_json,
+        "warm_vs_cold": warm_cold_rows,
+        "note": "parity gate (untimed) asserts every served top-k equals the offline batch answer at the pinned snapshot version before anything is timed; the timed phase interleaves a 2-driver Zipfian query mix with streaming ingest (12 publish batches over the trace tail) — versions_observed >= 2 is asserted, i.e. queries kept completing across publishes; warm_vs_cold compares a forced result-cache miss against the same query served from the cache at a stable version",
+    });
+    bench_merge::write_report("BENCH_serving.json", &report);
 }

@@ -338,6 +338,76 @@ pub mod bench_merge {
     }
 }
 
+/// Small numeric summaries shared by the scalecheck scenarios.
+pub mod stats {
+    /// p50 / p95 / p99 of a latency (or any) sample set.
+    #[derive(Clone, Copy, Debug, Default, PartialEq)]
+    pub struct Percentiles {
+        /// Median.
+        pub p50: f64,
+        /// 95th percentile.
+        pub p95: f64,
+        /// 99th percentile.
+        pub p99: f64,
+    }
+
+    /// NaN-safe percentile summary: samples are ranked with `total_cmp`
+    /// (NaNs sort above every number instead of poisoning the order), and
+    /// each percentile is the nearest-rank element — the value at index
+    /// `ceil(q·n) - 1` of the sorted sample, so it is always an observed
+    /// sample, never an interpolation. An empty input yields all zeros.
+    pub fn percentiles(samples: &[f64]) -> Percentiles {
+        if samples.is_empty() {
+            return Percentiles::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable_by(|a, b| a.total_cmp(b));
+        let at = |q: f64| {
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        Percentiles { p50: at(0.50), p95: at(0.95), p99: at(0.99) }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn empty_input_yields_zeros() {
+            assert_eq!(percentiles(&[]), Percentiles::default());
+        }
+
+        #[test]
+        fn single_sample_is_every_percentile() {
+            let p = percentiles(&[7.5]);
+            assert_eq!((p.p50, p.p95, p.p99), (7.5, 7.5, 7.5));
+        }
+
+        #[test]
+        fn nearest_rank_on_a_clean_spread() {
+            // 1..=100: nearest-rank p50 = 50, p95 = 95, p99 = 99.
+            let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+            let p = percentiles(&v);
+            assert_eq!((p.p50, p.p95, p.p99), (50.0, 95.0, 99.0));
+            // Order must not matter.
+            let mut rev = v.clone();
+            rev.reverse();
+            assert_eq!(percentiles(&rev), p);
+        }
+
+        #[test]
+        fn nans_rank_last_instead_of_poisoning() {
+            // With two NaNs among eight finite values, p50 still lands on
+            // a finite sample and p99 picks the (NaN) maximum rank.
+            let v = [3.0, f64::NAN, 1.0, 2.0, 4.0, 5.0, 6.0, f64::NAN, 7.0, 8.0];
+            let p = percentiles(&v);
+            assert_eq!(p.p50, 5.0);
+            assert!(p.p99.is_nan(), "NaNs sort above every number under total_cmp");
+        }
+    }
+}
+
 fn usage_exit(msg: &str) -> ! {
     if !msg.is_empty() {
         // linklens-allow(print-in-lib): harness progress logging for long experiment runs goes to stderr by design

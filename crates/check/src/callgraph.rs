@@ -29,8 +29,10 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Crates whose library code is subject to the phase-2 dataflow rules.
 /// Bench and bin targets are excluded on purpose: timing reads and
-/// console output are legitimate there.
-const SCOPE_CRATES: &[&str] = &["graph", "metrics", "linalg", "core", "ml", "trace"];
+/// console output are legitimate there. `serve` is in scope both for the
+/// shared dataflow rules and for `blocking-in-query-path`, which guards
+/// its marked query handlers.
+const SCOPE_CRATES: &[&str] = &["graph", "metrics", "linalg", "core", "ml", "trace", "serve"];
 
 /// Files whose every function is a deterministic root: the batched
 /// kernels whose bit-identity the equivalence suites pin.

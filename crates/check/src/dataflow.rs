@@ -22,6 +22,11 @@
 //! * `panic-in-deterministic-path` — `panic!`-family macros that are
 //!   neither audit-gated (`audit_enabled` in the enclosing body) nor a
 //!   structured-error re-raise (`Err(e) => panic!(..)`).
+//! * `blocking-in-query-path` — lock acquisitions, blocking I/O, or
+//!   snapshot rebuilds inside the `serve` crate's query handlers (the
+//!   functions carrying a `// linklens-deterministic` marker): the
+//!   bounded-latency serving contract requires handlers to score against
+//!   a version-pinned snapshot with no shared mutable state.
 
 use crate::callgraph::{masked, Surface};
 use crate::rules::{ident_at, past_matching_paren, punct_at, Diagnostic};
@@ -43,8 +48,14 @@ pub(crate) fn check_file(file: &ParsedFile, surf: &Surface, out: &mut Vec<Diagno
         if f.in_test {
             continue;
         }
-        let Some(origin) = surf.origin(&f.name) else { continue };
         let Some(body) = f.body else { continue };
+        // Query handlers in the serve crate are identified by their
+        // deterministic-surface marker, not by name-reachability: the
+        // marker is the serving contract's signature on the handler.
+        if file.info.krate == "serve" && f.marked_deterministic {
+            blocking_in_query_path(file, f, body, &mut diags);
+        }
+        let Some(origin) = surf.origin(&f.name) else { continue };
         unordered_iteration(file, body, origin, &mut diags);
         nondeterministic_source(file, body, origin, &mut diags);
         panic_in_path(file, f, body, origin, &mut diags);
@@ -396,6 +407,79 @@ fn panic_in_path(
     }
 }
 
+/// Hazard classes for `blocking-in-query-path`. Method calls that acquire
+/// or could block (`.lock()`, `.read()`, `.write()` cover both Mutex/
+/// RwLock acquisition and blocking io::Read/Write), bare constructors of
+/// lock types, blocking I/O entry points, output macros, and the offline
+/// snapshot-rebuild surface.
+const LOCK_METHODS: &[&str] = &["lock", "try_lock", "read", "write"];
+const LOCK_TYPES: &[&str] = &["Mutex", "RwLock", "Condvar"];
+const IO_CALLS: &[&str] = &["stdin", "stdout", "stderr", "read_to_string", "read_line", "flush"];
+const IO_TYPES: &[&str] = &["File"];
+const IO_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "write", "writeln", "dbg"];
+const REBUILDS: &[&str] = &["SnapshotBuilder", "from_edges", "advance_to", "load_full", "publish"];
+
+fn blocking_in_query_path(
+    file: &ParsedFile,
+    f: &FnSym,
+    body: (usize, usize),
+    out: &mut Vec<Diagnostic>,
+) {
+    let tokens = &file.lexed.tokens;
+    let (open, end) = body;
+    for i in open..end.min(tokens.len()) {
+        if masked(file, i) {
+            continue;
+        }
+        let Some(name) = ident_at(tokens, i) else { continue };
+        let hazard: Option<(&str, String)> = if punct_at(tokens, i + 1, '!') {
+            IO_MACROS.contains(&name).then(|| ("I/O", format!("`{name}!` writes to the console")))
+        } else if i > 0 && punct_at(tokens, i - 1, '.') && punct_at(tokens, i + 1, '(') {
+            if LOCK_METHODS.contains(&name) {
+                Some((
+                    "a lock acquisition (or blocking read/write)",
+                    format!("`.{name}()` can block the handler behind ingest"),
+                ))
+            } else if IO_CALLS.contains(&name) {
+                Some(("I/O", format!("`.{name}()` blocks on I/O")))
+            } else if REBUILDS.contains(&name) {
+                Some((
+                    "a snapshot rebuild",
+                    format!("`.{name}()` rebuilds state the versioned swap already provides"),
+                ))
+            } else {
+                None
+            }
+        } else if LOCK_TYPES.contains(&name) {
+            Some(("a lock acquisition", format!("`{name}` state inside the handler")))
+        } else if IO_TYPES.contains(&name) || IO_CALLS.contains(&name) {
+            Some(("I/O", format!("`{name}` blocks on I/O")))
+        } else if (REBUILDS.contains(&name) && punct_at(tokens, i + 1, '('))
+            || name == "SnapshotBuilder"
+        {
+            Some((
+                "a snapshot rebuild",
+                format!("`{name}` rebuilds state the versioned swap already provides"),
+            ))
+        } else {
+            None
+        };
+        if let Some((class, detail)) = hazard {
+            out.push(Diagnostic::new(
+                "blocking-in-query-path",
+                &file.info.path,
+                tokens[i].line,
+                format!(
+                    "{detail}: {class} inside serve query handler `{}`; handlers must score \
+                     against the version-pinned snapshot with no locks, I/O, or rebuilds \
+                     (or justify with linklens-allow)",
+                    f.name
+                ),
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,6 +597,85 @@ mod tests {
             "fn score_pairs(x: u32) {\n  match f(x) {\n    Ok(v) => v,\n    Err(e) => panic!(\"{e}\"),\n  };\n  if x > 3 { unreachable!(\"bad\") }\n}\nfn predict_audit(x: u32) {\n  if audit_enabled() { panic!(\"invariant\") }\n}\nfn f(x: u32) -> Result<u32, u32> { Ok(x) }",
         );
         assert_eq!(count(&d, "panic-in-deterministic-path"), 1);
+    }
+
+    // --- blocking-in-query-path ----------------------------------------
+
+    fn serve_info() -> FileInfo {
+        FileInfo {
+            path: "crates/serve/src/query.rs".into(),
+            krate: "serve".into(),
+            kind: FileKind::Lib,
+            is_crate_root: false,
+            is_shim: false,
+        }
+    }
+
+    fn run_serve(src: &str) -> Vec<Diagnostic> {
+        let p = parse_file(&serve_info(), src);
+        let s = surface(std::slice::from_ref(&p));
+        let mut out = Vec::new();
+        check_file(&p, &s, &mut out);
+        out
+    }
+
+    #[test]
+    fn lock_held_scoring_in_marked_handler_fires() {
+        let d = run_serve(
+            "// linklens-deterministic: serving parity handler\npub fn answer_query(&self) -> Vec<f64> {\n  let live = self.live.lock().unwrap();\n  score(&live)\n}\nfn score(s: &S) -> Vec<f64> { vec![] }",
+        );
+        assert_eq!(count(&d, "blocking-in-query-path"), 1);
+        assert_eq!(d.iter().find(|x| x.rule == "blocking-in-query-path").map(|x| x.line), Some(3));
+    }
+
+    #[test]
+    fn io_and_rebuilds_in_marked_handler_fire() {
+        let d = run_serve(
+            "// linklens-deterministic: handler\npub fn answer_query(path: &Path) -> Vec<f64> {\n  println!(\"query\");\n  let raw = std::fs::read_to_string(path);\n  let snap = SnapshotBuilder::new(&trace).advance_to(7);\n  vec![]\n}",
+        );
+        // println! + read_to_string + the rebuild line (SnapshotBuilder
+        // and .advance_to() share a line, so they dedup to one finding).
+        assert_eq!(count(&d, "blocking-in-query-path"), 3);
+    }
+
+    #[test]
+    fn unmarked_serve_fns_and_other_crates_are_exempt() {
+        // Same hazards outside a marked handler: ingest/publish paths may
+        // lock and rebuild freely.
+        let d = run_serve(
+            "pub fn publish(&self) -> u64 {\n  let mut live = self.live.lock().unwrap();\n  live.version()\n}",
+        );
+        assert_eq!(count(&d, "blocking-in-query-path"), 0);
+        // A marked fn in a non-serve crate is deterministic-surface but
+        // not a query handler.
+        let p = parse_file(
+            &info(),
+            "// linklens-deterministic: kernel order\nfn score_seed(&self) { self.state.lock(); }",
+        );
+        let s = surface(std::slice::from_ref(&p));
+        let mut out = Vec::new();
+        check_file(&p, &s, &mut out);
+        assert_eq!(count(&out, "blocking-in-query-path"), 0);
+    }
+
+    #[test]
+    fn clean_handler_and_justified_allow_pass() {
+        let d = run_serve(
+            "// linklens-deterministic: serving parity handler\npub fn candidate_targets(snap: &Snapshot, source: u32) -> Vec<(u32, u32)> {\n  let mut out = Vec::new();\n  for v in snap.neighbors(source) { out.push((source, v)); }\n  out\n}",
+        );
+        assert_eq!(count(&d, "blocking-in-query-path"), 0);
+        // Suppression travels through the shared allow machinery; check
+        // via the full single-file path in rules::check_file equivalent:
+        // here we only assert the raw finding exists for the suppressor
+        // test in rules.rs fixtures.
+    }
+
+    #[test]
+    fn test_code_inside_serve_handlers_is_exempt() {
+        let d = run_serve(
+            "#[cfg(test)]\nmod tests {\n  // linklens-deterministic: fixture\n  fn answer_query() { println!(\"x\"); }\n}",
+        );
+        assert_eq!(count(&d, "blocking-in-query-path"), 0);
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub(crate) const PHASE2_RULES: &[&str] = &[
     "nondeterministic-source-in-deterministic-path",
     "unordered-float-reduction",
     "panic-in-deterministic-path",
+    "blocking-in-query-path",
 ];
 
 /// Every rule the checker knows.
@@ -145,6 +146,12 @@ pub const RULES: &[RuleSpec] = &[
         contract: "a `panic!`/`unreachable!`/`todo!`/`unimplemented!` on the deterministic surface that is not audit-gated and not re-raising a structured error; make the state unrepresentable or return a structured error",
         rationale: "Sanctioned panics are the audit layer (gated on audit_enabled) and `Err(e) => panic!` re-raises of the structured InvariantViolation/SolverError/FactorError classes; any other panic is an unclassified crash in a path that claims total determinism.",
         fix: "- Node::Split { .. } => unreachable!(\"walker returns leaves\"),\n+ // restructure the helper to return the leaf payload so the split arm cannot exist",
+    },
+    RuleSpec {
+        name: "blocking-in-query-path",
+        contract: "a lock acquisition, blocking I/O, or snapshot rebuild inside a marked `serve` query handler; the bounded-latency query path must stay lock-free and compute-only",
+        rationale: "linklens-serve promises bounded per-query latency concurrently with ingest: workers pin an immutable snapshot and score without shared state. One `.lock()` held across scoring serializes every worker behind ingest, one blocking read stalls the queue, and one SnapshotBuilder rebuild per query is the stop-the-world the versioned swap exists to avoid.",
+        fix: "- let snap = self.live.lock().unwrap().snapshot();  // inside the handler\n+ let pinned = store.current();  // version-pinned Arc swap, taken outside scoring\n(or justify a sanctioned case: // linklens-allow(blocking-in-query-path): wait-free counter, never held across scoring)",
     },
     RuleSpec {
         name: "stale-allow",

@@ -87,6 +87,42 @@ fn seeded_panic_in_path_is_caught() {
     assert_eq!(active_of(&summary, "panic-in-deterministic-path").len(), 1);
 }
 
+#[test]
+fn seeded_blocking_in_query_path_is_caught_and_suppressible() {
+    // A marked serve handler holding the ingest lock across scoring: the
+    // exact stop-the-world hazard the serving contract forbids.
+    let hot = "// linklens-deterministic: serving parity — answers must match offline compute\n\
+               pub fn answer_query_fx(srv: &Server) -> Vec<f64> {\n\
+               \x20   let live = srv.live.lock().unwrap();\n\
+               \x20   score_live(&live)\n\
+               }\n\
+               fn score_live(l: &L) -> Vec<f64> { vec![] }\n";
+    let summary = run(vec![fx("crates/serve/src/fx_handler.rs", hot)]);
+    let hits = active_of(&summary, "blocking-in-query-path");
+    assert_eq!(hits.len(), 1, "{:?}", summary.diagnostics);
+    assert_eq!(hits[0].line, 3);
+    assert!(hits[0].message.contains("answer_query_fx"), "{}", hits[0].message);
+
+    // The justified allow suppresses it and is not judged stale.
+    let allowed = hot.replace(
+        "    let live = srv.live.lock().unwrap();\n",
+        "    // linklens-allow(blocking-in-query-path): wait-free counter bump, never held across scoring\n\
+         \x20   let live = srv.live.lock().unwrap();\n",
+    );
+    let summary = run(vec![fx("crates/serve/src/fx_handler.rs", &allowed)]);
+    assert!(!summary.has_violations(), "{:?}", summary.diagnostics);
+    assert_eq!(active_of(&summary, "stale-allow").len(), 0);
+
+    // The same lock in an *unmarked* serve fn (the ingest/publish side)
+    // is sanctioned: only marked query handlers carry the contract.
+    let ingest = "pub fn publish_fx(srv: &Server) -> u64 {\n\
+                  \x20   let mut live = srv.live.lock().unwrap();\n\
+                  \x20   live.version()\n\
+                  }\n";
+    let summary = run(vec![fx("crates/serve/src/fx_ingest.rs", ingest)]);
+    assert_eq!(active_of(&summary, "blocking-in-query-path").len(), 0);
+}
+
 // --- seeded true negatives ---------------------------------------------
 
 #[test]

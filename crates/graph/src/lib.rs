@@ -18,6 +18,11 @@
 //!   ([`sequence::SnapshotSequence::snapshots`]) costs O(E) instead of
 //!   O(S·E). Bit-identical to [`snapshot::Snapshot::up_to`] at every
 //!   prefix.
+//! * [`live::LiveGraph`] — the online form of the same engine: an owned,
+//!   growing trace with non-panicking ingest validation, publishing
+//!   immutable versioned [`live::Publication`]s through the identical
+//!   merge core (bit-identical CSRs at every prefix regardless of how
+//!   ingest was batched).
 //! * [`audit`] — runtime invariant auditing: debug builds (and release
 //!   builds under `--paranoid`) run [`snapshot::Snapshot::validate`] after
 //!   every incremental builder advance, catching CSR corruption at the
@@ -60,6 +65,7 @@ pub mod activity;
 pub mod audit;
 pub mod builder;
 pub mod io;
+pub mod live;
 pub mod par;
 pub mod sample;
 pub mod sequence;

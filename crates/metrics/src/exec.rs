@@ -199,6 +199,48 @@ fn score_pairs_per_pair_cached_t<M: Metric + ?Sized>(
     }
 }
 
+/// The serving-side targeted scoring path: scores one metric over a
+/// (typically small, single-source) pair list with **caller-owned**
+/// kernel state, so a long-lived query worker pays the per-snapshot
+/// setup once per published version instead of once per query.
+///
+/// * Fused metrics score through [`fused::score_columns`] on the caller's
+///   [`FusedCtx`]/[`FusedScratch`] — build the context once per snapshot
+///   (e.g. with [`LocalKind::ALL`]) and reuse it across queries; a single
+///   kind requested out of a wider context is bit-identical to the batch
+///   engine's per-kind context.
+/// * Everything else goes through the cached per-pair path at one worker
+///   (per-source query batches are far below the engine's chunking
+///   threshold), sharing the caller's [`SolverCache`] transition view and
+///   per-source solve vectors across queries at the same version.
+///
+/// Bit-identical to [`score_pairs_cached_t`] with `threads = 1` on a
+/// fresh cache — the contract the serving parity asserts rely on.
+///
+/// # Panics
+/// Debug builds panic when `ctx` was built on a different snapshot than
+/// `snap` (a stale context from a previous published version).
+pub fn score_pairs_targeted<M: Metric + ?Sized>(
+    m: &M,
+    snap: &Snapshot,
+    ctx: &fused::FusedCtx<'_>,
+    scratch: &mut FusedScratch,
+    pairs: &[(NodeId, NodeId)],
+    cache: &mut SolverCache,
+) -> Vec<f64> {
+    debug_assert!(
+        std::ptr::eq(ctx.snapshot(), snap),
+        "targeted scoring with a kernel context from a different snapshot"
+    );
+    if let Some(kind) = m.fused_kind() {
+        let kinds = [kind];
+        let scores = fused::score_columns(ctx, scratch, pairs, &kinds).pop().unwrap_or_default();
+        audit_scores(m.name(), m.score_contract(), &scores, 0);
+        return scores;
+    }
+    score_pairs_per_pair_cached_t(m, snap, pairs, 1, cache)
+}
+
 /// Scores one fused-kernel metric over source-aligned chunks with
 /// per-worker scratch reuse.
 fn fused_single_scores<M: Metric + ?Sized>(
@@ -764,6 +806,31 @@ mod tests {
         let snap = fixture();
         let ok = Broken { value: -1.0, contract: ScoreContract::Finite };
         assert_eq!(score_pairs_t(&ok, &snap, &[(0, 4)], 1), vec![-1.0]);
+    }
+
+    #[test]
+    fn targeted_scoring_matches_batched_engine() {
+        let snap = fixture();
+        let cands = CandidateSet::build(&snap, CandidatePolicy::Global, 2);
+        let ctx = fused::FusedCtx::build(&snap, &LocalKind::ALL);
+        let mut scratch = FusedScratch::new(snap.node_count());
+        for m in crate::all_metrics() {
+            let mut targeted_cache = SolverCache::transient();
+            // Per-source slices, the shape serving queries take.
+            for chunk in source_aligned_chunks(cands.pairs(), 1) {
+                let slice = &cands.pairs()[chunk];
+                let targeted = score_pairs_targeted(
+                    m.as_ref(),
+                    &snap,
+                    &ctx,
+                    &mut scratch,
+                    slice,
+                    &mut targeted_cache,
+                );
+                let batched = score_pairs_t(m.as_ref(), &snap, slice, 1);
+                assert_eq!(targeted, batched, "{}", m.name());
+            }
+        }
     }
 
     #[test]

@@ -63,6 +63,23 @@ pub enum LocalKind {
 }
 
 impl LocalKind {
+    /// Every kind the kernel computes. A [`FusedCtx`] built with this
+    /// list can score any fused metric — the serving query path builds
+    /// one such context per snapshot version and scores single kinds out
+    /// of it (bit-identical to a context built for that kind alone, since
+    /// [`score_columns`] derives its accumulator needs from the requested
+    /// kinds, not the built ones).
+    pub const ALL: [LocalKind; 8] = [
+        LocalKind::Cn,
+        LocalKind::Jc,
+        LocalKind::Aa,
+        LocalKind::Ra,
+        LocalKind::Pa,
+        LocalKind::Bcn,
+        LocalKind::Baa,
+        LocalKind::Bra,
+    ];
+
     /// True for the kinds deriving from the naive-Bayes witness weights
     /// (these force [`FusedCtx::build`] to compute the Bayes tables).
     pub fn is_bayes(self) -> bool {
@@ -139,6 +156,13 @@ pub struct FusedCtx<'s> {
 }
 
 impl<'s> FusedCtx<'s> {
+    /// The snapshot this context was built on. Lets callers that thread a
+    /// context separately from the snapshot (the targeted serving path)
+    /// assert the two stayed in sync.
+    pub fn snapshot(&self) -> &'s Snapshot {
+        self.snap
+    }
+
     /// Prepares the kernel context for `kinds` on `snap`. The degree
     /// tables come from the snapshot's [`Snapshot::degree_tables`] cache;
     /// Bayes tables are computed here iff a Bayes kind is present.

@@ -1,0 +1,570 @@
+//! linklens-serve: online ingest plus bounded-latency per-user top-k
+//! link-prediction serving on the batched engines.
+//!
+//! The server owns three moving parts:
+//!
+//! 1. **Ingest** — an [`osn_graph::live::LiveGraph`] behind a mutex.
+//!    Edge/node events validate and append; [`Server::publish`] folds the
+//!    pending delta through the offline builder's streaming merge core
+//!    and installs the result in the [`store::SnapshotStore`] with one
+//!    O(1) pointer swap. Readers pin versions by `Arc`-cloning, so a
+//!    publish never blocks a query mid-flight and a query never blocks
+//!    ingest.
+//! 2. **Serving** — `workers` threads drain the bounded
+//!    [`admission::Admission`] queue. Each worker pins the current
+//!    [`store::Versioned`], builds the fused kernel context once for that
+//!    version, and answers queries through the targeted engine entry
+//!    point ([`osn_metrics::exec::score_pairs_targeted`]) — per-source
+//!    work proportional to the source's candidate neighborhood, not the
+//!    snapshot. Answers are bit-identical to the offline batch engine at
+//!    the pinned version (asserted by `tests/serve_equivalence.rs`).
+//! 3. **Result cache** — a sharded [`cache::ResultCache`] keyed
+//!    `(version, metric, source)`. On publish, entries for delta-local
+//!    metrics whose source lies outside the delta's two-hop ball are
+//!    promoted to the new version; everything else is dropped. `get` is
+//!    version-exact, so a stale answer is structurally unservable.
+
+#![forbid(unsafe_code)]
+
+pub mod admission;
+pub mod cache;
+pub mod query;
+pub mod store;
+
+use admission::{Admission, AdmissionStats, Query, QueryResult};
+use cache::ResultCache;
+use osn_graph::live::{IngestError, LiveGraph};
+use osn_graph::snapshot::Snapshot;
+use osn_graph::{NodeId, Timestamp};
+use osn_metrics::fused::{FusedCtx, FusedScratch, LocalKind};
+use osn_metrics::solver::SolverCache;
+use osn_metrics::traits::CandidatePolicy;
+use query::EnumScratch;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use store::{SnapshotStore, Versioned};
+
+/// How long an idle worker waits in the queue before re-checking the
+/// published version and the shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(5);
+
+/// Server construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Metric names to serve, in index order (query requests address
+    /// metrics by index into this list). Every name must resolve via
+    /// [`osn_metrics::metric_by_name`].
+    pub metrics: Vec<String>,
+    /// Scoring worker threads.
+    pub workers: usize,
+    /// Admission queue capacity (submits beyond this are rejected).
+    pub queue_capacity: usize,
+    /// Result-cache lock shards.
+    pub cache_shards: usize,
+    /// Top-k size every query is answered with.
+    pub k: usize,
+    /// Tie-break seed for top-k selection (the evaluator's seed keeps
+    /// served answers comparable with offline sweeps).
+    pub seed: u64,
+    /// Hub-list size for `Global`-policy candidate enumeration (the
+    /// offline `top_degree` parameter).
+    pub top_degree: usize,
+    /// Upper bound on the publish-time invalidation set. When the
+    /// delta's two-hop ball grows past this, the publish flushes the
+    /// result cache instead of computing the full ball.
+    pub promote_limit: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            metrics: osn_metrics::all_metrics().iter().map(|m| m.name().to_string()).collect(),
+            workers: 2,
+            queue_capacity: 1024,
+            cache_shards: 16,
+            k: 10,
+            seed: 0x11A5,
+            top_degree: 64,
+            promote_limit: 1 << 16,
+        }
+    }
+}
+
+/// A point-in-time view of the server's counters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeStats {
+    /// Latest published snapshot version.
+    pub version: u64,
+    /// Nodes registered in the live trace (including unpublished ones).
+    pub nodes: usize,
+    /// Distinct edges accepted.
+    pub edges: usize,
+    /// Edges accepted but not yet published — the ingest lag.
+    pub pending_edges: usize,
+    /// Publications performed.
+    pub publishes: u64,
+    /// Result-cache entries resident.
+    pub cache_entries: usize,
+    /// Result-cache hits since start.
+    pub cache_hits: u64,
+    /// Result-cache misses since start.
+    pub cache_misses: u64,
+    /// Admission queue counters.
+    pub admission: AdmissionStats,
+}
+
+/// What a call to [`Server::publish`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PublishOutcome {
+    /// The version now current (unchanged if nothing was pending).
+    pub version: u64,
+    /// Edges folded in by this publish.
+    pub delta_edges: usize,
+    /// Whether the result cache was flushed wholesale instead of
+    /// delta-invalidated (two-hop ball exceeded `promote_limit`).
+    pub flushed: bool,
+}
+
+/// Errors surfaced to callers of the query API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The metric index is outside the configured metric list.
+    UnknownMetric,
+    /// The admission queue was full or the server is shutting down.
+    Rejected,
+    /// The response channel closed or timed out before an answer arrived.
+    NoAnswer,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UnknownMetric => write!(f, "unknown metric index"),
+            QueryError::Rejected => write!(f, "query rejected (queue full or shutting down)"),
+            QueryError::NoAnswer => write!(f, "no answer (worker gone or timeout)"),
+        }
+    }
+}
+
+/// The serving process: live ingest, versioned snapshot store, worker
+/// pool, result cache.
+pub struct Server {
+    cfg: ServeConfig,
+    live: Mutex<LiveGraph>,
+    store: Arc<SnapshotStore>,
+    cache: Arc<ResultCache>,
+    admission: Arc<Admission>,
+    promotable: Arc<Vec<bool>>,
+    publishes: AtomicU64,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Builds the server and starts its worker pool. Fails if any
+    /// configured metric name does not resolve.
+    pub fn start(cfg: ServeConfig) -> Result<Arc<Self>, String> {
+        if cfg.metrics.is_empty() {
+            return Err("ServeConfig.metrics must name at least one metric".into());
+        }
+        let mut promotable = Vec::with_capacity(cfg.metrics.len());
+        for name in &cfg.metrics {
+            let m = osn_metrics::metric_by_name(name)
+                .ok_or_else(|| format!("unknown metric name {name:?}"))?;
+            // Promotion across publishes is sound only for metrics whose
+            // answer for a source depends solely on the source's two-hop
+            // ball: the plain TwoHop-policy fused kinds CN / AA / RA
+            // (witnesses at distance 1, candidates at distance 2, witness
+            // degrees read at distance 1). JC reads the *target's* degree
+            // one hop further out; Bayes kinds read a global normalizer;
+            // ThreeHop/Global policies reach arbitrarily far.
+            promotable.push(
+                m.candidate_policy() == CandidatePolicy::TwoHop
+                    && matches!(
+                        m.fused_kind(),
+                        Some(LocalKind::Cn | LocalKind::Aa | LocalKind::Ra)
+                    ),
+            );
+        }
+        let mut live = LiveGraph::new();
+        // Version 0: the arena's empty snapshot (a no-op publish clones it).
+        let empty = live.publish();
+        let initial = Versioned::derive(empty.version, empty.snapshot, cfg.top_degree);
+        let server = Arc::new(Server {
+            live: Mutex::new(live),
+            store: Arc::new(SnapshotStore::new(initial)),
+            cache: Arc::new(ResultCache::new(cfg.cache_shards)),
+            admission: Arc::new(Admission::new(cfg.queue_capacity)),
+            promotable: Arc::new(promotable),
+            publishes: AtomicU64::new(0),
+            workers: Mutex::new(Vec::new()),
+            cfg,
+        });
+        let mut handles = Vec::with_capacity(server.cfg.workers.max(1));
+        for wi in 0..server.cfg.workers.max(1) {
+            let store = Arc::clone(&server.store);
+            let cache = Arc::clone(&server.cache);
+            let admission = Arc::clone(&server.admission);
+            let cfg = server.cfg.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("linklens-serve-{wi}"))
+                    .spawn(move || worker_loop(&cfg, &store, &cache, &admission))
+                    .map_err(|e| format!("spawning worker {wi}: {e}"))?,
+            );
+        }
+        *lock_workers(&server.workers) = handles;
+        Ok(server)
+    }
+
+    /// Registers a node arriving at `t`; returns its dense id.
+    pub fn ingest_node(&self, t: Timestamp) -> Result<NodeId, IngestError> {
+        lock_live(&self.live).ingest_node(t)
+    }
+
+    /// Appends an edge event. `Ok(false)` means a silently ignored
+    /// duplicate.
+    pub fn ingest_edge(&self, u: NodeId, v: NodeId, t: Timestamp) -> Result<bool, IngestError> {
+        lock_live(&self.live).ingest_edge(u, v, t)
+    }
+
+    /// Folds all pending ingest into a new published version, invalidates
+    /// the result cache for sources the delta's two-hop ball touched, and
+    /// swaps the new snapshot in for subsequent queries.
+    pub fn publish(&self) -> PublishOutcome {
+        let (prev_version, publication) = {
+            let mut live = lock_live(&self.live);
+            (live.version(), live.publish())
+        };
+        if publication.version == prev_version {
+            return PublishOutcome { version: prev_version, delta_edges: 0, flushed: false };
+        }
+        let next = Versioned::derive(
+            publication.version,
+            Arc::clone(&publication.snapshot),
+            self.cfg.top_degree,
+        );
+        // Invalidate before swap: a worker that re-pins early sees the new
+        // version only after its cache entries are consistent with it.
+        // (Entries written at the *new* version by such a worker survive
+        // `advance` by the version == new_version arm.)
+        let touched =
+            touched_two_ball(&publication.snapshot, &publication.delta, self.cfg.promote_limit);
+        let flushed = touched.is_none();
+        self.cache.advance(prev_version, publication.version, touched.as_ref(), &self.promotable);
+        self.store.swap(next);
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        PublishOutcome {
+            version: publication.version,
+            delta_edges: publication.delta.len(),
+            flushed,
+        }
+    }
+
+    /// Submits a query; the answer arrives on the returned channel.
+    pub fn query_async(
+        &self,
+        metric: u32,
+        source: NodeId,
+    ) -> Result<Receiver<QueryResult>, QueryError> {
+        if metric as usize >= self.cfg.metrics.len() {
+            return Err(QueryError::UnknownMetric);
+        }
+        let (tx, rx) = channel();
+        self.admission
+            .submit(Query { metric, source, resp: tx })
+            .map_err(|_| QueryError::Rejected)?;
+        Ok(rx)
+    }
+
+    /// Submits a query and waits up to `timeout` for the answer.
+    pub fn query_blocking(
+        &self,
+        metric: u32,
+        source: NodeId,
+        timeout: Duration,
+    ) -> Result<QueryResult, QueryError> {
+        let rx = self.query_async(metric, source)?;
+        rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => QueryError::NoAnswer,
+            RecvTimeoutError::Disconnected => QueryError::NoAnswer,
+        })
+    }
+
+    /// The latest published version.
+    pub fn version(&self) -> u64 {
+        self.store.version()
+    }
+
+    /// Pins and returns the current published state (snapshot + derived
+    /// tables). Used by equivalence tests and the serving benchmark to
+    /// compute offline oracle answers at an exact version.
+    pub fn current(&self) -> Arc<Versioned> {
+        self.store.current()
+    }
+
+    /// The configured metric names, in query-index order.
+    pub fn metric_names(&self) -> &[String] {
+        &self.cfg.metrics
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> ServeStats {
+        let (nodes, edges, pending_edges) = {
+            let live = lock_live(&self.live);
+            (live.node_count(), live.edge_count(), live.pending_edges())
+        };
+        let (cache_hits, cache_misses) = self.cache.counters();
+        ServeStats {
+            version: self.store.version(),
+            nodes,
+            edges,
+            pending_edges,
+            publishes: self.publishes.load(Ordering::Relaxed),
+            cache_entries: self.cache.len(),
+            cache_hits,
+            cache_misses,
+            admission: self.admission.stats(),
+        }
+    }
+
+    /// Stops admitting queries, drains the queue, and joins the workers.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.admission.close();
+        let handles = std::mem::take(&mut *lock_workers(&self.workers));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn lock_live(m: &Mutex<LiveGraph>) -> std::sync::MutexGuard<'_, LiveGraph> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn lock_workers(m: &Mutex<Vec<JoinHandle<()>>>) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// All nodes within two hops of any delta endpoint in `snap` — the
+/// sources whose cached answers a publish may have changed (see
+/// [`cache::ResultCache::advance`]). `None` once the ball exceeds
+/// `limit`, signalling the caller to flush instead.
+fn touched_two_ball(
+    snap: &Snapshot,
+    delta: &[(NodeId, NodeId)],
+    limit: usize,
+) -> Option<HashSet<NodeId>> {
+    let mut ball: HashSet<NodeId> = HashSet::new();
+    let mut frontier: Vec<NodeId> = Vec::new();
+    for &(u, v) in delta {
+        for e in [u, v] {
+            if ball.insert(e) {
+                frontier.push(e);
+            }
+        }
+    }
+    // Two BFS rings from every endpoint at once.
+    for _ in 0..2 {
+        if ball.len() > limit {
+            return None;
+        }
+        let mut next: Vec<NodeId> = Vec::new();
+        for &w in &frontier {
+            if (w as usize) < snap.node_count() {
+                for &x in snap.neighbors(w) {
+                    if ball.insert(x) {
+                        next.push(x);
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    if ball.len() > limit {
+        return None;
+    }
+    Some(ball)
+}
+
+/// One scoring worker: pin the current version, build the fused kernel
+/// context and solver state for it once, then drain queries until the
+/// version moves or the server shuts down.
+fn worker_loop(
+    cfg: &ServeConfig,
+    store: &SnapshotStore,
+    cache: &ResultCache,
+    admission: &Admission,
+) {
+    // `Box<dyn Metric>` is Sync but not Send, so each worker constructs
+    // its own instances from the configured names (validated at start).
+    let metrics: Vec<_> =
+        cfg.metrics.iter().filter_map(|name| osn_metrics::metric_by_name(name)).collect();
+    if metrics.len() != cfg.metrics.len() {
+        return;
+    }
+    let mut carried: Option<Query> = None;
+    'repin: loop {
+        let pinned = store.current();
+        let snap: &Snapshot = &pinned.snapshot;
+        // Per-version kernel state: one fused context over all local
+        // kinds (scoring any subset of a superset context is
+        // bit-identical to a dedicated context), one scratch pair, and a
+        // fresh transient solver cache — transient caches never
+        // warm-start, which keeps global-metric answers bit-identical to
+        // an offline cold solve at this snapshot.
+        let ctx = FusedCtx::build(snap, &LocalKind::ALL);
+        let mut fused_scratch = FusedScratch::new(snap.node_count());
+        let mut enum_scratch = EnumScratch::new(snap.node_count());
+        let mut solver = SolverCache::transient();
+        loop {
+            let q = match carried.take() {
+                Some(q) => q,
+                None => match admission.pop(IDLE_POLL) {
+                    Some(q) => q,
+                    None => {
+                        if admission.is_closed() {
+                            return;
+                        }
+                        if store.version() != pinned.version {
+                            continue 'repin;
+                        }
+                        continue;
+                    }
+                },
+            };
+            // A query admitted after a publish must not be answered at
+            // the pre-publish version: re-pin first, carrying the query.
+            if store.version() != pinned.version {
+                carried = Some(q);
+                continue 'repin;
+            }
+            let metric = &metrics[q.metric as usize];
+            if let Some(topk) = cache.get(pinned.version, q.metric, q.source) {
+                let _ = q.resp.send(QueryResult { version: pinned.version, topk, cache_hit: true });
+                continue;
+            }
+            let topk = Arc::new(query::answer_query(
+                metric.as_ref(),
+                snap,
+                &ctx,
+                &mut fused_scratch,
+                &mut enum_scratch,
+                &mut solver,
+                &pinned.hubs,
+                q.source,
+                cfg.k,
+                cfg.seed,
+            ));
+            cache.put(pinned.version, q.metric, q.source, Arc::clone(&topk));
+            let _ = q.resp.send(QueryResult { version: pinned.version, topk, cache_hit: false });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> ServeConfig {
+        ServeConfig {
+            metrics: vec!["CN".into(), "JC".into(), "AA".into(), "PA".into()],
+            workers: 2,
+            queue_capacity: 64,
+            cache_shards: 4,
+            k: 5,
+            seed: 0x11A5,
+            top_degree: 8,
+            promote_limit: 1 << 12,
+        }
+    }
+
+    fn grow(server: &Server, n: usize) {
+        server.ingest_node(0).unwrap();
+        server.ingest_node(0).unwrap();
+        server.ingest_edge(0, 1, 1).unwrap();
+        for i in 2..n {
+            let t = 10 * i as u64;
+            server.ingest_node(t).unwrap();
+            server.ingest_edge((i / 2) as NodeId, i as NodeId, t).unwrap();
+            if i >= 3 {
+                server.ingest_edge((i - 1) as NodeId, i as NodeId, t + 1).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn start_rejects_unknown_metric_names() {
+        let cfg = ServeConfig { metrics: vec!["no_such_metric".into()], ..small_cfg() };
+        assert!(Server::start(cfg).is_err());
+    }
+
+    #[test]
+    fn serves_queries_and_publishes_concurrently() {
+        let server = Server::start(small_cfg()).unwrap();
+        grow(&server, 20);
+        let out = server.publish();
+        assert_eq!(out.version, 1);
+        assert!(out.delta_edges > 0);
+        let r = server.query_blocking(0, 4, Duration::from_secs(10)).unwrap();
+        assert_eq!(r.version, 1);
+        assert!(!r.cache_hit);
+        assert!(!r.topk.is_empty());
+        assert!(r.topk.iter().all(|&(a, b)| a == 4 || b == 4));
+        // Same query again: served from cache, identical answer.
+        let r2 = server.query_blocking(0, 4, Duration::from_secs(10)).unwrap();
+        assert!(r2.cache_hit);
+        assert_eq!(r2.topk, r.topk);
+        // Ingest + publish advances the version; the next answer is
+        // stamped with it.
+        server.ingest_edge(0, 19, 10_000).unwrap();
+        let out2 = server.publish();
+        assert_eq!(out2.version, 2);
+        let r3 = server.query_blocking(0, 4, Duration::from_secs(10)).unwrap();
+        assert_eq!(r3.version, 2, "post-publish answers use the new version");
+        let stats = server.stats();
+        assert_eq!(stats.version, 2);
+        assert_eq!(stats.pending_edges, 0);
+        assert!(stats.cache_hits >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_metric_index_and_shutdown_reject() {
+        let server = Server::start(small_cfg()).unwrap();
+        grow(&server, 6);
+        server.publish();
+        assert_eq!(server.query_async(99, 0).err(), Some(QueryError::UnknownMetric));
+        server.shutdown();
+        assert_eq!(
+            server.query_blocking(0, 0, Duration::from_millis(100)).err(),
+            Some(QueryError::Rejected)
+        );
+    }
+
+    #[test]
+    fn touched_ball_bounds_and_flush() {
+        let snap = Snapshot::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let ball = touched_two_ball(&snap, &[(1, 2)], 100).unwrap();
+        // Endpoints 1,2; ring 1 adds 0,3; ring 2 adds 4.
+        let expect: HashSet<NodeId> = [0, 1, 2, 3, 4].into_iter().collect();
+        assert_eq!(ball, expect);
+        assert!(touched_two_ball(&snap, &[(1, 2)], 2).is_none(), "limit forces flush");
+    }
+}
